@@ -1,0 +1,49 @@
+//! Figures 8/12 as a benchmark: accuracy vs exchange interval, scaled
+//! down. Measures the wall cost of one sweep point and asserts the
+//! monotone-decay shape the paper reports.
+
+use bench::SEED;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use digruber::config::DigruberConfig;
+use digruber::{run_experiment, ServiceKind};
+use gruber_types::SimDuration;
+use std::hint::black_box;
+use workload::WorkloadSpec;
+
+fn run_point(interval_min: u64) -> f64 {
+    let mut cfg = DigruberConfig::paper(3, ServiceKind::Gt3, SEED);
+    cfg.grid_factor = 1;
+    cfg.sync_interval = SimDuration::from_mins(interval_min);
+    let wl = WorkloadSpec {
+        n_clients: 24,
+        duration: SimDuration::from_mins(20),
+        ..WorkloadSpec::paper_default()
+    };
+    run_experiment(cfg, wl, "accuracy point")
+        .unwrap()
+        .mean_handled_accuracy
+        .unwrap_or(0.0)
+}
+
+fn bench_accuracy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_accuracy_vs_interval");
+    g.sample_size(10);
+    for m in [1u64, 3, 10] {
+        g.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(run_point(m)));
+        });
+    }
+    g.finish();
+
+    // Shape assertion: short exchange intervals must not be less accurate
+    // than very long ones.
+    let fast = run_point(1);
+    let slow = run_point(18);
+    assert!(
+        fast >= slow,
+        "accuracy should decay with the exchange interval ({fast} vs {slow})"
+    );
+}
+
+criterion_group!(benches, bench_accuracy);
+criterion_main!(benches);

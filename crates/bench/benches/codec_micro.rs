@@ -1,0 +1,65 @@
+//! Wire-codec benchmarks: the cost of encoding/decoding the two payloads
+//! DI-GRUBER ships constantly (availability responses, sync floods). The
+//! paper attributes service cost to SOAP processing; these numbers show
+//! what a binary encoding buys.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gruber_types::{GroupId, JobId, SimTime, SiteId, VoId};
+use simnet::codec::{
+    decode_availability, decode_deltas, encode_availability, encode_deltas, DispatchDelta,
+    SiteLoadEntry,
+};
+use std::hint::black_box;
+
+fn entries_300() -> Vec<SiteLoadEntry> {
+    (0..300u32)
+        .map(|i| SiteLoadEntry {
+            site: SiteId(i),
+            total_cpus: 100 + i,
+            busy_cpus: i,
+            queued_jobs: i % 7,
+        })
+        .collect()
+}
+
+fn deltas_360() -> Vec<DispatchDelta> {
+    (0..360u32)
+        .map(|i| DispatchDelta {
+            job: JobId(i),
+            site: SiteId(i % 300),
+            vo: VoId(i % 10),
+            group: GroupId(i % 10),
+            cpus: 1,
+            dispatched_at: SimTime::from_secs(u64::from(i)),
+            est_finish: SimTime::from_secs(u64::from(i) + 900),
+        })
+        .collect()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let entries = entries_300();
+    let deltas = deltas_360();
+    let avail_bytes = encode_availability(&entries);
+    let delta_bytes = encode_deltas(&deltas);
+
+    g.throughput(Throughput::Bytes(avail_bytes.len() as u64));
+    g.bench_function("encode_availability_300", |b| {
+        b.iter(|| black_box(encode_availability(black_box(&entries))));
+    });
+    g.bench_function("decode_availability_300", |b| {
+        b.iter(|| black_box(decode_availability(avail_bytes.clone()).unwrap()));
+    });
+
+    g.throughput(Throughput::Bytes(delta_bytes.len() as u64));
+    g.bench_function("encode_deltas_360", |b| {
+        b.iter(|| black_box(encode_deltas(black_box(&deltas))));
+    });
+    g.bench_function("decode_deltas_360", |b| {
+        b.iter(|| black_box(decode_deltas(delta_bytes.clone()).unwrap()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Engine-level micro-benchmarks: how many discrete events per second the
+//! simulator core sustains. A paper-scale experiment fires a few hundred
+//! thousand events; these benches show the headroom for much larger grids
+//! (supporting the paper's claim that performance "is determined primarily
+//! by the number of decision points used to answer queries, and not by the
+//! size of the environment").
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use desim::dist::{Dist, Zipf};
+use desim::{DetRng, Scheduler, Simulation};
+use gruber_types::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_event_loop(c: &mut Criterion) {
+    let mut g = c.benchmark_group("desim");
+    const N: u64 = 100_000;
+    g.throughput(Throughput::Elements(N));
+
+    g.bench_function("schedule_and_run_100k_events", |b| {
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            for i in 0..N {
+                sim.scheduler()
+                    .schedule_at(SimTime(i % 1000), |w: &mut u64, _| *w += 1);
+            }
+            sim.run_until(SimTime(1000));
+            assert_eq!(*sim.world(), N);
+        });
+    });
+
+    g.bench_function("self_rescheduling_chain_100k", |b| {
+        fn step(w: &mut u64, s: &mut Scheduler<u64>) {
+            *w += 1;
+            if *w < 100_000 {
+                s.schedule_in(SimDuration::MILLISECOND, step);
+            }
+        }
+        b.iter(|| {
+            let mut sim = Simulation::new(0u64);
+            sim.scheduler().schedule_at(SimTime::ZERO, step);
+            sim.run_to_completion(200_000);
+            assert_eq!(*sim.world(), N);
+        });
+    });
+    g.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rng");
+    g.bench_function("lognormal_sample", |b| {
+        let d = Dist::lognormal_mean_cv(900.0, 1.0);
+        let mut rng = DetRng::new(1, 1);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+    g.bench_function("zipf_300_sample", |b| {
+        let z = Zipf::new(300, 1.1);
+        let mut rng = DetRng::new(1, 2);
+        b.iter(|| black_box(z.sample(&mut rng)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_event_loop, bench_random);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 3 as a benchmark: GRUB-SIM trace replay cost, plus shape
+//! assertions on the provisioning conclusions.
+
+use bench::{scaled_down, SEED};
+use criterion::{criterion_group, criterion_main, Criterion};
+use digruber::ServiceKind;
+use gruber_types::SimDuration;
+use grubsim::{simulate_required_dps, CapacityModel};
+use std::hint::black_box;
+
+fn bench_replay(c: &mut Criterion) {
+    let out = scaled_down(ServiceKind::Gt3, 1, SEED).unwrap();
+    let traces = out.traces;
+
+    let mut g = c.benchmark_group("table3_grubsim");
+    g.bench_function("replay_scaled_down_trace", |b| {
+        b.iter(|| {
+            black_box(simulate_required_dps(
+                black_box(&traces),
+                CapacityModel::gt3(),
+                SimDuration::MINUTE,
+            ))
+        });
+    });
+    g.finish();
+
+    // Shape: the weaker GT4-prerelease stack never needs fewer points than
+    // GT3 on the same demand.
+    let gt3 = simulate_required_dps(&traces, CapacityModel::gt3(), SimDuration::MINUTE);
+    let gt4 = simulate_required_dps(&traces, CapacityModel::gt4_prerelease(), SimDuration::MINUTE);
+    assert!(gt4.required_dps() >= gt3.required_dps());
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

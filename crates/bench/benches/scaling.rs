@@ -1,0 +1,40 @@
+//! The scalability figures as benchmarks (Figs 5–7 GT3, Figs 9–11 GT4).
+//!
+//! Each bench runs a scaled-down variant of the corresponding experiment
+//! (Grid3×1, 24 clients, 12 simulated minutes) end to end and asserts the
+//! figure's *shape* on the way out; `cargo run -p bench --bin experiments`
+//! regenerates the full-scale figures. The measured quantity is the wall
+//! time of a whole simulated experiment — i.e. the cost of regenerating a
+//! figure — which also documents how cheap sweeps are.
+
+use bench::{scaled_down, SEED};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use digruber::ServiceKind;
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    for (service, family) in [
+        (ServiceKind::Gt3, "gt3_figs5-7"),
+        (ServiceKind::Gt4Prerelease, "gt4_figs9-11"),
+    ] {
+        let mut g = c.benchmark_group(family);
+        g.sample_size(10);
+        for n_dps in [1usize, 3, 10] {
+            g.bench_with_input(BenchmarkId::from_parameter(n_dps), &n_dps, |b, &n| {
+                b.iter(|| black_box(scaled_down(service, n, SEED).unwrap()));
+            });
+        }
+        g.finish();
+    }
+
+    // Shape assertions on one run per family (the point of the figures).
+    let one = scaled_down(ServiceKind::Gt3, 1, SEED).unwrap();
+    let ten = scaled_down(ServiceKind::Gt3, 10, SEED).unwrap();
+    assert!(
+        ten.report.peak_throughput_qps >= one.report.peak_throughput_qps,
+        "more decision points must not lower peak throughput"
+    );
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

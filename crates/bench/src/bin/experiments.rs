@@ -1,0 +1,157 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run --release -p bench --bin experiments -- <id>...
+//! ```
+//!
+//! Ids: `fig1 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 table2 table3 all`.
+
+use bench::render::{render_accuracy, render_figure, render_table_block};
+use bench::{accuracy_vs_interval, crossover, dp_scaling, fig1_instance_creation, table3, SEED};
+use digruber::ServiceKind;
+use std::sync::OnceLock;
+
+const INTERVALS_MIN: [u64; 4] = [1, 3, 10, 30];
+const DP_COUNTS: [usize; 3] = [1, 3, 10];
+
+/// Directory traces are saved into when `--save-traces DIR` is passed.
+static TRACE_DIR: OnceLock<Option<String>> = OnceLock::new();
+
+fn save_traces(id: &str, out: &digruber::ExperimentOutput) {
+    if let Some(Some(dir)) = TRACE_DIR.get() {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+        let path = format!("{dir}/{id}.trace");
+        std::fs::write(&path, diperf::trace::to_lines(&out.traces))
+            .expect("write trace file");
+        eprintln!("saved {} traces to {path}", out.traces.len());
+    }
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let trace_dir = args
+        .iter()
+        .position(|a| a == "--save-traces")
+        .map(|i| {
+            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("--save-traces needs a directory");
+                std::process::exit(2);
+            });
+            args.drain(i..=i + 1);
+            dir
+        });
+    TRACE_DIR.set(trace_dir).expect("set once");
+    if args.is_empty() {
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|all>... [--save-traces DIR]");
+        std::process::exit(2);
+    }
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        vec![
+            "fig1", "fig5", "fig6", "fig7", "table1", "fig8", "fig9", "fig10", "fig11", "table2",
+            "fig12", "table3", "fairness", "crossover",
+        ]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        run(id);
+    }
+}
+
+fn scaling_figure(id: &str, service: ServiceKind, n_dps: usize) {
+    let out = dp_scaling(service, n_dps, SEED).expect("experiment failed");
+    save_traces(id, &out);
+    println!("[{id}]\n{}", render_figure(&out));
+}
+
+fn overall_table(id: &str, service: ServiceKind) {
+    println!(
+        "[{id}] Overall performance ({:?}): QTime / Normalized QTime / Util / Accuracy",
+        service
+    );
+    for n in DP_COUNTS {
+        let out = dp_scaling(service, n, SEED).expect("experiment failed");
+        println!("{}", render_table_block(n, &out.table));
+    }
+}
+
+fn run(id: &str) {
+    match id {
+        "fig1" => {
+            let out = fig1_instance_creation(SEED).expect("experiment failed");
+            println!("[fig1]\n{}", render_figure(&out));
+        }
+        "fig5" => scaling_figure("fig5", ServiceKind::Gt3, 1),
+        "fig6" => scaling_figure("fig6", ServiceKind::Gt3, 3),
+        "fig7" => scaling_figure("fig7", ServiceKind::Gt3, 10),
+        "table1" => overall_table("table1", ServiceKind::Gt3),
+        "fig8" => {
+            let rows =
+                accuracy_vs_interval(ServiceKind::Gt3, &INTERVALS_MIN, SEED).expect("failed");
+            println!(
+                "[fig8]\n{}",
+                render_accuracy("GT3 accuracy vs exchange interval (3 DPs)", &rows)
+            );
+        }
+        "fig9" => scaling_figure("fig9", ServiceKind::Gt4Prerelease, 1),
+        "fig10" => scaling_figure("fig10", ServiceKind::Gt4Prerelease, 3),
+        "fig11" => scaling_figure("fig11", ServiceKind::Gt4Prerelease, 10),
+        "table2" => overall_table("table2", ServiceKind::Gt4Prerelease),
+        "fig12" => {
+            let rows = accuracy_vs_interval(ServiceKind::Gt4Prerelease, &INTERVALS_MIN, SEED)
+                .expect("failed");
+            println!(
+                "[fig12]\n{}",
+                render_accuracy("GT4 accuracy vs exchange interval (3 DPs)", &rows)
+            );
+        }
+        "crossover" => {
+            // Where does adding decision points stop paying? The knee is
+            // the paper's "appropriate number of decision points".
+            println!("[crossover] GT3, 1..16 decision points");
+            println!("  DPs  peak q/s  mean resp(s)  handled   marginal q/s per DP");
+            let rows = crossover(ServiceKind::Gt3, &[1, 2, 3, 4, 5, 6, 8, 10, 12, 16], SEED)
+                .expect("experiment failed");
+            let mut prev: Option<(usize, f64)> = None;
+            for (n, thr, resp, handled) in rows {
+                let marginal = match prev {
+                    Some((pn, pthr)) => (thr - pthr) / (n - pn) as f64,
+                    None => thr,
+                };
+                prev = Some((n, thr));
+                println!(
+                    "  {n:>3}  {thr:>8.2}  {resp:>11.1}  {:>6.1}%  {marginal:>11.2}",
+                    handled * 100.0
+                );
+            }
+        }
+        "fairness" => {
+            // Paper §4.1: "whether CPU resources could be allocated in a
+            // fair manner across multiple VOs, and across multiple groups
+            // within a VO, when using DI-GRUBER configurations that feature
+            // multiple loosely coupled GRUBER instances".
+            println!("[fairness] per-VO consumed CPU share, 3 GT3 DPs, symmetric demand");
+            let out = dp_scaling(ServiceKind::Gt3, 3, SEED).expect("experiment failed");
+            for (v, s) in out.vo_cpu_share.iter().enumerate() {
+                println!("  vo:{v}  {:5.2}%  (target 10.00%)", s * 100.0);
+            }
+        }
+        "table3" => {
+            println!("[table3] GRUB-SIM: required decision points");
+            for (service, name) in [
+                (ServiceKind::Gt3, "GT3-based"),
+                (ServiceKind::Gt4Prerelease, "GT4-based"),
+            ] {
+                println!("  {name}:");
+                for report in table3(service, &DP_COUNTS, SEED).expect("failed") {
+                    println!("    {}", report.row());
+                }
+            }
+        }
+        other => {
+            // fig12 is reachable via `all`? keep explicit too.
+            eprintln!("unknown experiment id {other:?}");
+            std::process::exit(2);
+        }
+    }
+}

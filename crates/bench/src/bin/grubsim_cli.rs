@@ -1,0 +1,62 @@
+//! Standalone GRUB-SIM: replay a saved DiPerF trace file.
+//!
+//! ```text
+//! # Save traces first:
+//! cargo run --release -p bench --bin experiments -- fig5 --save-traces results/traces
+//! # Replay them:
+//! cargo run --release -p bench --bin grubsim_cli -- results/traces/fig5.trace gt3
+//! ```
+//!
+//! Prints both GRUB-SIM answers: decision points added during the replay
+//! (the paper's Table 3) and the rebalancing analysis (how much of the
+//! overload a third-party observer could absorb without new points).
+
+use diperf::trace::from_lines;
+use gruber_types::SimDuration;
+use grubsim::{simulate_rebalancing, simulate_required_dps, CapacityModel};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (path, model_name) = match args.as_slice() {
+        [p] => (p.as_str(), "gt3"),
+        [p, m] => (p.as_str(), m.as_str()),
+        _ => {
+            eprintln!("usage: grubsim_cli <trace-file> [gt3|gt4]");
+            std::process::exit(2);
+        }
+    };
+    let model = match model_name {
+        "gt3" => CapacityModel::gt3(),
+        "gt4" => CapacityModel::gt4_prerelease(),
+        other => {
+            eprintln!("grubsim_cli: unknown capacity model {other:?}");
+            std::process::exit(2);
+        }
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("grubsim_cli: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    let traces = from_lines(&text).unwrap_or_else(|e| {
+        eprintln!("grubsim_cli: bad trace file: {e}");
+        std::process::exit(1);
+    });
+    if traces.is_empty() {
+        eprintln!("grubsim_cli: empty trace");
+        std::process::exit(1);
+    }
+
+    let report = simulate_required_dps(&traces, model, SimDuration::MINUTE);
+    println!("provisioning replay ({model_name}, {} requests):", traces.len());
+    println!("  {}", report.row());
+
+    let rebalance = simulate_rebalancing(&traces, report.initial_dps, model, SimDuration::MINUTE);
+    println!("rebalancing replay:");
+    println!(
+        "  {} overloads static, {} after rebalancing ({} moves, {:.0}% absorbed)",
+        rebalance.overloads_static,
+        rebalance.overloads_rebalanced,
+        rebalance.moves,
+        rebalance.absorbed_fraction() * 100.0
+    );
+}

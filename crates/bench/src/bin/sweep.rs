@@ -1,0 +1,168 @@
+//! Parameter-sweep CLI: run custom DI-GRUBER configurations without
+//! writing code.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sweep -- --dps 1,3,10 --service gt4 \
+//!     --sync-mins 10 --clients 120 --duration-mins 60 --topology ring
+//! ```
+//!
+//! Flags (all optional; defaults reproduce the paper's setup):
+//!
+//! ```text
+//! --dps N[,N..]         decision-point counts to sweep     (default 1,3,10)
+//! --service gt3|gt4     service stack                      (default gt3)
+//! --sync-mins N         exchange interval, minutes         (default 3)
+//! --timeout-secs N      client timeout, seconds            (default 30)
+//! --clients N           submission hosts                   (default 120)
+//! --duration-mins N     experiment length, minutes         (default 60)
+//! --grid-factor N       Grid3 × N sites                    (default 10)
+//! --seed N              RNG seed                           (default 2005)
+//! --topology mesh|ring|star|gossip:K                       (default mesh)
+//! --selector least-used|round-robin|random|lru|usla-aware  (default least-used)
+//! --discipline fifo|backfill|fairshare                     (default fifo)
+//! --loss P              per-message loss probability       (default 0)
+//! --departure F         departure-ramp fraction            (default 0)
+//! --max-in-flight N     queue-manager job cap per host     (default off)
+//! --monitor-secs N      answer from ground-truth monitor snapshots
+//!                       refreshed every N seconds          (default off)
+//! --lan                 LAN instead of PlanetLab WAN
+//! --enforce             enforce USLA admission verdicts
+//! --dynamic             enable dynamic provisioning
+//! --failures            inject decision-point failures (with failover)
+//! ```
+
+use digruber::config::{DigruberConfig, DynamicConfig, FailureConfig};
+use digruber::{run_experiment, ServiceKind, SyncTopology, WanKind};
+use gruber::SelectorKind;
+use gruber_types::SimDuration;
+use workload::WorkloadSpec;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn value_of(&self, flag: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn has(&self, flag: &str) -> bool {
+        self.0.iter().any(|a| a == flag)
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> T {
+        match self.value_of(flag) {
+            Some(v) => v.parse().unwrap_or_else(|_| die(&format!("bad value for {flag}: {v:?}"))),
+            None => default,
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("sweep: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args = Args(std::env::args().skip(1).collect());
+    if args.has("--help") || args.has("-h") {
+        eprintln!("see the module docs: cargo doc -p bench --bin sweep");
+        return;
+    }
+
+    let dps: Vec<usize> = args
+        .value_of("--dps")
+        .unwrap_or("1,3,10")
+        .split(',')
+        .map(|p| p.trim().parse().unwrap_or_else(|_| die("bad --dps list")))
+        .collect();
+    let service = match args.value_of("--service").unwrap_or("gt3") {
+        "gt3" => ServiceKind::Gt3,
+        "gt4" => ServiceKind::Gt4Prerelease,
+        other => die(&format!("unknown service {other:?}")),
+    };
+    let topology = match args.value_of("--topology").unwrap_or("mesh") {
+        "mesh" => SyncTopology::FullMesh,
+        "ring" => SyncTopology::Ring,
+        "star" => SyncTopology::Star,
+        g if g.starts_with("gossip:") => SyncTopology::Gossip {
+            fanout: g["gossip:".len()..]
+                .parse()
+                .unwrap_or_else(|_| die("bad gossip fanout")),
+        },
+        other => die(&format!("unknown topology {other:?}")),
+    };
+    let selector = match args.value_of("--selector").unwrap_or("least-used") {
+        "least-used" => SelectorKind::LeastUsed,
+        "round-robin" => SelectorKind::RoundRobin,
+        "random" => SelectorKind::Random,
+        "lru" => SelectorKind::LeastRecentlyUsed,
+        "usla-aware" => SelectorKind::UslaAware,
+        other => die(&format!("unknown selector {other:?}")),
+    };
+    let discipline = match args.value_of("--discipline").unwrap_or("fifo") {
+        "fifo" => gridemu::SiteDiscipline::Fifo,
+        "backfill" => gridemu::SiteDiscipline::EasyBackfill,
+        "fairshare" => gridemu::SiteDiscipline::FairShare,
+        other => die(&format!("unknown discipline {other:?}")),
+    };
+
+    let seed: u64 = args.parsed("--seed", 2005);
+    let workload = WorkloadSpec {
+        n_clients: args.parsed("--clients", 120u32),
+        duration: SimDuration::from_mins(args.parsed("--duration-mins", 60u64)),
+        departure_fraction: args.parsed("--departure", 0.0f64),
+        ..WorkloadSpec::paper_default()
+    };
+
+    println!(
+        "  DPs  peak thr(q/s)  mean resp(s)  handled   accuracy    util   jobs  failovers"
+    );
+    for &n in &dps {
+        let mut cfg = DigruberConfig::paper(n, service, seed);
+        cfg.sync_interval = SimDuration::from_mins(args.parsed("--sync-mins", 3u64));
+        cfg.client_timeout = SimDuration::from_secs(args.parsed("--timeout-secs", 30u64));
+        cfg.grid_factor = args.parsed("--grid-factor", 10usize);
+        cfg.topology = topology;
+        cfg.selector = selector;
+        cfg.site_discipline = discipline;
+        cfg.message_loss = args.parsed("--loss", 0.0f64);
+        cfg.enforce_uslas = args.has("--enforce");
+        if args.has("--lan") {
+            cfg.wan = WanKind::Lan;
+        }
+        if args.has("--dynamic") {
+            cfg.dynamic = Some(DynamicConfig::default());
+        }
+        if args.has("--failures") {
+            cfg.failures = Some(FailureConfig::default());
+        }
+        if let Some(v) = args.value_of("--max-in-flight") {
+            cfg.max_jobs_in_flight =
+                Some(v.parse().unwrap_or_else(|_| die("bad --max-in-flight")));
+        }
+        if let Some(v) = args.value_of("--monitor-secs") {
+            cfg.monitor_refresh = Some(SimDuration::from_secs(
+                v.parse().unwrap_or_else(|_| die("bad --monitor-secs")),
+            ));
+        }
+
+        let out = run_experiment(cfg, workload.clone(), &format!("{n} DPs"))
+            .unwrap_or_else(|e| die(&format!("experiment failed: {e}")));
+        println!(
+            "  {:>3}  {:>12.2}  {:>11.1}  {:>6.1}%   {:>7}  {:>5.1}%  {:>5}  {:>9}",
+            out.final_dps,
+            out.report.peak_throughput_qps,
+            out.report.response.mean,
+            out.report.handled_fraction() * 100.0,
+            out.mean_handled_accuracy
+                .map(|a| format!("{:.1}%", a * 100.0))
+                .unwrap_or_else(|| "-".into()),
+            out.table.all.util * 100.0,
+            out.jobs_dispatched,
+            out.failovers,
+        );
+    }
+}

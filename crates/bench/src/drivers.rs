@@ -1,0 +1,124 @@
+//! One driver per paper artifact.
+
+use digruber::config::DigruberConfig;
+use digruber::{run_experiment, ExperimentOutput, ServiceKind};
+use gruber_types::{GridResult, SimDuration};
+use grubsim::{simulate_required_dps, CapacityModel, GrubSimReport};
+use workload::WorkloadSpec;
+
+/// Default experiment seed (any seed reproduces the same shapes).
+pub const SEED: u64 = 2005;
+
+/// The scalability figure family (Figs 5–7 for GT3, 9–11 for GT4): the
+/// paper's workload against `n_dps` decision points.
+pub fn dp_scaling(service: ServiceKind, n_dps: usize, seed: u64) -> GridResult<ExperimentOutput> {
+    let label = format!(
+        "{} DI-GRUBER, {} decision point(s)",
+        match service {
+            ServiceKind::Gt3 => "GT3",
+            ServiceKind::Gt4Prerelease => "GT4",
+            ServiceKind::Gt3InstanceCreation => "GT3-IC",
+        },
+        n_dps
+    );
+    run_experiment(
+        DigruberConfig::paper(n_dps, service, seed),
+        WorkloadSpec::paper_default(),
+        &label,
+    )
+}
+
+/// Figure 1: GT3 service-instance creation under a DiPerF ramp. The
+/// brokering machinery is bypassed in spirit — requests carry a tiny
+/// payload and hit the cheap instance-creation profile — but the same
+/// client loop, WAN and collector are used, exactly like the paper's
+/// stand-alone DiPerF experiment.
+pub fn fig1_instance_creation(seed: u64) -> GridResult<ExperimentOutput> {
+    let mut cfg = DigruberConfig::paper(1, ServiceKind::Gt3InstanceCreation, seed);
+    // A tiny grid keeps the availability payload (and thus marshalling
+    // cost) negligible, isolating the service-creation cost like Fig 1.
+    cfg.grid_factor = 1;
+    let mut wl = WorkloadSpec::paper_default();
+    wl.n_clients = 100;
+    run_experiment(cfg, wl, "GT3 service instance creation (Figure 1)")
+}
+
+/// Figures 8 / 12: scheduling accuracy as a function of the exchange
+/// interval, three decision points. Returns `(interval, mean accuracy)`
+/// rows.
+pub fn accuracy_vs_interval(
+    service: ServiceKind,
+    intervals_min: &[u64],
+    seed: u64,
+) -> GridResult<Vec<(u64, f64)>> {
+    let mut rows = Vec::new();
+    for &m in intervals_min {
+        let mut cfg = DigruberConfig::paper(3, service, seed);
+        cfg.sync_interval = SimDuration::from_mins(m);
+        let out = run_experiment(
+            cfg,
+            WorkloadSpec::paper_default(),
+            &format!("accuracy @ {m} min exchange"),
+        )?;
+        rows.push((m, out.mean_handled_accuracy.unwrap_or(0.0)));
+    }
+    Ok(rows)
+}
+
+/// Table 3: GRUB-SIM replay of the scalability traces.
+pub fn table3(
+    service: ServiceKind,
+    dp_counts: &[usize],
+    seed: u64,
+) -> GridResult<Vec<GrubSimReport>> {
+    let model = match service {
+        ServiceKind::Gt3 | ServiceKind::Gt3InstanceCreation => CapacityModel::gt3(),
+        ServiceKind::Gt4Prerelease => CapacityModel::gt4_prerelease(),
+    };
+    let mut reports = Vec::new();
+    for &n in dp_counts {
+        let out = dp_scaling(service, n, seed)?;
+        reports.push(simulate_required_dps(
+            &out.traces,
+            model,
+            SimDuration::MINUTE,
+        ));
+    }
+    Ok(reports)
+}
+
+/// The crossover study: sweep the decision-point count and report where
+/// adding points stops paying ("for a certain grid configuration size,
+/// there is an appropriate number of decision points that can serve the
+/// scheduling purposes"). Returns `(n_dps, peak throughput, mean
+/// response, handled fraction)` rows.
+pub fn crossover(
+    service: ServiceKind,
+    dp_counts: &[usize],
+    seed: u64,
+) -> GridResult<Vec<(usize, f64, f64, f64)>> {
+    let mut rows = Vec::new();
+    for &n in dp_counts {
+        let out = dp_scaling(service, n, seed)?;
+        rows.push((
+            n,
+            out.report.peak_throughput_qps,
+            out.report.response.mean,
+            out.report.handled_fraction(),
+        ));
+    }
+    Ok(rows)
+}
+
+/// A scaled-down configuration for Criterion benches and smoke tests:
+/// Grid3×1, 24 clients, 12 minutes.
+pub fn scaled_down(service: ServiceKind, n_dps: usize, seed: u64) -> GridResult<ExperimentOutput> {
+    let mut cfg = DigruberConfig::paper(n_dps, service, seed);
+    cfg.grid_factor = 1;
+    let wl = WorkloadSpec {
+        n_clients: 24,
+        duration: SimDuration::from_mins(12),
+        ..WorkloadSpec::paper_default()
+    };
+    run_experiment(cfg, wl, &format!("scaled-down {n_dps} DPs"))
+}

@@ -1,0 +1,14 @@
+//! Experiment drivers for the paper's tables and figures.
+//!
+//! Each function regenerates one artifact from the paper's evaluation; the
+//! `experiments` binary exposes them behind a small CLI
+//! (`cargo run --release -p bench --bin experiments -- <id>`), and the
+//! Criterion benches reuse the same drivers on scaled-down configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod render;
+
+pub use drivers::*;

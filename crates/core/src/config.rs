@@ -1,0 +1,315 @@
+//! Experiment and deployment configuration.
+
+use gruber::SelectorKind;
+use gruber_types::SimDuration;
+use simnet::{ServiceProfile, WanTopology};
+
+/// Which Globus Toolkit service stack a decision point runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceKind {
+    /// GT3 (the paper's first implementation).
+    Gt3,
+    /// The GT 3.9.4 prerelease of GT4 (the paper's port — slower than GT3).
+    Gt4Prerelease,
+    /// Bare service-instance creation (Figure 1's micro-benchmark).
+    Gt3InstanceCreation,
+}
+
+impl ServiceKind {
+    /// The calibrated cost profile.
+    pub fn profile(self) -> ServiceProfile {
+        match self {
+            ServiceKind::Gt3 => ServiceProfile::gt3(),
+            ServiceKind::Gt4Prerelease => ServiceProfile::gt4_prerelease(),
+            ServiceKind::Gt3InstanceCreation => ServiceProfile::gt3_instance_creation(),
+        }
+    }
+}
+
+/// Which network the deployment runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WanKind {
+    /// PlanetLab-like WAN (the paper's testbed).
+    PlanetLab,
+    /// LAN (the paper's conclusion expects much better performance here;
+    /// used by the ablation bench).
+    Lan,
+}
+
+impl WanKind {
+    /// Builds the topology for this network kind.
+    pub fn topology(self, seed: u64) -> WanTopology {
+        match self {
+            WanKind::PlanetLab => WanTopology::planetlab(seed),
+            WanKind::Lan => WanTopology::lan(seed),
+        }
+    }
+}
+
+/// Information-dissemination strategy between decision points
+/// (paper Section 3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dissemination {
+    /// First approach: exchange both resource-usage info and USLAs.
+    UsageAndUslas,
+    /// Second approach (the paper's experiments): exchange only usage.
+    UsageOnly,
+    /// Third approach: no exchange; each decision point relies on its own
+    /// observations.
+    NoExchange,
+}
+
+/// Exchange topology between decision points.
+///
+/// The paper's experiments connect the points "in a mesh, a simple
+/// configuration that is adopted to simplify analysis"; its related-work
+/// discussion frames the deployment as a two-layer P2P network, and its
+/// future work calls out "different methods of information dissemination".
+/// The non-mesh topologies forward third-party records transitively
+/// (records are de-duplicated by job id, so forwarding loops terminate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncTopology {
+    /// Every decision point floods every peer directly (the paper).
+    FullMesh,
+    /// Each point sends only to its successor; records travel the ring.
+    Ring,
+    /// Decision point 0 acts as a hub: leaves exchange through it.
+    Star,
+    /// Each point sends to `fanout` random peers per round.
+    Gossip {
+        /// Peers contacted per round.
+        fanout: usize,
+    },
+}
+
+/// Decision-point failure injection (paper Section 2.2: "another problem
+/// often encountered in large distributed environments concerns service
+/// reliability and availability [...] We cannot afford for this
+/// infrastructure to fail").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FailureConfig {
+    /// Mean time between failures per decision point (exponential).
+    pub dp_mtbf: SimDuration,
+    /// Mean repair time (exponential).
+    pub dp_repair: SimDuration,
+    /// Consecutive client timeouts before the client re-binds to another
+    /// decision point (`0` disables failover: clients stay with their dead
+    /// point, as a strictly static binding would).
+    pub failover_after: u32,
+}
+
+impl Default for FailureConfig {
+    fn default() -> Self {
+        FailureConfig {
+            dp_mtbf: SimDuration::from_mins(20),
+            dp_repair: SimDuration::from_mins(10),
+            failover_after: 2,
+        }
+    }
+}
+
+/// Dynamic-reconfiguration knobs (paper Section 5 enhancement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynamicConfig {
+    /// How often the third-party monitor samples decision-point load.
+    pub check_interval: SimDuration,
+    /// Backlog (queued requests beyond the worker pool) that counts as
+    /// saturation.
+    pub overload_backlog: usize,
+    /// Consecutive saturated samples before a new decision point is added.
+    pub consecutive_strikes: u32,
+    /// Hard cap on the number of decision points.
+    pub max_dps: usize,
+    /// Consecutive samples with every point idle (no backlog at all)
+    /// before the newest dynamically-added point is retired
+    /// (0 disables scale-down).
+    pub idle_strikes_to_retire: u32,
+    /// Never retire below this many points.
+    pub min_dps: usize,
+}
+
+impl Default for DynamicConfig {
+    fn default() -> Self {
+        DynamicConfig {
+            check_interval: SimDuration::from_secs(30),
+            overload_backlog: 8,
+            consecutive_strikes: 3,
+            max_dps: 16,
+            idle_strikes_to_retire: 0,
+            min_dps: 1,
+        }
+    }
+}
+
+/// Full configuration of a DI-GRUBER deployment/experiment.
+#[derive(Debug, Clone)]
+pub struct DigruberConfig {
+    /// Initial number of decision points.
+    pub n_dps: usize,
+    /// Peer state-exchange interval (the paper's default is 3 minutes).
+    pub sync_interval: SimDuration,
+    /// Client-side query timeout; on expiry the client selects a site at
+    /// random without considering USLAs.
+    pub client_timeout: SimDuration,
+    /// Service stack of the decision points.
+    pub service: ServiceKind,
+    /// Network the deployment runs over.
+    pub wan: WanKind,
+    /// Client-side site-selection policy.
+    pub selector: SelectorKind,
+    /// Dissemination strategy.
+    pub dissemination: Dissemination,
+    /// Exchange topology.
+    pub topology: SyncTopology,
+    /// Whether decision points enforce USLA admission verdicts (the
+    /// paper's experiments use GRUBER "only as a site recommender" —
+    /// `false`).
+    pub enforce_uslas: bool,
+    /// Optional dynamic reconfiguration (Section 5).
+    pub dynamic: Option<DynamicConfig>,
+    /// Optional decision-point failure injection (reliability study).
+    pub failures: Option<FailureConfig>,
+    /// Local scheduling discipline at every site.
+    pub site_discipline: gridemu::SiteDiscipline,
+    /// Per-message WAN loss probability (0.0 = lossless, the default).
+    pub message_loss: f64,
+    /// Optional GRUBER queue-manager limit: max jobs a submission host may
+    /// have in flight (dispatched but unfinished). `None` reproduces the
+    /// paper's experiments, which bypass the queue manager.
+    pub max_jobs_in_flight: Option<u32>,
+    /// Optional custom USLA set (defaults to equal fair shares over the
+    /// workload's VOs and groups, the symmetric configuration of the
+    /// scalability runs).
+    pub uslas: Option<usla::UslaSet>,
+    /// Optional site-monitor refresh interval. When set, decision points
+    /// answer availability queries from periodic ground-truth monitoring
+    /// snapshots (the paper's "GRUBER site monitor [...] can be replaced
+    /// with various other grid monitoring components, such as MonALISA")
+    /// instead of from dispatch tracking. `None` reproduces the paper's
+    /// experiments.
+    pub monitor_refresh: Option<SimDuration>,
+    /// Grid scale factor (10 = the paper's "ten times larger than Grid3").
+    pub grid_factor: usize,
+    /// Experiment RNG seed.
+    pub seed: u64,
+}
+
+impl DigruberConfig {
+    /// The paper's Section 4 setup with `n_dps` decision points on the
+    /// given service stack: 3-minute exchanges, 30 s client timeout,
+    /// PlanetLab WAN, least-used selection, usage-only dissemination,
+    /// Grid3×10.
+    pub fn paper(n_dps: usize, service: ServiceKind, seed: u64) -> Self {
+        DigruberConfig {
+            n_dps,
+            sync_interval: SimDuration::from_mins(3),
+            client_timeout: SimDuration::from_secs(30),
+            service,
+            wan: WanKind::PlanetLab,
+            selector: SelectorKind::LeastUsed,
+            dissemination: Dissemination::UsageOnly,
+            topology: SyncTopology::FullMesh,
+            enforce_uslas: false,
+            dynamic: None,
+            failures: None,
+            site_discipline: gridemu::SiteDiscipline::Fifo,
+            message_loss: 0.0,
+            max_jobs_in_flight: None,
+            uslas: None,
+            monitor_refresh: None,
+            grid_factor: 10,
+            seed,
+        }
+    }
+
+    /// A small, fast configuration for tests and the quickstart example.
+    pub fn small(n_dps: usize, seed: u64) -> Self {
+        DigruberConfig {
+            grid_factor: 1,
+            ..DigruberConfig::paper(n_dps, ServiceKind::Gt3, seed)
+        }
+    }
+
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), gruber_types::GridError> {
+        if self.n_dps == 0 {
+            return Err(gruber_types::GridError::InvalidConfig(
+                "need at least one decision point".into(),
+            ));
+        }
+        if self.sync_interval.is_zero() && self.dissemination != Dissemination::NoExchange {
+            return Err(gruber_types::GridError::InvalidConfig(
+                "zero sync interval".into(),
+            ));
+        }
+        if self.client_timeout.is_zero() {
+            return Err(gruber_types::GridError::InvalidConfig(
+                "zero client timeout".into(),
+            ));
+        }
+        if self.grid_factor == 0 {
+            return Err(gruber_types::GridError::InvalidConfig(
+                "zero grid factor".into(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.message_loss) {
+            return Err(gruber_types::GridError::InvalidConfig(
+                "message loss out of [0,1)".into(),
+            ));
+        }
+        if let SyncTopology::Gossip { fanout } = self.topology {
+            if fanout == 0 {
+                return Err(gruber_types::GridError::InvalidConfig(
+                    "gossip with zero fanout".into(),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid_and_matches_prose() {
+        let c = DigruberConfig::paper(3, ServiceKind::Gt3, 1);
+        c.validate().unwrap();
+        assert_eq!(c.sync_interval, SimDuration::from_mins(3));
+        assert_eq!(c.grid_factor, 10);
+        assert_eq!(c.dissemination, Dissemination::UsageOnly);
+        assert!(!c.enforce_uslas);
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        let mut c = DigruberConfig::paper(0, ServiceKind::Gt3, 1);
+        assert!(c.validate().is_err());
+        c.n_dps = 1;
+        c.client_timeout = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        c.client_timeout = SimDuration::from_secs(30);
+        c.grid_factor = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_sync_allowed_only_without_exchange() {
+        let mut c = DigruberConfig::paper(2, ServiceKind::Gt3, 1);
+        c.sync_interval = SimDuration::ZERO;
+        assert!(c.validate().is_err());
+        c.dissemination = Dissemination::NoExchange;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn service_kinds_map_to_profiles() {
+        assert_eq!(ServiceKind::Gt3.profile().name, "GT3");
+        assert_eq!(ServiceKind::Gt4Prerelease.profile().name, "GT4-prerelease");
+        assert!(ServiceKind::Gt3InstanceCreation
+            .profile()
+            .name
+            .contains("instance"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Dynamic infrastructure evaluation (paper Section 5).
+//!
+//! "Having information from each individual decision point about their
+//! state, a third party observer can decide dynamically what steps should
+//! be taken to reconfigure the scheduling infrastructure, for example by
+//! adding decision points or by rebalancing load among existing decision
+//! points to avoid overloading."
+//!
+//! The paper proposes this but notes "we do not have a DI-GRUBER
+//! implementation for such an approach. We hope to produce such an
+//! implementation in future work." — this module is that implementation:
+//! a monitor samples every decision point's container load; a point whose
+//! backlog exceeds the saturation threshold for several consecutive samples
+//! triggers a *saturation signal*, upon which the observer spins up a new
+//! decision point and rebinds roughly half of the saturated point's
+//! clients to it.
+
+use crate::world::World;
+use desim::Scheduler;
+use gruber_types::DpId;
+
+/// One monitor sample of one decision point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaturationSample {
+    /// The decision point.
+    pub dp: DpId,
+    /// Requests in service.
+    pub in_service: usize,
+    /// Requests queued in the container.
+    pub backlog: usize,
+    /// Whether this sample counts as saturated.
+    pub saturated: bool,
+}
+
+/// Reads a saturation sample off a decision point's station.
+pub fn sample(w: &World, dp: DpId, overload_backlog: usize) -> SaturationSample {
+    let st = &w.dps[dp.index()].station;
+    SaturationSample {
+        dp,
+        in_service: st.in_service(),
+        backlog: st.backlog_len(),
+        saturated: st.backlog_len() > overload_backlog,
+    }
+}
+
+/// The third-party monitor's periodic tick: update strike counters, add
+/// decision points where saturation persists, and (when scale-down is
+/// enabled) retire dynamically-added points after sustained idleness.
+pub fn monitor_tick(w: &mut World, s: &mut Scheduler<World>) {
+    let Some(cfg) = w.cfg.dynamic else {
+        return;
+    };
+    let now = s.now();
+    let mut all_idle = true;
+    for i in 0..w.dps.len() {
+        let smp = sample(w, DpId(i as u32), cfg.overload_backlog);
+        if w.dps[i].up && w.dps[i].station.load() > 0 {
+            all_idle = false;
+        }
+        if smp.saturated {
+            w.dp_strikes[i] += 1;
+        } else {
+            w.dp_strikes[i] = 0;
+        }
+        if w.dp_strikes[i] >= cfg.consecutive_strikes && w.dps.len() < cfg.max_dps {
+            w.add_decision_point(now, DpId(i as u32));
+            w.dp_strikes[i] = 0;
+            w.idle_strikes = 0;
+        }
+    }
+    if cfg.idle_strikes_to_retire > 0 {
+        if all_idle {
+            w.idle_strikes += 1;
+        } else {
+            w.idle_strikes = 0;
+        }
+        let live = w.dps.iter().filter(|d| d.up).count();
+        if w.idle_strikes >= cfg.idle_strikes_to_retire && live > cfg.min_dps.max(w.cfg.n_dps)
+        {
+            if let Some(retired) = w.retire_decision_point() {
+                w.retire_log.push((now, retired));
+                w.idle_strikes = 0;
+            }
+        }
+    }
+    if now < w.end {
+        s.schedule_in(cfg.check_interval, monitor_tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DigruberConfig, DynamicConfig};
+    use desim::Simulation;
+    use gruber_types::SimTime;
+    use workload::WorkloadSpec;
+
+    fn world_with_dynamic() -> World {
+        let mut cfg = DigruberConfig::small(1, 11);
+        cfg.dynamic = Some(DynamicConfig {
+            overload_backlog: 2,
+            consecutive_strikes: 2,
+            ..DynamicConfig::default()
+        });
+        World::new(cfg, WorkloadSpec::small()).unwrap()
+    }
+
+    fn saturate(w: &mut World, dp: usize, n: u64) {
+        // Fill the workers and pile a backlog.
+        for t in 0..n {
+            w.dps[dp].station.arrive(t, 1.0, &mut w.svc_rng);
+        }
+    }
+
+    #[test]
+    fn sample_reports_saturation() {
+        let mut w = world_with_dynamic();
+        saturate(&mut w, 0, 10);
+        let smp = sample(&w, DpId(0), 2);
+        assert!(smp.saturated);
+        assert_eq!(smp.in_service, 4);
+        assert_eq!(smp.backlog, 6);
+        // A generous threshold is not saturated.
+        assert!(!sample(&w, DpId(0), 100).saturated);
+    }
+
+    #[test]
+    fn persistent_saturation_adds_a_decision_point() {
+        let mut sim = Simulation::new(world_with_dynamic());
+        saturate(sim.world_mut(), 0, 10);
+        sim.scheduler().schedule_at(SimTime::ZERO, monitor_tick);
+        // Two strikes 30 s apart are needed.
+        sim.run_until(SimTime::from_secs(65));
+        let w = sim.world();
+        assert_eq!(w.dps.len(), 2, "saturated DP did not trigger provisioning");
+        assert_eq!(w.reconfig_log.len(), 1);
+    }
+
+    #[test]
+    fn transient_saturation_does_not_trigger() {
+        let mut sim = Simulation::new(world_with_dynamic());
+        saturate(sim.world_mut(), 0, 10);
+        // One tick with saturation...
+        sim.scheduler().schedule_at(SimTime::ZERO, monitor_tick);
+        sim.run_until(SimTime::from_secs(1));
+        // ...then the backlog drains before the second tick.
+        {
+            let w = sim.world_mut();
+            let mut rng = desim::DetRng::new(0, 0);
+            while w.dps[0].station.load() > 0 {
+                while w.dps[0].station.finish(&mut rng).is_some() {}
+            }
+        }
+        sim.run_until(SimTime::from_secs(120));
+        assert_eq!(sim.world().dps.len(), 1, "transient spike provisioned a DP");
+    }
+
+    #[test]
+    fn monitor_respects_max_dps() {
+        let mut cfg = DigruberConfig::small(1, 11);
+        cfg.dynamic = Some(DynamicConfig {
+            overload_backlog: 0,
+            consecutive_strikes: 1,
+            max_dps: 3,
+            ..DynamicConfig::default()
+        });
+        let mut sim = Simulation::new(World::new(cfg, WorkloadSpec::small()).unwrap());
+        saturate(sim.world_mut(), 0, 50);
+        sim.scheduler().schedule_at(SimTime::ZERO, monitor_tick);
+        sim.run_until(SimTime::from_secs(600));
+        assert_eq!(sim.world().dps.len(), 3, "max_dps not honoured");
+    }
+
+    #[test]
+    fn sustained_idleness_retires_added_points_only() {
+        let mut cfg = DigruberConfig::small(1, 11);
+        cfg.dynamic = Some(DynamicConfig {
+            overload_backlog: 2,
+            consecutive_strikes: 2,
+            idle_strikes_to_retire: 3,
+            ..DynamicConfig::default()
+        });
+        let mut sim = Simulation::new(World::new(cfg, WorkloadSpec::small()).unwrap());
+        saturate(sim.world_mut(), 0, 10);
+        sim.scheduler().schedule_at(SimTime::ZERO, monitor_tick);
+        // Saturation → one point added.
+        sim.run_until(SimTime::from_secs(65));
+        assert_eq!(sim.world().dps.len(), 2);
+        // Drain everything; sustained idleness retires the added point.
+        {
+            let w = sim.world_mut();
+            let mut rng = desim::DetRng::new(0, 0);
+            while w.dps[0].station.load() > 0 {
+                while w.dps[0].station.finish(&mut rng).is_some() {}
+            }
+        }
+        sim.run_until(SimTime::from_secs(600));
+        let w = sim.world();
+        assert_eq!(w.retire_log.len(), 1, "idle added point never retired");
+        assert!(!w.dps[1].up, "retired point still up");
+        assert!(w.dps[0].up, "initial point must never be retired");
+        let live = w.dps.iter().filter(|d| d.up).count();
+        assert_eq!(live, 1);
+        // Clients all point at live decision points.
+        assert!(w.clients.iter().all(|c| w.dps[c.dp.index()].up));
+    }
+
+    #[test]
+    fn no_dynamic_config_is_inert() {
+        let w = World::new(DigruberConfig::small(1, 3), WorkloadSpec::small()).unwrap();
+        let mut sim = Simulation::new(w);
+        sim.scheduler().schedule_at(SimTime::ZERO, monitor_tick);
+        sim.run_until(SimTime::from_secs(600));
+        assert_eq!(sim.world().dps.len(), 1);
+    }
+}

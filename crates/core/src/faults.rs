@@ -1,0 +1,181 @@
+//! Decision-point failure injection and client failover.
+//!
+//! The paper's problem statement (Section 2.2) singles out reliability:
+//! "USLA service providers are subject to high load [...] We cannot afford
+//! for this infrastructure to fail." DI-GRUBER's answer is redundancy —
+//! multiple decision points — but the paper never *measures* what happens
+//! when a point dies. This module does: decision points crash and recover
+//! on exponential clocks (losing their in-flight container state), and
+//! clients optionally re-bind to another point after a configurable number
+//! of consecutive timeouts.
+
+use crate::world::World;
+use desim::dist::Dist;
+use desim::Scheduler;
+use gruber_types::{ClientId, SimDuration};
+
+fn exp_delay(mean: SimDuration, w: &mut World) -> SimDuration {
+    let d = Dist::Exponential {
+        mean: mean.as_secs_f64(),
+    };
+    // At least one second so failure/repair events cannot pile up at t=0.
+    SimDuration::from_secs_f64(d.sample(&mut w.misc_rng).max(1.0))
+}
+
+/// Schedules the first failure of every initial decision point.
+pub fn seed_failures(w: &mut World, s: &mut Scheduler<World>) {
+    let Some(fc) = w.cfg.failures else {
+        return;
+    };
+    for i in 0..w.dps.len() {
+        let delay = exp_delay(fc.dp_mtbf, w);
+        s.schedule_in(delay, move |w, s| dp_fail(w, s, i));
+    }
+}
+
+/// A decision point crashes: its container loses all in-flight requests.
+pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
+    let now = s.now();
+    if now >= w.end || dp_idx >= w.dps.len() || !w.dps[dp_idx].up {
+        return;
+    }
+    w.dps[dp_idx].up = false;
+    w.dps[dp_idx].station.crash();
+    w.dp_failures += 1;
+    let fc = w.cfg.failures.expect("failures configured");
+    let repair = exp_delay(fc.dp_repair, w);
+    s.schedule_in(repair, move |w, s| dp_repair(w, s, dp_idx));
+}
+
+/// A decision point comes back (fresh container, retained engine state —
+/// the engine's view persists like a service restart reading its journal;
+/// losing it too would only deepen the accuracy dip).
+///
+/// When failover is enabled, the third-party observer also *rebalances on
+/// repair*: roughly `1/n` of all clients re-bind to the recovered point,
+/// undoing the pile-up failover caused on the survivors (without this,
+/// a repaired point sits idle while the rest stay saturated).
+pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
+    let now = s.now();
+    if dp_idx >= w.dps.len() || w.dps[dp_idx].up {
+        return;
+    }
+    w.dps[dp_idx].up = true;
+    let fc = w.cfg.failures.expect("failures configured");
+    if fc.failover_after > 0 {
+        let n = w.dps.len();
+        let share = 1.0 / n as f64;
+        for c in &mut w.clients {
+            if c.dp.index() != dp_idx && c.fallback_rng.chance(share) {
+                c.dp = gruber_types::DpId(dp_idx as u32);
+                c.consecutive_timeouts = 0;
+                w.failovers += 1;
+            }
+        }
+    }
+    if now < w.end {
+        let next = exp_delay(fc.dp_mtbf, w);
+        s.schedule_in(next, move |w, s| dp_fail(w, s, dp_idx));
+    }
+}
+
+/// Called on every client timeout: counts consecutive timeouts and
+/// re-binds the client to a random *other* decision point once the
+/// failover threshold is reached.
+pub fn note_client_timeout(w: &mut World, client: ClientId) {
+    let c = &mut w.clients[client.index()];
+    c.consecutive_timeouts += 1;
+    let Some(fc) = w.cfg.failures else {
+        return;
+    };
+    if fc.failover_after == 0
+        || c.consecutive_timeouts < fc.failover_after
+        || w.dps.len() < 2
+    {
+        return;
+    }
+    let old = c.dp;
+    let n = w.dps.len();
+    // Pick a different decision point, preferring ones currently up.
+    let candidates: Vec<usize> = (0..n)
+        .filter(|&j| j != old.index() && w.dps[j].up)
+        .collect();
+    let c = &mut w.clients[client.index()];
+    let pick = if candidates.is_empty() {
+        // Everything else looks down too; rotate blindly.
+        (old.index() + 1 + c.fallback_rng.index(n - 1)) % n
+    } else {
+        candidates[c.fallback_rng.index(candidates.len())]
+    };
+    c.dp = gruber_types::DpId(pick as u32);
+    c.consecutive_timeouts = 0;
+    w.failovers += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DigruberConfig, FailureConfig};
+    use crate::{run_experiment, ServiceKind};
+    use workload::WorkloadSpec;
+
+    fn faulty_cfg(failover_after: u32, seed: u64) -> DigruberConfig {
+        let mut cfg = DigruberConfig::paper(3, ServiceKind::Gt3, seed);
+        cfg.grid_factor = 1;
+        cfg.failures = Some(FailureConfig {
+            dp_mtbf: SimDuration::from_mins(8),
+            dp_repair: SimDuration::from_mins(6),
+            failover_after,
+        });
+        cfg
+    }
+
+    fn wl() -> WorkloadSpec {
+        WorkloadSpec {
+            n_clients: 30,
+            duration: SimDuration::from_mins(30),
+            ..WorkloadSpec::paper_default()
+        }
+    }
+
+    #[test]
+    fn failures_are_injected_and_counted() {
+        let out = run_experiment(faulty_cfg(2, 5), wl(), "faults").unwrap();
+        assert!(out.dp_failures > 0, "no failures over 30 min at 8-min MTBF");
+        // The run still makes progress.
+        assert!(out.report.answered > 100);
+    }
+
+    #[test]
+    fn failover_improves_handled_fraction() {
+        let with = run_experiment(faulty_cfg(2, 5), wl(), "failover on").unwrap();
+        let without = run_experiment(faulty_cfg(0, 5), wl(), "failover off").unwrap();
+        assert!(with.failovers > 0, "failover never triggered");
+        assert_eq!(without.failovers, 0);
+        assert!(
+            with.report.handled_fraction() > without.report.handled_fraction(),
+            "failover {:.3} !> static {:.3}",
+            with.report.handled_fraction(),
+            without.report.handled_fraction()
+        );
+    }
+
+    #[test]
+    fn no_failure_config_is_inert() {
+        let mut cfg = DigruberConfig::paper(2, ServiceKind::Gt3, 5);
+        cfg.grid_factor = 1;
+        let out = run_experiment(cfg, wl(), "clean").unwrap();
+        assert_eq!(out.dp_failures, 0);
+        assert_eq!(out.failovers, 0);
+    }
+
+    #[test]
+    fn single_dp_with_failures_survives_without_failover_target() {
+        let mut cfg = faulty_cfg(2, 9);
+        cfg.n_dps = 1;
+        let out = run_experiment(cfg, wl(), "lonely").unwrap();
+        // Nowhere to fail over to; the run must still complete.
+        assert_eq!(out.failovers, 0);
+        assert!(out.dp_failures > 0);
+    }
+}

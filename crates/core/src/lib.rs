@@ -1,0 +1,58 @@
+//! DI-GRUBER: the distributed grid USLA resource broker.
+//!
+//! This crate is the paper's primary contribution: a two-layer scheduling
+//! infrastructure in which multiple GRUBER decision points coexist, each
+//! serving a statically-bound subset of submission hosts, loosely
+//! synchronized by periodic flooding of recent job-dispatch information
+//! over a full mesh.
+//!
+//! * [`config`] — experiment/deployment configuration (number of decision
+//!   points, exchange interval, client timeout, GT3 vs GT4 service
+//!   profile, WAN vs LAN, dissemination strategy, dynamic
+//!   reconfiguration);
+//! * [`world`] — the discrete-event world wiring clients, decision points,
+//!   the simulated WAN and the emulated grid together;
+//! * [`events`] — the event handlers implementing the protocol: query →
+//!   service queue → availability response → client-side site selection →
+//!   dispatch + inform, with client-side timeouts falling back to random
+//!   USLA-blind selection;
+//! * [`run`] — one-call experiment execution producing the paper's
+//!   figures/tables inputs ([`run::ExperimentOutput`]);
+//! * [`dynamic`] — the Section 5 enhancement: saturation detection and
+//!   on-the-fly decision-point provisioning with client rebalancing;
+//! * [`live`] — the same decision-point protocol deployed on real OS
+//!   threads with crossbeam channels (transport-agnosticism proof; used by
+//!   integration tests and one example).
+
+//! # Example
+//!
+//! ```
+//! use digruber::{config::DigruberConfig, run_experiment};
+//! use workload::WorkloadSpec;
+//!
+//! // Three decision points over a Grid3-sized emulated grid, ten
+//! // simulated minutes; everything is deterministic per seed.
+//! let out = run_experiment(
+//!     DigruberConfig::small(3, 42),
+//!     WorkloadSpec::small(),
+//!     "doc example",
+//! )?;
+//! assert!(out.report.issued > 0);
+//! assert!(out.report.handled_fraction() > 0.5);
+//! # Ok::<(), gruber_types::GridError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod dynamic;
+pub mod events;
+pub mod faults;
+pub mod live;
+pub mod run;
+pub mod world;
+
+pub use config::{DigruberConfig, Dissemination, ServiceKind, SyncTopology, WanKind};
+pub use run::{run_experiment, ExperimentOutput};
+pub use world::World;

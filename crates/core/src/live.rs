@@ -1,0 +1,496 @@
+//! Live mode: the decision-point protocol on real OS threads.
+//!
+//! The discrete-event simulator proves the *scaling* claims; this module
+//! proves the protocol logic is transport-agnostic by running each decision
+//! point on its own thread, exchanging the exact wire payloads
+//! (`simnet::codec`) over crossbeam channels. Queries block the caller with
+//! a real timeout (`recv_timeout`), mirroring the paper's client behaviour.
+//!
+//! This is deliberately a small deployment harness, not a second
+//! simulator: no grid emulation, no workload loop — integration tests and
+//! the `live_cluster` example drive it directly.
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use gruber::{DispatchRecord, GruberEngine};
+use gruber_types::{DpId, SimTime, SiteSpec};
+use parking_lot::Mutex;
+use simnet::codec::{decode_deltas, encode_deltas, DispatchDelta};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use usla::UslaSet;
+
+/// Messages a decision-point thread consumes.
+enum LiveMsg {
+    /// Availability query; reply with believed free CPUs per site.
+    Query {
+        reply: Sender<Vec<u32>>,
+    },
+    /// A client informs the point of its dispatch decision.
+    Inform(DispatchRecord),
+    /// Flood the pending dispatch log to all peers (sent by the ticker).
+    SyncTick,
+    /// Encoded peer dispatch records.
+    PeerRecords(bytes::Bytes),
+    /// Terminate the thread.
+    Shutdown,
+}
+
+/// Statistics a decision-point thread reports at shutdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveDpStats {
+    /// The decision point.
+    pub dp: DpId,
+    /// Queries served.
+    pub queries: u64,
+    /// Informs folded in.
+    pub informs: u64,
+    /// Peer records merged.
+    pub peer_records: u64,
+    /// Sync floods sent.
+    pub floods: u64,
+}
+
+struct DpThread {
+    sender: Sender<LiveMsg>,
+    handle: JoinHandle<LiveDpStats>,
+}
+
+/// A running cluster of decision-point threads plus the sync ticker.
+pub struct LiveCluster {
+    dps: Vec<DpThread>,
+    ticker: Option<JoinHandle<()>>,
+    stop: Arc<AtomicBool>,
+    epoch: Instant,
+    queries_sent: AtomicU64,
+}
+
+impl LiveCluster {
+    /// Spawns `n_dps` decision points over the given sites/USLAs, flooding
+    /// every `sync_interval`.
+    pub fn start(
+        n_dps: usize,
+        sites: Vec<SiteSpec>,
+        uslas: &UslaSet,
+        sync_interval: Duration,
+    ) -> Self {
+        assert!(n_dps > 0);
+        let stop = Arc::new(AtomicBool::new(false));
+        let epoch = Instant::now();
+
+        // Create all channels first so every thread can hold every peer's
+        // sender.
+        let channels: Vec<(Sender<LiveMsg>, Receiver<LiveMsg>)> =
+            (0..n_dps).map(|_| unbounded()).collect();
+        let senders: Vec<Sender<LiveMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
+
+        let dps = channels
+            .into_iter()
+            .enumerate()
+            .map(|(i, (sender, receiver))| {
+                let peers: Vec<Sender<LiveMsg>> = senders
+                    .iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, s)| s.clone())
+                    .collect();
+                let engine = GruberEngine::new(&sites, uslas);
+                let handle = std::thread::Builder::new()
+                    .name(format!("dp-{i}"))
+                    .spawn(move || dp_main(DpId(i as u32), engine, receiver, peers, epoch))
+                    .expect("spawn dp thread");
+                DpThread { sender, handle }
+            })
+            .collect::<Vec<_>>();
+
+        // The sync ticker stands in for each container's periodic task.
+        let ticker = {
+            let stop = Arc::clone(&stop);
+            let senders = senders.clone();
+            std::thread::Builder::new()
+                .name("sync-ticker".into())
+                .spawn(move || {
+                    let step = Duration::from_millis(10).min(sync_interval);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(step);
+                        elapsed += step;
+                        if elapsed >= sync_interval {
+                            elapsed = Duration::ZERO;
+                            for s in &senders {
+                                let _ = s.send(LiveMsg::SyncTick);
+                            }
+                        }
+                    }
+                })
+                .expect("spawn ticker")
+        };
+
+        LiveCluster {
+            dps,
+            ticker: Some(ticker),
+            stop,
+            epoch,
+            queries_sent: AtomicU64::new(0),
+        }
+    }
+
+    /// Milliseconds since cluster start, as the shared simulated clock.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    /// Number of decision points.
+    pub fn n_dps(&self) -> usize {
+        self.dps.len()
+    }
+
+    /// Queries issued through this handle.
+    pub fn queries_sent(&self) -> u64 {
+        self.queries_sent.load(Ordering::Relaxed)
+    }
+
+    /// Blocking availability query with a client-side timeout. `None`
+    /// means the timeout fired (the caller should fall back to a random
+    /// site, like the paper's clients).
+    pub fn query(&self, dp: DpId, timeout: Duration) -> Option<Vec<u32>> {
+        self.queries_sent.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = bounded(1);
+        self.dps[dp.index()]
+            .sender
+            .send(LiveMsg::Query { reply: reply_tx })
+            .ok()?;
+        reply_rx.recv_timeout(timeout).ok()
+    }
+
+    /// Informs a decision point of a dispatch decision.
+    pub fn inform(&self, dp: DpId, record: DispatchRecord) {
+        let _ = self.dps[dp.index()].sender.send(LiveMsg::Inform(record));
+    }
+
+    /// Forces an immediate sync round (useful in tests instead of waiting
+    /// for the ticker).
+    pub fn force_sync(&self) {
+        for dp in &self.dps {
+            let _ = dp.sender.send(LiveMsg::SyncTick);
+        }
+    }
+
+    /// Stops every thread and returns their statistics.
+    pub fn shutdown(mut self) -> Vec<LiveDpStats> {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.ticker.take() {
+            let _ = t.join();
+        }
+        let mut stats = Vec::new();
+        for dp in self.dps.drain(..) {
+            let _ = dp.sender.send(LiveMsg::Shutdown);
+            if let Ok(s) = dp.handle.join() {
+                stats.push(s);
+            }
+        }
+        stats
+    }
+}
+
+/// Statistics from [`drive_workload`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LiveRunStats {
+    /// Jobs placed via decision-point answers.
+    pub placed_via_broker: u64,
+    /// Jobs placed randomly after a client-side timeout.
+    pub placed_randomly: u64,
+    /// Placements a site rejected.
+    pub rejected: u64,
+}
+
+/// Drives a closed-loop workload against a live cluster from
+/// `n_threads` concurrent client threads, dispatching every job into the
+/// shared ground-truth grid — the whole brokering stack (views, wire
+/// codec, selectors, grid bookkeeping) exercised under real parallelism.
+///
+/// Each thread behaves like a paper client: query its bound decision
+/// point (static binding by thread id), select a site over the response,
+/// dispatch in ground truth, inform the point. On timeout it places the
+/// job at random.
+pub fn drive_workload(
+    cluster: &LiveCluster,
+    grid: &Mutex<gridemu::Grid>,
+    n_threads: u32,
+    jobs_per_thread: u32,
+    timeout: Duration,
+    seed: u64,
+) -> LiveRunStats {
+    use gruber::{LeastUsedSelector, SiteSelector};
+    use gruber_types::{ClientId, GroupId, JobId, JobSpec, SimDuration, UserId, VoId};
+
+    let totals = Mutex::new(LiveRunStats::default());
+    std::thread::scope(|scope| {
+        for t in 0..n_threads {
+            let totals = &totals;
+            scope.spawn(move || {
+                let dp = DpId(t % cluster.n_dps() as u32);
+                let mut selector = LeastUsedSelector::new(seed, u64::from(t));
+                let mut rng = desim::DetRng::new(seed, 0x11FE ^ u64::from(t));
+                let mut local = LiveRunStats::default();
+                for k in 0..jobs_per_thread {
+                    let now = cluster.now();
+                    let job = JobSpec {
+                        id: JobId(t * jobs_per_thread + k),
+                        vo: VoId(t % 2),
+                        group: GroupId(0),
+                        user: UserId(t),
+                        client: ClientId(t),
+                        cpus: 1,
+                        storage_mb: 0,
+                        runtime: SimDuration::from_secs(3600),
+                        submitted_at: now,
+                    };
+                    let est_finish = now + job.runtime;
+                    let (site, handled) = match cluster.query(dp, timeout) {
+                        Some(free) => {
+                            let site = selector
+                                .select(&free, &job, now)
+                                .expect("non-empty grid");
+                            (site, true)
+                        }
+                        None => {
+                            let n = grid.lock().n_sites();
+                            (gruber_types::SiteId::from_index(rng.index(n)), false)
+                        }
+                    };
+                    let dispatched = {
+                        let mut g = grid.lock();
+                        g.submit(job.clone()).expect("unique ids");
+                        g.dispatch(job.id, site, now, handled).is_ok()
+                    };
+                    if !dispatched {
+                        local.rejected += 1;
+                        continue;
+                    }
+                    if handled {
+                        local.placed_via_broker += 1;
+                        cluster.inform(
+                            dp,
+                            DispatchRecord {
+                                job: job.id,
+                                site,
+                                vo: job.vo,
+                                group: job.group,
+                                cpus: job.cpus,
+                                dispatched_at: now,
+                                est_finish,
+                            },
+                        );
+                    } else {
+                        local.placed_randomly += 1;
+                    }
+                }
+                let mut acc = totals.lock();
+                acc.placed_via_broker += local.placed_via_broker;
+                acc.placed_randomly += local.placed_randomly;
+                acc.rejected += local.rejected;
+            });
+        }
+    });
+    totals.into_inner()
+}
+
+fn dp_main(
+    id: DpId,
+    engine: GruberEngine,
+    receiver: Receiver<LiveMsg>,
+    peers: Vec<Sender<LiveMsg>>,
+    epoch: Instant,
+) -> LiveDpStats {
+    // Mutex is unnecessary for single-thread access but keeps the engine
+    // shareable if a container ever serves queries from a pool; parking_lot
+    // keeps it cheap.
+    let engine = Mutex::new(engine);
+    let mut stats = LiveDpStats {
+        dp: id,
+        queries: 0,
+        informs: 0,
+        peer_records: 0,
+        floods: 0,
+    };
+    let now = || SimTime(epoch.elapsed().as_millis() as u64);
+    for msg in receiver.iter() {
+        match msg {
+            LiveMsg::Query { reply } => {
+                stats.queries += 1;
+                let free = engine.lock().availability(now());
+                let _ = reply.send(free);
+            }
+            LiveMsg::Inform(rec) => {
+                stats.informs += 1;
+                engine.lock().record_dispatch(rec, now());
+            }
+            LiveMsg::SyncTick => {
+                let log = engine.lock().drain_log();
+                if log.is_empty() {
+                    continue;
+                }
+                stats.floods += 1;
+                let wire: Vec<DispatchDelta> = log
+                    .iter()
+                    .map(|r| DispatchDelta {
+                        job: r.job,
+                        site: r.site,
+                        vo: r.vo,
+                        group: r.group,
+                        cpus: r.cpus,
+                        dispatched_at: r.dispatched_at,
+                        est_finish: r.est_finish,
+                    })
+                    .collect();
+                let bytes = encode_deltas(&wire);
+                for p in &peers {
+                    let _ = p.send(LiveMsg::PeerRecords(bytes.clone()));
+                }
+            }
+            LiveMsg::PeerRecords(bytes) => {
+                if let Ok(wire) = decode_deltas(bytes) {
+                    let records: Vec<DispatchRecord> = wire
+                        .iter()
+                        .map(|d| DispatchRecord {
+                            job: d.job,
+                            site: d.site,
+                            vo: d.vo,
+                            group: d.group,
+                            cpus: d.cpus,
+                            dispatched_at: d.dispatched_at,
+                            est_finish: d.est_finish,
+                        })
+                        .collect();
+                    stats.peer_records +=
+                        engine.lock().merge_peer_records(&records, now()) as u64;
+                }
+            }
+            LiveMsg::Shutdown => break,
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::{GroupId, JobId, SiteId, VoId};
+    use workload::uslas::equal_shares;
+
+    fn sites() -> Vec<SiteSpec> {
+        (0..4)
+            .map(|i| SiteSpec::single_cluster(SiteId(i), 16))
+            .collect()
+    }
+
+    fn record(job: u32, site: u32, cpus: u32, now: SimTime) -> DispatchRecord {
+        DispatchRecord {
+            job: JobId(job),
+            site: SiteId(site),
+            vo: VoId(0),
+            group: GroupId(0),
+            cpus,
+            dispatched_at: now,
+            est_finish: now + gruber_types::SimDuration::from_secs(3600),
+        }
+    }
+
+    #[test]
+    fn query_returns_static_capacities_when_idle() {
+        let cluster = LiveCluster::start(
+            2,
+            sites(),
+            &equal_shares(2, 2).unwrap(),
+            Duration::from_secs(3600),
+        );
+        let free = cluster
+            .query(DpId(0), Duration::from_secs(5))
+            .expect("live query timed out");
+        assert_eq!(free, vec![16, 16, 16, 16]);
+        let stats = cluster.shutdown();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].queries, 1);
+    }
+
+    #[test]
+    fn inform_updates_only_the_informed_dp_until_sync() {
+        let cluster = LiveCluster::start(
+            2,
+            sites(),
+            &equal_shares(2, 2).unwrap(),
+            Duration::from_secs(3600), // ticker effectively off
+        );
+        cluster.inform(DpId(0), record(1, 0, 8, cluster.now()));
+        // Wait until DP 0 sees it.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let free = cluster.query(DpId(0), Duration::from_secs(5)).unwrap();
+            if free[0] == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "inform never applied");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // DP 1 still believes the site is idle.
+        let free1 = cluster.query(DpId(1), Duration::from_secs(5)).unwrap();
+        assert_eq!(free1[0], 16);
+
+        // After a forced sync DP 1 converges.
+        cluster.force_sync();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let free1 = cluster.query(DpId(1), Duration::from_secs(5)).unwrap();
+            if free1[0] == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "sync never converged");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let stats = cluster.shutdown();
+        let dp0 = &stats[0];
+        assert_eq!(dp0.informs, 1);
+        assert!(dp0.floods >= 1);
+        assert_eq!(stats[1].peer_records, 1);
+    }
+
+    #[test]
+    fn periodic_ticker_syncs_without_force() {
+        let cluster = LiveCluster::start(
+            3,
+            sites(),
+            &equal_shares(2, 2).unwrap(),
+            Duration::from_millis(20),
+        );
+        cluster.inform(DpId(2), record(9, 3, 4, cluster.now()));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let f0 = cluster.query(DpId(0), Duration::from_secs(5)).unwrap();
+            let f1 = cluster.query(DpId(1), Duration::from_secs(5)).unwrap();
+            if f0[3] == 12 && f1[3] == 12 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "ticker sync never converged");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_clean_and_counts_queries() {
+        let cluster = LiveCluster::start(
+            1,
+            sites(),
+            &equal_shares(2, 2).unwrap(),
+            Duration::from_millis(50),
+        );
+        for _ in 0..5 {
+            cluster.query(DpId(0), Duration::from_secs(5)).unwrap();
+        }
+        assert_eq!(cluster.queries_sent(), 5);
+        let stats = cluster.shutdown();
+        assert_eq!(stats[0].queries, 5);
+    }
+}

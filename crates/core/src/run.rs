@@ -1,0 +1,256 @@
+//! One-call experiment execution.
+
+use crate::config::DigruberConfig;
+use crate::events;
+use crate::world::World;
+use desim::Simulation;
+use diperf::{DiPerfReport, RequestTrace};
+use gruber_metrics::jobs::{AvailableCapacity, JobObservation, TableRows};
+use gruber_metrics::JobMetricsAccumulator;
+use gruber_types::{DpId, GridResult, JobRecord, JobState, SimDuration, SimTime};
+use workload::WorkloadSpec;
+
+/// Everything a figure/table needs from one experiment run.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutput {
+    /// Human-readable label.
+    pub label: String,
+    /// DiPerF summary (response stats, peaks, handled fraction).
+    pub report: DiPerfReport,
+    /// Per-minute `(bin start, load, mean response s, throughput q/s)`
+    /// rows — the three curves of each figure.
+    pub figure_rows: Vec<(SimTime, f64, f64, f64)>,
+    /// The Table 1/2 block (handled / not handled / all).
+    pub table: TableRows,
+    /// Mean scheduling accuracy over handled placements.
+    pub mean_handled_accuracy: Option<f64>,
+    /// Raw request traces (GRUB-SIM input).
+    pub traces: Vec<RequestTrace>,
+    /// Decision points at the end (differs from the start in dynamic mode).
+    pub final_dps: usize,
+    /// Dynamic-reconfiguration events.
+    pub reconfig_log: Vec<(SimTime, DpId)>,
+    /// Dynamic scale-down events.
+    pub retire_log: Vec<(SimTime, DpId)>,
+    /// Jobs that entered the grid.
+    pub jobs_dispatched: usize,
+    /// Requests denied by USLA enforcement.
+    pub denied_requests: u64,
+    /// Decision-point crashes injected (failure study).
+    pub dp_failures: u64,
+    /// Client failover re-bindings performed.
+    pub failovers: u64,
+    /// CPU time consumed per VO as a fraction of all consumed CPU time
+    /// (indexed by VO id) — the fairness view of the run.
+    pub vo_cpu_share: Vec<f64>,
+}
+
+/// CPU time a job consumed inside `[0, end)`.
+fn consumed_within(rec: &JobRecord, end: SimTime) -> SimDuration {
+    let Some(start) = rec.started_at else {
+        return SimDuration::ZERO;
+    };
+    let until = rec.completed_at.unwrap_or(end).min(end);
+    until.since(start) * u64::from(rec.spec.cpus)
+}
+
+/// Runs one experiment to completion and aggregates its outputs.
+pub fn run_experiment(
+    cfg: DigruberConfig,
+    workload: WorkloadSpec,
+    label: &str,
+) -> GridResult<ExperimentOutput> {
+    let world = World::new(cfg, workload)?;
+    let mut sim = Simulation::new(world);
+
+    // Seed the initial events: tester ramp, sync rounds, load sampling,
+    // and (when configured) the dynamic monitor.
+    let schedule = sim.world().schedule;
+    for c in 0..schedule.n_clients {
+        let client = gruber_types::ClientId(c);
+        let at = schedule.start_of(client);
+        sim.scheduler()
+            .schedule_at(at, move |w: &mut World, s| events::client_start(w, s, client));
+    }
+    let sync_interval = sim.world().cfg.sync_interval;
+    if sim.world().exchanges_state() {
+        sim.scheduler()
+            .schedule_at(SimTime(sync_interval.as_millis()), events::sync_round);
+    }
+    sim.scheduler().schedule_at(SimTime::ZERO, events::load_sample);
+    if sim.world().cfg.failures.is_some() {
+        sim.scheduler().schedule_at(SimTime::ZERO, crate::faults::seed_failures);
+    }
+    if sim.world().cfg.monitor_refresh.is_some() {
+        sim.scheduler()
+            .schedule_at(SimTime::ZERO, events::monitor_refresh);
+    }
+    if sim.world().cfg.dynamic.is_some() {
+        let tick = sim.world().cfg.dynamic.expect("checked").check_interval;
+        sim.scheduler()
+            .schedule_at(SimTime(tick.as_millis()), crate::dynamic::monitor_tick);
+    }
+
+    let end = sim.world().end;
+    sim.run_until(end);
+    let w = sim.into_world();
+    Ok(finalize(w, label))
+}
+
+fn finalize(mut w: World, label: &str) -> ExperimentOutput {
+    let end = w.end;
+    // Requests whose clients timed out and that the service never finished
+    // within the run are pure timeouts. Sorted by tag: HashMap iteration
+    // order must not leak into the (deterministic) outputs.
+    let mut unfinished: Vec<(u64, RequestTrace)> = w
+        .requests
+        .iter()
+        .filter(|(_, r)| r.timed_out && !r.responded)
+        .map(|(&tag, r)| (tag, RequestTrace::timed_out(r.client, r.dp, r.sent_at)))
+        .collect();
+    unfinished.sort_unstable_by_key(|&(tag, _)| tag);
+    for (_, t) in unfinished {
+        w.collector.record(t);
+    }
+    let mut acc = JobMetricsAccumulator::new();
+    let mut jobs_dispatched = 0usize;
+    let mut vo_consumed = vec![0.0f64; w.workload.n_vos as usize];
+    // Sort by job id so the floating-point reductions are order-stable.
+    let mut records: Vec<&JobRecord> = w.grid.records().collect();
+    records.sort_unstable_by_key(|r| r.spec.id);
+    for rec in records {
+        if rec.dispatched_at.is_none() {
+            continue;
+        }
+        jobs_dispatched += 1;
+        vo_consumed[rec.spec.vo.index()] += consumed_within(rec, end).as_secs_f64();
+        debug_assert_ne!(rec.state, JobState::AtSubmissionHost);
+        acc.record(JobObservation {
+            handled_by_gruber: rec.handled_by_gruber,
+            queue_time: rec.queue_time(),
+            consumed_cpu_time: consumed_within(rec, end),
+            accuracy: if rec.handled_by_gruber {
+                w.accuracy_by_job.get(&rec.spec.id).copied()
+            } else {
+                None
+            },
+        });
+    }
+    let capacity = AvailableCapacity::until(w.grid.total_cpus(), end);
+    let table = acc.table_rows(capacity);
+    let report = w.collector.report(label, end);
+    let figure_rows = w
+        .collector
+        .figure_rows(SimDuration::MINUTE, end);
+    ExperimentOutput {
+        label: label.to_string(),
+        report,
+        figure_rows,
+        table,
+        mean_handled_accuracy: table.handled.accuracy,
+        traces: w.collector.traces().to_vec(),
+        final_dps: w.dps.len(),
+        reconfig_log: w.reconfig_log,
+        retire_log: w.retire_log,
+        jobs_dispatched,
+        denied_requests: w.denied_requests,
+        dp_failures: w.dp_failures,
+        failovers: w.failovers,
+        vo_cpu_share: {
+            let total: f64 = vo_consumed.iter().sum();
+            if total > 0.0 {
+                vo_consumed.iter().map(|c| c / total).collect()
+            } else {
+                vo_consumed
+            }
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceKind;
+
+    fn small_run(n_dps: usize, seed: u64) -> ExperimentOutput {
+        run_experiment(
+            DigruberConfig::small(n_dps, seed),
+            WorkloadSpec::small(),
+            "small",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn small_experiment_produces_traffic() {
+        let out = small_run(2, 42);
+        assert!(out.report.issued > 20, "only {} requests", out.report.issued);
+        assert!(out.report.answered > 0);
+        assert!(out.jobs_dispatched > 0);
+        assert_eq!(out.final_dps, 2);
+        assert!(out.traces.len() == out.report.issued);
+        // Small config is underloaded: most requests answered.
+        assert!(out.report.handled_fraction() > 0.8);
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let a = small_run(2, 7);
+        let b = small_run(2, 7);
+        assert_eq!(a.report, b.report);
+        assert_eq!(a.traces, b.traces);
+        assert_eq!(a.jobs_dispatched, b.jobs_dispatched);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = small_run(2, 7);
+        let b = small_run(2, 8);
+        assert_ne!(a.traces, b.traces);
+    }
+
+    #[test]
+    fn handled_placements_have_accuracy() {
+        let out = small_run(2, 42);
+        let acc = out.mean_handled_accuracy.expect("handled jobs exist");
+        assert!((0.0..=1.0).contains(&acc));
+        // Underloaded grid + least-used selection + fresh-ish views →
+        // accuracy should be high.
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+
+    #[test]
+    fn utilization_is_positive_and_sane() {
+        let out = small_run(2, 42);
+        assert!(out.table.all.util > 0.0);
+        assert!(out.table.all.util <= 1.0);
+    }
+
+    #[test]
+    fn figure_rows_span_the_run() {
+        let out = small_run(1, 42);
+        // 10-minute run, per-minute bins.
+        assert_eq!(out.figure_rows.len(), 10);
+        // Load climbs during the ramp.
+        let first = out.figure_rows[0].1;
+        let last = out.figure_rows[9].1;
+        assert!(last >= first);
+    }
+
+    #[test]
+    fn gt4_prerelease_is_slower_than_gt3() {
+        let mut cfg3 = DigruberConfig::small(1, 5);
+        cfg3.service = ServiceKind::Gt3;
+        let mut cfg4 = DigruberConfig::small(1, 5);
+        cfg4.service = ServiceKind::Gt4Prerelease;
+        let wl = WorkloadSpec::small();
+        let gt3 = run_experiment(cfg3, wl.clone(), "gt3").unwrap();
+        let gt4 = run_experiment(cfg4, wl, "gt4").unwrap();
+        assert!(
+            gt4.report.response.mean > gt3.report.response.mean,
+            "GT4-pre {} !> GT3 {}",
+            gt4.report.response.mean,
+            gt3.report.response.mean
+        );
+    }
+}

@@ -1,0 +1,363 @@
+//! The discrete-event world: clients, decision points, WAN and grid.
+
+use crate::config::{DigruberConfig, Dissemination};
+use desim::DetRng;
+use diperf::{Collector, RampSchedule};
+use gridemu::{grid3_times, Grid, SitePolicy};
+use gruber::{GruberEngine, SiteSelector};
+use gruber_types::{
+    ClientId, DpId, GridResult, JobId, JobSpec, SimTime, SiteSpec,
+};
+use simnet::latency::NetNode;
+use simnet::{ServiceStation, WanTopology};
+use std::collections::HashMap;
+use usla::UslaSet;
+use workload::{uslas::equal_shares, JobFactory, WorkloadSpec};
+
+/// One decision point: a GRUBER engine behind a web-service station.
+pub struct DecisionPoint {
+    /// The decision point's id.
+    pub id: DpId,
+    /// Brokering core (view + USLA store + dispatch log).
+    pub engine: GruberEngine,
+    /// The GT service container in front of it.
+    pub station: ServiceStation,
+    /// Whether the point is currently alive (failure injection).
+    pub up: bool,
+    /// Latest site-monitor snapshot (free CPUs per site), when the
+    /// deployment runs in monitor mode.
+    pub monitor_free: Option<Vec<u32>>,
+}
+
+/// One submission host / tester client.
+pub struct ClientState {
+    /// The client's id.
+    pub id: ClientId,
+    /// The decision point this client is statically bound to.
+    pub dp: DpId,
+    /// Client-side site selector (runs over availability responses).
+    pub selector: Box<dyn SiteSelector>,
+    /// Random stream for the timeout fallback ("selects a site at random,
+    /// without considering USLAs").
+    pub fallback_rng: DetRng,
+    /// Whether the client has joined the experiment.
+    pub active: bool,
+    /// Consecutive timeouts against the bound decision point (failover
+    /// trigger).
+    pub consecutive_timeouts: u32,
+    /// Jobs this host has dispatched that have not finished (queue-manager
+    /// accounting).
+    pub jobs_in_flight: u32,
+    /// The host is waiting for a job slot before issuing its next query.
+    pub blocked_on_queue: bool,
+}
+
+/// In-flight query bookkeeping.
+pub struct RequestState {
+    /// Issuing client.
+    pub client: ClientId,
+    /// Bound decision point.
+    pub dp: DpId,
+    /// The job awaiting placement.
+    pub job: JobSpec,
+    /// Send time.
+    pub sent_at: SimTime,
+    /// The client's timeout fired before a response arrived.
+    pub timed_out: bool,
+    /// A response reached the client.
+    pub responded: bool,
+    /// Token of the scheduled timeout event (cancelled on response).
+    pub timeout_token: Option<desim::EventToken>,
+}
+
+/// The full simulation state.
+pub struct World {
+    /// Experiment configuration.
+    pub cfg: DigruberConfig,
+    /// Workload configuration.
+    pub workload: WorkloadSpec,
+    /// Ground truth.
+    pub grid: Grid,
+    /// Static site specs (needed to spin up new decision points).
+    pub site_specs: Vec<SiteSpec>,
+    /// The USLA set all decision points start from.
+    pub uslas: UslaSet,
+    /// Job generator.
+    pub factory: JobFactory,
+    /// Decision points, indexed by `DpId`.
+    pub dps: Vec<DecisionPoint>,
+    /// Clients, indexed by `ClientId`.
+    pub clients: Vec<ClientState>,
+    /// The WAN.
+    pub wan: WanTopology,
+    /// DiPerF collector.
+    pub collector: Collector,
+    /// Tester ramp schedule.
+    pub schedule: RampSchedule,
+    /// Scheduling accuracy recorded at each handled dispatch.
+    pub accuracy_by_job: HashMap<JobId, f64>,
+    /// In-flight requests by tag.
+    pub requests: HashMap<u64, RequestState>,
+    /// Next request tag.
+    pub next_req: u64,
+    /// Network jitter stream.
+    pub net_rng: DetRng,
+    /// Service-time stream.
+    pub svc_rng: DetRng,
+    /// Miscellaneous stream (client→DP binding, rebalancing).
+    pub misc_rng: DetRng,
+    /// Experiment end.
+    pub end: SimTime,
+    /// Currently joined clients.
+    pub active_clients: u32,
+    /// Saturation strike counters (dynamic mode), indexed by `DpId`.
+    pub dp_strikes: Vec<u32>,
+    /// Reconfiguration events: `(when, new decision point)`.
+    pub reconfig_log: Vec<(SimTime, DpId)>,
+    /// Scale-down events: `(when, retired decision point)`.
+    pub retire_log: Vec<(SimTime, DpId)>,
+    /// Consecutive all-idle monitor samples (scale-down trigger).
+    pub idle_strikes: u32,
+    /// Requests denied by USLA enforcement.
+    pub denied_requests: u64,
+    /// Placements rejected by sites (S-PEP or oversized).
+    pub rejected_dispatches: u64,
+    /// Decision-point crashes injected.
+    pub dp_failures: u64,
+    /// Client failover re-bindings performed.
+    pub failovers: u64,
+}
+
+/// WAN address of a client.
+pub fn client_node(c: ClientId) -> NetNode {
+    NetNode(c.0)
+}
+
+/// WAN address of a decision point.
+pub fn dp_node(dp: DpId) -> NetNode {
+    NetNode(1_000_000 + dp.0)
+}
+
+impl World {
+    /// Builds a world from an experiment and a workload configuration.
+    pub fn new(cfg: DigruberConfig, workload: WorkloadSpec) -> GridResult<Self> {
+        cfg.validate()?;
+        workload.validate()?;
+        let site_specs = grid3_times(cfg.grid_factor, cfg.seed);
+        let grid = Grid::with_discipline(
+            site_specs.clone(),
+            SitePolicy::permissive(),
+            cfg.site_discipline,
+        )?;
+        let uslas = match &cfg.uslas {
+            Some(set) => set.clone(),
+            None => equal_shares(workload.n_vos, workload.groups_per_vo)?,
+        };
+        let dps: Vec<DecisionPoint> = (0..cfg.n_dps)
+            .map(|i| DecisionPoint {
+                id: DpId(i as u32),
+                engine: GruberEngine::new(&site_specs, &uslas),
+                station: ServiceStation::new(cfg.service.profile()),
+                up: true,
+                monitor_free: None,
+            })
+            .collect();
+        let mut misc_rng = DetRng::new(cfg.seed, 0xB1AD);
+        let clients: Vec<ClientState> = (0..workload.n_clients)
+            .map(|c| ClientState {
+                id: ClientId(c),
+                // "selected randomly in the beginning — simulating a
+                // scenario in which each submission site is associated
+                // statically with a single decision point".
+                dp: DpId(misc_rng.index(cfg.n_dps) as u32),
+                selector: cfg.selector.build(cfg.seed, u64::from(c)),
+                fallback_rng: DetRng::new(cfg.seed, 0xFA11 ^ (u64::from(c) << 16)),
+                active: false,
+                consecutive_timeouts: 0,
+                jobs_in_flight: 0,
+                blocked_on_queue: false,
+            })
+            .collect();
+        let schedule = RampSchedule::paper_default(workload.n_clients, workload.duration)
+            .with_departure(workload.departure_fraction);
+        let end = schedule.end();
+        let n_dps = cfg.n_dps;
+        Ok(World {
+            wan: cfg.wan.topology(cfg.seed).with_loss(cfg.message_loss),
+            factory: JobFactory::new(workload.clone(), cfg.seed),
+            net_rng: DetRng::new(cfg.seed, 0x4E77),
+            svc_rng: DetRng::new(cfg.seed, 0x5E2C),
+            misc_rng,
+            cfg,
+            workload,
+            grid,
+            site_specs,
+            uslas,
+            dps,
+            clients,
+            collector: Collector::new(),
+            schedule,
+            accuracy_by_job: HashMap::new(),
+            requests: HashMap::new(),
+            next_req: 0,
+            end,
+            active_clients: 0,
+            dp_strikes: vec![0; n_dps],
+            reconfig_log: Vec::new(),
+            retire_log: Vec::new(),
+            idle_strikes: 0,
+            denied_requests: 0,
+            rejected_dispatches: 0,
+            dp_failures: 0,
+            failovers: 0,
+        })
+    }
+
+    /// Whether decision points exchange anything at all.
+    pub fn exchanges_state(&self) -> bool {
+        self.cfg.dissemination != Dissemination::NoExchange
+    }
+
+    /// Adds a fresh decision point (dynamic reconfiguration) and rebinds
+    /// roughly half of the overloaded point's clients to it. Returns the
+    /// new id.
+    pub fn add_decision_point(&mut self, now: SimTime, overloaded: DpId) -> DpId {
+        let new_id = DpId(self.dps.len() as u32);
+        self.dps.push(DecisionPoint {
+            id: new_id,
+            engine: GruberEngine::new(&self.site_specs, &self.uslas),
+            station: ServiceStation::new(self.cfg.service.profile()),
+            up: true,
+            monitor_free: None,
+        });
+        self.dp_strikes.push(0);
+        let mut moved = false;
+        for c in &mut self.clients {
+            if c.dp == overloaded && self.misc_rng.chance(0.5) {
+                c.dp = new_id;
+                moved = true;
+            }
+        }
+        if !moved {
+            // Degenerate but possible with few clients: move one
+            // deterministically so the new point is not useless.
+            if let Some(c) = self.clients.iter_mut().find(|c| c.dp == overloaded) {
+                c.dp = new_id;
+            }
+        }
+        self.reconfig_log.push((now, new_id));
+        new_id
+    }
+
+    /// Retires the newest decision point (dynamic scale-down): its clients
+    /// re-bind across the remaining points. Only points beyond the initial
+    /// deployment are retired, and the point itself stays in the vector
+    /// (marked down, never again addressed) so ids remain stable.
+    pub fn retire_decision_point(&mut self) -> Option<DpId> {
+        let last = self.dps.len() - 1;
+        if last < self.cfg.n_dps || !self.dps[last].up {
+            return None;
+        }
+        self.dps[last].up = false;
+        self.dps[last].station.crash();
+        let retired = DpId(last as u32);
+        let targets: Vec<u32> = (0..last as u32)
+            .filter(|&j| self.dps[j as usize].up)
+            .collect();
+        if !targets.is_empty() {
+            for c in &mut self.clients {
+                if c.dp == retired {
+                    c.dp = DpId(targets[self.misc_rng.index(targets.len())]);
+                }
+            }
+        }
+        Some(retired)
+    }
+
+    /// Allocates a request tag.
+    pub fn alloc_request(&mut self, state: RequestState) -> u64 {
+        let tag = self.next_req;
+        self.next_req += 1;
+        self.requests.insert(tag, state);
+        tag
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world(n_dps: usize) -> World {
+        World::new(DigruberConfig::small(n_dps, 7), WorkloadSpec::small()).unwrap()
+    }
+
+    #[test]
+    fn construction_wires_everything() {
+        let w = world(3);
+        assert_eq!(w.dps.len(), 3);
+        assert_eq!(w.clients.len(), 8);
+        assert_eq!(w.grid.n_sites(), 30);
+        assert!(w.exchanges_state());
+        assert_eq!(w.end, SimTime(w.workload.duration.as_millis()));
+    }
+
+    #[test]
+    fn clients_bound_across_all_dps() {
+        let w = World::new(
+            DigruberConfig::small(4, 7),
+            WorkloadSpec {
+                n_clients: 64,
+                ..WorkloadSpec::small()
+            },
+        )
+        .unwrap();
+        let mut used = std::collections::HashSet::new();
+        for c in &w.clients {
+            assert!(c.dp.index() < 4);
+            used.insert(c.dp);
+        }
+        assert_eq!(used.len(), 4, "random binding should cover all DPs");
+    }
+
+    #[test]
+    fn binding_is_deterministic_per_seed() {
+        let a = world(3);
+        let b = world(3);
+        for (x, y) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(x.dp, y.dp);
+        }
+    }
+
+    #[test]
+    fn add_decision_point_rebinds_clients() {
+        let mut w = World::new(
+            DigruberConfig::small(1, 7),
+            WorkloadSpec {
+                n_clients: 32,
+                ..WorkloadSpec::small()
+            },
+        )
+        .unwrap();
+        let new_id = w.add_decision_point(SimTime::from_secs(10), DpId(0));
+        assert_eq!(new_id, DpId(1));
+        assert_eq!(w.dps.len(), 2);
+        let moved = w.clients.iter().filter(|c| c.dp == new_id).count();
+        assert!(moved > 0, "no clients moved to the new DP");
+        assert!(moved < 32, "all clients moved");
+        assert_eq!(w.reconfig_log, vec![(SimTime::from_secs(10), DpId(1))]);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(World::new(DigruberConfig::small(0, 7), WorkloadSpec::small()).is_err());
+        let mut wl = WorkloadSpec::small();
+        wl.n_clients = 0;
+        assert!(World::new(DigruberConfig::small(1, 7), wl).is_err());
+    }
+
+    #[test]
+    fn node_addressing_is_disjoint() {
+        assert_ne!(client_node(ClientId(0)), dp_node(DpId(0)));
+        assert_ne!(client_node(ClientId(999_999)), dp_node(DpId(0)));
+    }
+}

@@ -1,0 +1,337 @@
+//! The event loop.
+
+use gruber_types::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Handler invoked when an event fires.
+pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+
+/// Token identifying a scheduled event, usable to cancel it before it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventToken(u64);
+
+struct Scheduled<W> {
+    at: SimTime,
+    seq: u64,
+    run: EventFn<W>,
+}
+
+// Ordering on (time, seq) only; the closure is irrelevant.
+impl<W> PartialEq for Scheduled<W> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<W> Eq for Scheduled<W> {}
+impl<W> PartialOrd for Scheduled<W> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<W> Ord for Scheduled<W> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The event queue and clock, handed to every event handler.
+pub struct Scheduler<W> {
+    now: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl<W> Default for Scheduler<W> {
+    fn default() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+}
+
+impl<W> Scheduler<W> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn events_executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of events currently pending (including cancelled-but-unpopped).
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Schedules `f` to run at absolute time `at`.
+    ///
+    /// Scheduling in the past is clamped to *now* (the event still runs,
+    /// after all other events already scheduled for *now*).
+    pub fn schedule_at(
+        &mut self,
+        at: SimTime,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventToken {
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            run: Box::new(f),
+        }));
+        EventToken(seq)
+    }
+
+    /// Schedules `f` to run `delay` after the current time.
+    pub fn schedule_in(
+        &mut self,
+        delay: SimDuration,
+        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+    ) -> EventToken {
+        let at = self.now + delay;
+        self.schedule_at(at, f)
+    }
+
+    /// Cancels a previously scheduled event. Returns `true` if the event had
+    /// not yet fired (or been cancelled).
+    pub fn cancel(&mut self, token: EventToken) -> bool {
+        if token.0 >= self.seq {
+            return false;
+        }
+        self.cancelled.insert(token.0)
+    }
+
+    fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<W>> {
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > limit {
+                return None;
+            }
+            let Reverse(ev) = self.queue.pop().expect("peeked");
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            return Some(ev);
+        }
+        None
+    }
+}
+
+/// A world plus its scheduler: the unit you actually run.
+pub struct Simulation<W> {
+    world: W,
+    sched: Scheduler<W>,
+}
+
+impl<W> Simulation<W> {
+    /// Wraps a world with an empty event queue at time zero.
+    pub fn new(world: W) -> Self {
+        Simulation {
+            world,
+            sched: Scheduler::default(),
+        }
+    }
+
+    /// Immutable access to the world.
+    pub fn world(&self) -> &W {
+        &self.world
+    }
+
+    /// Mutable access to the world (for setup between runs).
+    pub fn world_mut(&mut self) -> &mut W {
+        &mut self.world
+    }
+
+    /// The scheduler (for seeding initial events).
+    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+        &mut self.sched
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Runs events until the queue is empty or `limit` is passed.
+    ///
+    /// On return the clock reads `min(limit, time of last event)`; events
+    /// scheduled exactly at `limit` DO fire.
+    pub fn run_until(&mut self, limit: SimTime) {
+        while let Some(ev) = self.sched.pop_due(limit) {
+            debug_assert!(ev.at >= self.sched.now, "time went backwards");
+            self.sched.now = ev.at;
+            self.sched.executed += 1;
+            (ev.run)(&mut self.world, &mut self.sched);
+        }
+        if self.sched.now < limit {
+            self.sched.now = limit;
+        }
+    }
+
+    /// Runs until the event queue drains, with a hard event-count fuse to
+    /// catch accidental infinite self-scheduling loops.
+    pub fn run_to_completion(&mut self, max_events: u64) {
+        let start = self.sched.executed;
+        while let Some(ev) = self.sched.pop_due(SimTime(u64::MAX)) {
+            self.sched.now = ev.at;
+            self.sched.executed += 1;
+            (ev.run)(&mut self.world, &mut self.sched);
+            assert!(
+                self.sched.executed - start <= max_events,
+                "simulation exceeded {max_events} events; runaway self-scheduling?"
+            );
+        }
+    }
+
+    /// Consumes the simulation, returning the final world.
+    pub fn into_world(self) -> W {
+        self.world
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default)]
+    struct Log(Vec<(u64, &'static str)>);
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut sim = Simulation::new(Log::default());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), |w: &mut Log, s| {
+                w.0.push((s.now().as_secs(), "b"))
+            });
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), |w: &mut Log, s| {
+                w.0.push((s.now().as_secs(), "a"))
+            });
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.world().0, vec![(1, "a"), (5, "b")]);
+        assert_eq!(sim.now(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut sim = Simulation::new(Log::default());
+        for name in ["first", "second", "third"] {
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(1), move |w: &mut Log, _| {
+                    w.0.push((0, name))
+                });
+        }
+        sim.run_until(SimTime::from_secs(1));
+        let names: Vec<_> = sim.world().0.iter().map(|&(_, n)| n).collect();
+        assert_eq!(names, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let mut sim = Simulation::new(Log::default());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), |_, s: &mut Scheduler<Log>| {
+                s.schedule_in(SimDuration::from_secs(2), |w: &mut Log, s| {
+                    w.0.push((s.now().as_secs(), "chained"));
+                });
+            });
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.world().0, vec![(3, "chained")]);
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut sim = Simulation::new(Log::default());
+        let tok =
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(1), |w: &mut Log, _| {
+                    w.0.push((0, "cancelled"))
+                });
+        assert!(sim.scheduler().cancel(tok));
+        // Double-cancel reports false.
+        assert!(!sim.scheduler().cancel(tok));
+        sim.run_until(SimTime::from_secs(5));
+        assert!(sim.world().0.is_empty());
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut sim = Simulation::new(Log::default());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), |_, s: &mut Scheduler<Log>| {
+                // Try to schedule in the past; must fire at t=5, not t=1.
+                s.schedule_at(SimTime::from_secs(1), |w: &mut Log, s| {
+                    w.0.push((s.now().as_secs(), "clamped"));
+                });
+            });
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.world().0, vec![(5, "clamped")]);
+    }
+
+    #[test]
+    fn run_until_stops_at_limit_but_includes_limit_events() {
+        let mut sim = Simulation::new(Log::default());
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(3), |w: &mut Log, _| w.0.push((3, "at")));
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(4), |w: &mut Log, _| {
+                w.0.push((4, "after"))
+            });
+        sim.run_until(SimTime::from_secs(3));
+        assert_eq!(sim.world().0, vec![(3, "at")]);
+        // Resume picks up the rest.
+        sim.run_until(SimTime::from_secs(10));
+        assert_eq!(sim.world().0.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded")]
+    fn runaway_loop_trips_fuse() {
+        fn respawn(_: &mut Log, s: &mut Scheduler<Log>) {
+            s.schedule_in(SimDuration::SECOND, respawn);
+        }
+        let mut sim = Simulation::new(Log::default());
+        sim.scheduler().schedule_at(SimTime::ZERO, respawn);
+        sim.run_to_completion(100);
+    }
+
+    #[test]
+    fn property_events_fire_in_nondecreasing_time_order() {
+        use crate::rng::DetRng;
+        for seed in 0..20u64 {
+            let mut rng = DetRng::new(seed, 0);
+            let mut sim = Simulation::new(Vec::<u64>::new());
+            for _ in 0..200 {
+                let at = SimTime(rng.next_u64() % 10_000);
+                sim.scheduler().schedule_at(at, |w: &mut Vec<u64>, s| {
+                    w.push(s.now().as_millis());
+                });
+            }
+            sim.run_until(SimTime(10_000));
+            let times = sim.world();
+            assert!(times.windows(2).all(|w| w[0] <= w[1]), "order violated");
+            assert_eq!(times.len(), 200);
+        }
+    }
+
+    #[test]
+    fn event_counter_advances() {
+        let mut sim = Simulation::new(Log::default());
+        for i in 0..7u64 {
+            sim.scheduler()
+                .schedule_at(SimTime::from_secs(i), |_, _| {});
+        }
+        sim.run_until(SimTime::from_secs(100));
+        assert_eq!(sim.scheduler().events_executed(), 7);
+        assert_eq!(sim.scheduler().pending(), 0);
+    }
+}

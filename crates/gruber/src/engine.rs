@@ -1,0 +1,261 @@
+//! The GRUBER engine.
+//!
+//! One engine instance backs one decision point. It owns the point's
+//! [`GridView`], its USLA store, and the outgoing dispatch log that the
+//! DI-GRUBER layer floods to peers. The engine answers two questions:
+//!
+//! * *availability* — the believed free CPUs per site (the "significant
+//!   state" shipped back to the client's site selector);
+//! * *admission* — may this job start another CPU, under the USLAs, given
+//!   the believed per-VO/group usage?
+
+use crate::view::{DispatchRecord, GridView};
+use gruber_types::{JobSpec, SimTime, SiteSpec};
+use usla::{AdmissionVerdict, EntitlementEngine, Principal, ResourceKind, UslaSet, UslaStore};
+
+/// A decision point's brokering core.
+#[derive(Debug)]
+pub struct GruberEngine {
+    view: GridView,
+    uslas: UslaStore,
+    outgoing: Vec<DispatchRecord>,
+    dispatches_recorded: u64,
+    peers_merged: u64,
+}
+
+impl GruberEngine {
+    /// Builds an engine with full static site knowledge and a USLA set.
+    pub fn new(sites: &[SiteSpec], uslas: &UslaSet) -> Self {
+        GruberEngine {
+            view: GridView::new(sites),
+            uslas: UslaStore::from_set(uslas),
+            outgoing: Vec::new(),
+            dispatches_recorded: 0,
+            peers_merged: 0,
+        }
+    }
+
+    /// Believed free CPUs per site — the availability response payload.
+    pub fn availability(&mut self, now: SimTime) -> Vec<u32> {
+        self.view.free_per_site(now)
+    }
+
+    /// Records a dispatch this decision point just brokered: folds it into
+    /// the local view immediately and queues it for the next peer exchange.
+    pub fn record_dispatch(&mut self, rec: DispatchRecord, now: SimTime) {
+        if self.view.observe(&rec, now) {
+            self.outgoing.push(rec);
+            self.dispatches_recorded += 1;
+        }
+    }
+
+    /// Folds a batch of peer dispatch records (received in a sync round)
+    /// into the view. Returns how many were new.
+    pub fn merge_peer_records(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
+        let new = self.view.merge(records, now);
+        self.peers_merged += new as u64;
+        new
+    }
+
+    /// Like [`GruberEngine::merge_peer_records`], but also queues the
+    /// records that were new for this engine onto its own outgoing log —
+    /// transitive forwarding for non-mesh exchange topologies (ring, star,
+    /// gossip). Forwarding loops terminate because the view de-duplicates
+    /// by job id: a record seen before is not "new" and is not re-queued.
+    pub fn merge_peer_records_forwarding(
+        &mut self,
+        records: &[DispatchRecord],
+        now: SimTime,
+    ) -> usize {
+        let mut new = 0;
+        for rec in records {
+            if self.view.observe(rec, now) {
+                self.outgoing.push(*rec);
+                new += 1;
+            }
+        }
+        self.peers_merged += new as u64;
+        new
+    }
+
+    /// Drains the outgoing dispatch log (called once per sync round).
+    pub fn drain_log(&mut self) -> Vec<DispatchRecord> {
+        std::mem::take(&mut self.outgoing)
+    }
+
+    /// Size of the pending outgoing log.
+    pub fn pending_log_len(&self) -> usize {
+        self.outgoing.len()
+    }
+
+    /// USLA admission check for `job`, evaluated against the believed
+    /// (view) usage of the job's VO and group.
+    pub fn admission(&mut self, job: &JobSpec, now: SimTime) -> AdmissionVerdict {
+        let vo_usage = self.view.vo_demand(job.vo, now) as f64;
+        let group_usage = self.view.group_demand(job.vo, job.group, now) as f64;
+        let idle = self.view.idle_cpus(now) as f64;
+        let snapshot = self.uslas.snapshot();
+        let engine =
+            EntitlementEngine::new(&snapshot, ResourceKind::Cpu, self.view.grid_cpus() as f64);
+        let group = Principal::Group(job.vo, job.group);
+        engine.check_admission(group, f64::from(job.cpus), idle, |p| match p {
+            Principal::Vo(_) => vo_usage,
+            Principal::Group(..) => group_usage,
+            _ => 0.0,
+        })
+    }
+
+    /// The engine's USLA store (publication / discovery / dissemination).
+    pub fn uslas_mut(&mut self) -> &mut UslaStore {
+        &mut self.uslas
+    }
+
+    /// Read access to the USLA store.
+    pub fn uslas(&self) -> &UslaStore {
+        &self.uslas
+    }
+
+    /// The underlying grid view.
+    pub fn view_mut(&mut self) -> &mut GridView {
+        &mut self.view
+    }
+
+    /// Lifetime counters `(own dispatches, peer records merged)`.
+    pub fn counters(&self) -> (u64, u64) {
+        (self.dispatches_recorded, self.peers_merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::{ClientId, GroupId, JobId, SimDuration, SiteId, UserId, VoId};
+    use workload::uslas::equal_shares;
+
+    fn sites() -> Vec<SiteSpec> {
+        vec![
+            SiteSpec::single_cluster(SiteId(0), 10),
+            SiteSpec::single_cluster(SiteId(1), 10),
+        ]
+    }
+
+    fn engine() -> GruberEngine {
+        GruberEngine::new(&sites(), &equal_shares(2, 2).unwrap())
+    }
+
+    fn rec(job: u32, site: u32, cpus: u32, end_s: u64) -> DispatchRecord {
+        DispatchRecord {
+            job: JobId(job),
+            site: SiteId(site),
+            vo: VoId(0),
+            group: GroupId(0),
+            cpus,
+            dispatched_at: SimTime::ZERO,
+            est_finish: SimTime::from_secs(end_s),
+        }
+    }
+
+    fn job(vo: u32, group: u32) -> JobSpec {
+        JobSpec {
+            id: JobId(99),
+            vo: VoId(vo),
+            group: GroupId(group),
+            user: UserId(0),
+            client: ClientId(0),
+            cpus: 1,
+            storage_mb: 0,
+            runtime: SimDuration::from_secs(60),
+            submitted_at: SimTime::ZERO,
+        }
+    }
+
+    #[test]
+    fn dispatch_log_accumulates_and_drains() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        e.record_dispatch(rec(1, 0, 2, 100), now);
+        e.record_dispatch(rec(2, 1, 3, 100), now);
+        assert_eq!(e.pending_log_len(), 2);
+        assert_eq!(e.availability(now), vec![8, 7]);
+        let log = e.drain_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(e.pending_log_len(), 0);
+        // Draining does not forget the view.
+        assert_eq!(e.availability(now), vec![8, 7]);
+    }
+
+    #[test]
+    fn duplicate_dispatch_not_logged_twice() {
+        let mut e = engine();
+        e.record_dispatch(rec(1, 0, 2, 100), SimTime::ZERO);
+        e.record_dispatch(rec(1, 0, 2, 100), SimTime::ZERO);
+        assert_eq!(e.pending_log_len(), 1);
+        assert_eq!(e.counters().0, 1);
+    }
+
+    #[test]
+    fn peer_merge_updates_view_without_relogging() {
+        let mut a = engine();
+        let mut b = engine();
+        let now = SimTime::ZERO;
+        a.record_dispatch(rec(1, 0, 4, 100), now);
+        let log = a.drain_log();
+        assert_eq!(b.merge_peer_records(&log, now), 1);
+        assert_eq!(b.availability(now), vec![6, 10]);
+        // b must NOT re-flood what it learned from a.
+        assert_eq!(b.pending_log_len(), 0);
+        assert_eq!(b.counters(), (0, 1));
+        // Merging the same log again is a no-op.
+        assert_eq!(b.merge_peer_records(&log, now), 0);
+    }
+
+    #[test]
+    fn admission_under_entitlement() {
+        let mut e = engine();
+        // 20 CPUs total, VO 0 entitled to 10, group 0.0 to 5. No usage yet.
+        let v = e.admission(&job(0, 0), SimTime::ZERO);
+        assert!(v.admitted());
+    }
+
+    #[test]
+    fn admission_opportunistic_when_over_entitlement() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        // Put 6 CPUs of VO-0/group-0 work in the view (entitlement is 5).
+        for j in 0..6 {
+            e.record_dispatch(rec(j, j % 2, 1, 1000), now);
+        }
+        let v = e.admission(&job(0, 0), now);
+        assert_eq!(v, AdmissionVerdict::Opportunistic);
+        assert!(v.admitted());
+    }
+
+    #[test]
+    fn admission_denied_when_grid_full() {
+        let mut e = engine();
+        let now = SimTime::ZERO;
+        // Saturate the believed grid.
+        for j in 0..20 {
+            e.record_dispatch(rec(j, j % 2, 1, 1000), now);
+        }
+        let v = e.admission(&job(1, 1), now);
+        assert_eq!(v, AdmissionVerdict::Denied);
+    }
+
+    #[test]
+    fn usla_publication_flows_into_admission() {
+        use usla::{FairShare, UslaEntry};
+        let mut e = engine();
+        // Cap VO 1 at 0%: every request for it must be denied.
+        e.uslas_mut()
+            .publish(UslaEntry {
+                provider: Principal::Grid,
+                consumer: Principal::Vo(VoId(1)),
+                resource: ResourceKind::Cpu,
+                share: FairShare::upper(0.0),
+            })
+            .unwrap();
+        let v = e.admission(&job(1, 0), SimTime::ZERO);
+        assert_eq!(v, AdmissionVerdict::Denied);
+    }
+}

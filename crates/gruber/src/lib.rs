@@ -1,0 +1,67 @@
+//! The GRUBER broker engine.
+//!
+//! GRUBER's "main four principal components" (paper Section 3.2):
+//!
+//! * the **engine** ([`engine::GruberEngine`]) — "implements various
+//!   algorithms for detecting available resources and maintains a generic
+//!   view of resource utilization in the grid";
+//! * the **site monitor** — a data provider (implemented in
+//!   `gridemu::monitor`; the engine can ingest its snapshots);
+//! * **clients** — standard GT clients talking to the engine (the
+//!   client-side selector logic lives in [`selectors`]; transport is the
+//!   caller's concern — `digruber` drives it over the simulated WAN);
+//! * **site selectors** ([`selectors`]) — answer "which is the best site at
+//!   which I can run this job?", with round-robin, least-used, least
+//!   recently used, random and USLA-aware task-assignment policies;
+//! * the **queue manager** ([`queue::QueueManager`]) — sits on a submission
+//!   host, "monitors VO policies and decides how many jobs to start and
+//!   when" (unused by the paper's experiments, provided for completeness
+//!   and exercised by the Euryale pipeline).
+//!
+//! [`view::GridView`] is the engine's model of the grid: complete static
+//! knowledge of site capacities (the paper's dissemination assumption) plus
+//! a decaying set of observed dispatches — its divergence from ground truth
+//! is what the Accuracy metric measures.
+
+//! # Example
+//!
+//! ```
+//! use gruber::{DispatchRecord, GruberEngine, LeastUsedSelector, SiteSelector};
+//! use gruber_types::*;
+//! use workload::uslas::equal_shares;
+//!
+//! let sites = vec![
+//!     SiteSpec::single_cluster(SiteId(0), 10),
+//!     SiteSpec::single_cluster(SiteId(1), 20),
+//! ];
+//! let mut engine = GruberEngine::new(&sites, &equal_shares(2, 2)?);
+//!
+//! // A dispatch is observed; the view reflects it until its estimated end.
+//! engine.record_dispatch(
+//!     DispatchRecord {
+//!         job: JobId(1), site: SiteId(1), vo: VoId(0), group: GroupId(0),
+//!         cpus: 5, dispatched_at: SimTime::ZERO,
+//!         est_finish: SimTime::from_secs(600),
+//!     },
+//!     SimTime::ZERO,
+//! );
+//! let free = engine.availability(SimTime::from_secs(10));
+//! assert_eq!(free, vec![10, 15]);
+//! # Ok::<(), GridError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod queue;
+pub mod selectors;
+pub mod view;
+
+pub use engine::GruberEngine;
+pub use queue::QueueManager;
+pub use selectors::{
+    LeastRecentlyUsedSelector, LeastUsedSelector, RandomSelector, RoundRobinSelector,
+    SelectorKind, SiteSelector, UslaAwareSelector,
+};
+pub use view::{DispatchRecord, GridView};

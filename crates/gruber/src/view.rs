@@ -1,0 +1,335 @@
+//! A decision point's view of the grid.
+//!
+//! Per the dissemination strategy the paper evaluates (Section 3.5, second
+//! approach), "each decision point has complete static knowledge about
+//! available resources, but not the latest resource utilizations". A view
+//! therefore knows every site's capacity exactly, and models utilization as
+//! the sum of *dispatch records* it has observed — its own dispatches
+//! immediately, peers' dispatches only after a periodic exchange. Records
+//! expire at their estimated finish time (each peer expires independently,
+//! so no completion traffic is needed).
+//!
+//! The gap between this view and `gridemu::Grid` ground truth — stale peer
+//! dispatches, mis-estimated finish times, invisible site queues — is
+//! precisely what degrades the paper's Accuracy metric at long exchange
+//! intervals.
+
+use gruber_types::{GroupId, JobId, SimTime, SiteId, SiteSpec, VoId};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+
+/// One observed dispatch: the unit of inter-decision-point exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchRecord {
+    /// The dispatched job (used for de-duplication across floods).
+    pub job: JobId,
+    /// Destination site.
+    pub site: SiteId,
+    /// Job's VO.
+    pub vo: VoId,
+    /// Job's group.
+    pub group: GroupId,
+    /// CPUs occupied.
+    pub cpus: u32,
+    /// Dispatch time.
+    pub dispatched_at: SimTime,
+    /// Estimated completion time (dispatch + declared runtime).
+    pub est_finish: SimTime,
+}
+
+#[derive(Debug, Default)]
+struct SiteDemand {
+    /// CPUs demanded by un-expired records (may exceed capacity — the
+    /// excess is the view's estimate of the site queue).
+    demand: u64,
+    /// Expiry heap: (est_finish, cpus).
+    expiries: BinaryHeap<Reverse<(SimTime, u32)>>,
+}
+
+impl SiteDemand {
+    fn expire(&mut self, now: SimTime) {
+        while let Some(&Reverse((t, cpus))) = self.expiries.peek() {
+            if t > now {
+                break;
+            }
+            self.expiries.pop();
+            self.demand -= u64::from(cpus);
+        }
+    }
+}
+
+/// A (possibly stale) model of grid utilization.
+#[derive(Debug)]
+pub struct GridView {
+    totals: Vec<u32>,
+    sites: Vec<SiteDemand>,
+    vo_demand: HashMap<VoId, i64>,
+    group_demand: HashMap<(VoId, GroupId), i64>,
+    /// Jobs already folded in (idempotent merging across floods).
+    seen: std::collections::HashSet<JobId>,
+    /// Expiry heap for the per-VO/group counters.
+    principal_expiries: BinaryHeap<Reverse<(SimTime, VoId, GroupId, u32)>>,
+}
+
+impl GridView {
+    /// Builds a view with full static knowledge of the given sites.
+    pub fn new(sites: &[SiteSpec]) -> Self {
+        GridView {
+            totals: sites.iter().map(|s| s.total_cpus()).collect(),
+            sites: sites.iter().map(|_| SiteDemand::default()).collect(),
+            vo_demand: HashMap::new(),
+            group_demand: HashMap::new(),
+            seen: std::collections::HashSet::new(),
+            principal_expiries: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of sites the view covers.
+    pub fn n_sites(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Total CPUs of one site (static knowledge, always exact).
+    pub fn total_cpus(&self, site: SiteId) -> u32 {
+        self.totals[site.index()]
+    }
+
+    /// Grid-wide CPU total.
+    pub fn grid_cpus(&self) -> u64 {
+        self.totals.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Folds one dispatch record into the view (idempotent per job id).
+    /// Returns `true` if the record was new.
+    pub fn observe(&mut self, rec: &DispatchRecord, now: SimTime) -> bool {
+        self.expire(now);
+        if rec.est_finish <= now || !self.seen.insert(rec.job) {
+            return false; // already expired or already known
+        }
+        let site = &mut self.sites[rec.site.index()];
+        site.demand += u64::from(rec.cpus);
+        site.expiries.push(Reverse((rec.est_finish, rec.cpus)));
+        *self.vo_demand.entry(rec.vo).or_insert(0) += i64::from(rec.cpus);
+        *self
+            .group_demand
+            .entry((rec.vo, rec.group))
+            .or_insert(0) += i64::from(rec.cpus);
+        self.principal_expiries
+            .push(Reverse((rec.est_finish, rec.vo, rec.group, rec.cpus)));
+        true
+    }
+
+    /// Folds a batch of peer records; returns how many were new.
+    pub fn merge(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
+        records.iter().filter(|r| self.observe(r, now)).count()
+    }
+
+    /// Advances expiry bookkeeping to `now`.
+    pub fn expire(&mut self, now: SimTime) {
+        for s in &mut self.sites {
+            s.expire(now);
+        }
+        while let Some(&Reverse((t, vo, group, cpus))) = self.principal_expiries.peek() {
+            if t > now {
+                break;
+            }
+            self.principal_expiries.pop();
+            *self.vo_demand.entry(vo).or_insert(0) -= i64::from(cpus);
+            *self.group_demand.entry((vo, group)).or_insert(0) -= i64::from(cpus);
+        }
+    }
+
+    /// Believed CPU demand at a site (may exceed capacity).
+    pub fn demand(&mut self, site: SiteId, now: SimTime) -> u64 {
+        self.sites[site.index()].expire(now);
+        self.sites[site.index()].demand
+    }
+
+    /// Believed free CPUs at a site.
+    pub fn free_cpus(&mut self, site: SiteId, now: SimTime) -> u32 {
+        let total = u64::from(self.totals[site.index()]);
+        total.saturating_sub(self.demand(site, now)) as u32
+    }
+
+    /// Believed queued jobs at a site (demand beyond capacity, in CPUs;
+    /// single-CPU jobs make this a job count).
+    pub fn queued(&mut self, site: SiteId, now: SimTime) -> u32 {
+        let total = u64::from(self.totals[site.index()]);
+        self.demand(site, now).saturating_sub(total) as u32
+    }
+
+    /// Believed grid-wide CPUs held by a VO.
+    pub fn vo_demand(&mut self, vo: VoId, now: SimTime) -> u64 {
+        self.expire(now);
+        self.vo_demand.get(&vo).copied().unwrap_or(0).max(0) as u64
+    }
+
+    /// Believed grid-wide CPUs held by a VO group.
+    pub fn group_demand(&mut self, vo: VoId, group: GroupId, now: SimTime) -> u64 {
+        self.expire(now);
+        self.group_demand
+            .get(&(vo, group))
+            .copied()
+            .unwrap_or(0)
+            .max(0) as u64
+    }
+
+    /// Believed grid-wide idle CPUs.
+    pub fn idle_cpus(&mut self, now: SimTime) -> u64 {
+        (0..self.totals.len())
+            .map(|i| u64::from(self.free_cpus(SiteId::from_index(i), now)))
+            .sum()
+    }
+
+    /// Full believed per-site free-CPU vector (the availability response).
+    pub fn free_per_site(&mut self, now: SimTime) -> Vec<u32> {
+        (0..self.totals.len())
+            .map(|i| self.free_cpus(SiteId::from_index(i), now))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::SiteSpec;
+
+    fn sites() -> Vec<SiteSpec> {
+        vec![
+            SiteSpec::single_cluster(SiteId(0), 10),
+            SiteSpec::single_cluster(SiteId(1), 20),
+        ]
+    }
+
+    fn rec(job: u32, site: u32, cpus: u32, start_s: u64, end_s: u64) -> DispatchRecord {
+        DispatchRecord {
+            job: JobId(job),
+            site: SiteId(site),
+            vo: VoId(job % 2),
+            group: GroupId(0),
+            cpus,
+            dispatched_at: SimTime::from_secs(start_s),
+            est_finish: SimTime::from_secs(end_s),
+        }
+    }
+
+    #[test]
+    fn static_knowledge_is_exact() {
+        let v = GridView::new(&sites());
+        assert_eq!(v.n_sites(), 2);
+        assert_eq!(v.total_cpus(SiteId(1)), 20);
+        assert_eq!(v.grid_cpus(), 30);
+    }
+
+    #[test]
+    fn observe_updates_free_cpus_until_expiry() {
+        let mut v = GridView::new(&sites());
+        let now = SimTime::from_secs(10);
+        assert!(v.observe(&rec(1, 0, 4, 10, 100), now));
+        assert_eq!(v.free_cpus(SiteId(0), now), 6);
+        assert_eq!(v.free_cpus(SiteId(1), now), 20);
+        // After the estimated finish the record expires.
+        let later = SimTime::from_secs(101);
+        assert_eq!(v.free_cpus(SiteId(0), later), 10);
+        assert_eq!(v.vo_demand(VoId(1), later), 0);
+    }
+
+    #[test]
+    fn observe_is_idempotent_per_job() {
+        let mut v = GridView::new(&sites());
+        let now = SimTime::from_secs(0);
+        let r = rec(1, 0, 4, 0, 100);
+        assert!(v.observe(&r, now));
+        assert!(!v.observe(&r, now));
+        assert_eq!(v.free_cpus(SiteId(0), now), 6);
+        assert_eq!(v.merge(&[r, rec(2, 0, 2, 0, 100)], now), 1);
+        assert_eq!(v.free_cpus(SiteId(0), now), 4);
+    }
+
+    #[test]
+    fn already_expired_records_are_ignored() {
+        let mut v = GridView::new(&sites());
+        assert!(!v.observe(&rec(1, 0, 4, 0, 5), SimTime::from_secs(10)));
+        assert_eq!(v.free_cpus(SiteId(0), SimTime::from_secs(10)), 10);
+    }
+
+    #[test]
+    fn demand_beyond_capacity_shows_as_queue() {
+        let mut v = GridView::new(&sites());
+        let now = SimTime::ZERO;
+        for j in 0..13u32 {
+            v.observe(&rec(j, 0, 1, 0, 1000), now);
+        }
+        assert_eq!(v.free_cpus(SiteId(0), now), 0);
+        assert_eq!(v.queued(SiteId(0), now), 3);
+        assert_eq!(v.demand(SiteId(0), now), 13);
+    }
+
+    #[test]
+    fn principal_demand_tracks_vo_and_group() {
+        let mut v = GridView::new(&sites());
+        let now = SimTime::ZERO;
+        v.observe(&rec(2, 0, 3, 0, 50), now); // vo 0
+        v.observe(&rec(3, 1, 5, 0, 80), now); // vo 1
+        assert_eq!(v.vo_demand(VoId(0), now), 3);
+        assert_eq!(v.vo_demand(VoId(1), now), 5);
+        assert_eq!(v.group_demand(VoId(0), GroupId(0), now), 3);
+        let later = SimTime::from_secs(60);
+        assert_eq!(v.vo_demand(VoId(0), later), 0);
+        assert_eq!(v.vo_demand(VoId(1), later), 5);
+    }
+
+    #[test]
+    fn property_view_matches_reference_model() {
+        // Reference: free(site, t) = total - sum of active records, computed
+        // from scratch each query. The incremental view must always agree.
+        use desim::DetRng;
+        let mut rng = DetRng::new(77, 0);
+        let specs: Vec<SiteSpec> = (0..5)
+            .map(|i| SiteSpec::single_cluster(SiteId(i), 50))
+            .collect();
+        let mut view = GridView::new(&specs);
+        let mut records: Vec<DispatchRecord> = Vec::new();
+        for step in 0..400u64 {
+            let now = SimTime::from_secs(step * 10);
+            if rng.chance(0.7) {
+                let r = DispatchRecord {
+                    job: JobId(step as u32),
+                    site: SiteId(rng.index(5) as u32),
+                    vo: VoId(rng.index(3) as u32),
+                    group: GroupId(0),
+                    cpus: 1 + rng.index(4) as u32,
+                    dispatched_at: now,
+                    est_finish: now
+                        + gruber_types::SimDuration::from_secs(1 + rng.next_u64() % 2000),
+                };
+                if view.observe(&r, now) {
+                    records.push(r);
+                }
+            }
+            // Compare against the brute-force reference at a probe site.
+            let probe = SiteId(rng.index(5) as u32);
+            let reference: u64 = records
+                .iter()
+                .filter(|r| r.site == probe && r.est_finish > now)
+                .map(|r| u64::from(r.cpus))
+                .sum();
+            assert_eq!(
+                view.demand(probe, now),
+                reference,
+                "view diverged at step {step}"
+            );
+        }
+    }
+
+    #[test]
+    fn idle_and_free_vectors() {
+        let mut v = GridView::new(&sites());
+        let now = SimTime::ZERO;
+        v.observe(&rec(1, 1, 8, 0, 100), now);
+        assert_eq!(v.free_per_site(now), vec![10, 12]);
+        assert_eq!(v.idle_cpus(now), 22);
+    }
+}

@@ -1,0 +1,57 @@
+//! Decision-point capacity models.
+//!
+//! "We use performance models created by DiPerF to establish an upper
+//! bound on the number of transactions that a decision point can handle
+//! per time interval. When this upper bound is reached, a decision point
+//! can trigger a saturation signal to a third party monitoring service."
+
+use serde::{Deserialize, Serialize};
+
+/// An upper bound on what one decision point absorbs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CapacityModel {
+    /// Sustainable throughput, queries/second (the DiPerF plateau).
+    pub qps: f64,
+    /// Short bursts above `qps` are absorbed by the container queue up to
+    /// this backlog before responses degrade past the acceptable bound.
+    pub burst_backlog: u32,
+}
+
+impl CapacityModel {
+    /// Capacity of a GT3 decision point (DiPerF plateau ≈ 2 q/s).
+    pub fn gt3() -> Self {
+        CapacityModel {
+            qps: 2.0,
+            burst_backlog: 8,
+        }
+    }
+
+    /// Capacity of a GT 3.9.4-prerelease decision point (≈ 1.2 q/s).
+    pub fn gt4_prerelease() -> Self {
+        CapacityModel {
+            qps: 1.2,
+            burst_backlog: 8,
+        }
+    }
+
+    /// Requests one point absorbs in an interval of `secs` seconds.
+    pub fn per_interval(&self, secs: f64) -> f64 {
+        self.qps * secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_ordered() {
+        assert!(CapacityModel::gt3().qps > CapacityModel::gt4_prerelease().qps);
+    }
+
+    #[test]
+    fn per_interval_scales() {
+        let m = CapacityModel { qps: 2.0, burst_backlog: 0 };
+        assert_eq!(m.per_interval(60.0), 120.0);
+    }
+}

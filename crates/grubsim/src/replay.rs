@@ -1,0 +1,212 @@
+//! Trace replay and decision-point provisioning.
+
+use crate::capacity::CapacityModel;
+use diperf::RequestTrace;
+use gruber_types::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// What GRUB-SIM concluded from one trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrubSimReport {
+    /// Decision points the traced experiment ran with.
+    pub initial_dps: usize,
+    /// Decision points GRUB-SIM added during the replay.
+    pub added_dps: usize,
+    /// Saturation (overload) events observed.
+    pub overload_events: usize,
+    /// Replay intervals processed.
+    pub intervals: usize,
+    /// Peak offered load observed, queries/second.
+    pub peak_offered_qps: f64,
+    /// Sustainable per-point throughput of the capacity model used.
+    pub model_qps: f64,
+}
+
+impl GrubSimReport {
+    /// Total decision points required (`initial + added`).
+    pub fn required_dps(&self) -> usize {
+        self.initial_dps + self.added_dps
+    }
+
+    /// Decision points needed to sustain the *peak offered demand* of the
+    /// trace — the capacity-planning answer ("how many points would this
+    /// grid need?"), independent of how many the traced run started with.
+    pub fn required_for_peak(&self) -> usize {
+        (self.peak_offered_qps / self.model_qps).ceil().max(1.0) as usize
+    }
+
+    /// Renders a Table 3 row.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>3} initial  +{:<2} added  = {:>3} required   ({} overloads, peak {:.2} q/s)",
+            self.initial_dps,
+            self.added_dps,
+            self.required_dps(),
+            self.overload_events,
+            self.peak_offered_qps
+        ) + &format!("  [{} would sustain the peak demand]", self.required_for_peak())
+    }
+}
+
+/// Replays a DiPerF trace against a capacity model, adding decision points
+/// whenever the offered load saturates the current set.
+///
+/// The replay walks fixed intervals; in each it offers the interval's
+/// requests (answered *and* timed out — timeouts are demand the saturated
+/// service shed) plus any backlog carried over. When the backlog exceeds
+/// the burst allowance of the current decision-point set, an overload
+/// event fires and one decision point is added (the paper's monitor adds
+/// points one at a time as saturation signals arrive).
+pub fn simulate_required_dps(
+    traces: &[RequestTrace],
+    model: CapacityModel,
+    interval: SimDuration,
+) -> GrubSimReport {
+    assert!(!interval.is_zero(), "zero replay interval");
+    let initial_dps = traces
+        .iter()
+        .map(|t| t.dp.index() + 1)
+        .max()
+        .unwrap_or(1);
+    if traces.is_empty() {
+        return GrubSimReport {
+            initial_dps,
+            added_dps: 0,
+            overload_events: 0,
+            intervals: 0,
+            peak_offered_qps: 0.0,
+            model_qps: model.qps,
+        };
+    }
+    let horizon = traces.iter().map(|t| t.sent_at.as_millis()).max().unwrap_or(0) + 1;
+    let n_bins = horizon.div_ceil(interval.as_millis()) as usize;
+    let mut arrivals = vec![0u64; n_bins];
+    for t in traces {
+        arrivals[(t.sent_at.as_millis() / interval.as_millis()) as usize] += 1;
+    }
+
+    let secs = interval.as_secs_f64();
+    let mut dps = initial_dps;
+    let mut added = 0usize;
+    let mut overloads = 0usize;
+    let mut backlog = 0.0f64;
+    let mut peak_offered = 0.0f64;
+
+    for &a in &arrivals {
+        let offered = a as f64 + backlog;
+        peak_offered = peak_offered.max(a as f64 / secs);
+        let capacity = dps as f64 * model.per_interval(secs);
+        backlog = (offered - capacity).max(0.0);
+        let burst_allowance = (dps as u32 * model.burst_backlog) as f64;
+        if backlog > burst_allowance {
+            overloads += 1;
+            dps += 1;
+            added += 1;
+        }
+    }
+
+    GrubSimReport {
+        initial_dps,
+        added_dps: added,
+        overload_events: overloads,
+        intervals: n_bins,
+        peak_offered_qps: peak_offered,
+        model_qps: model.qps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::{ClientId, DpId, SimTime};
+
+    /// Builds a trace with `rate` requests/second for `secs` seconds,
+    /// spread over `n_dps` decision points.
+    fn steady_trace(rate: u64, secs: u64, n_dps: u32) -> Vec<RequestTrace> {
+        let mut out = Vec::new();
+        for s in 0..secs {
+            for k in 0..rate {
+                let i = s * rate + k;
+                out.push(RequestTrace::answered(
+                    ClientId((i % 50) as u32),
+                    DpId((i % u64::from(n_dps)) as u32),
+                    SimTime::from_secs(s),
+                    gruber_types::SimDuration::from_secs(1),
+                ));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn underloaded_trace_needs_no_additions() {
+        // 1 q/s against a 2 q/s point.
+        let traces = steady_trace(1, 300, 1);
+        let r = simulate_required_dps(&traces, CapacityModel::gt3(), SimDuration::MINUTE);
+        assert_eq!(r.added_dps, 0);
+        assert_eq!(r.required_dps(), 1);
+        assert_eq!(r.overload_events, 0);
+    }
+
+    #[test]
+    fn overloaded_trace_provisions_until_capacity_matches() {
+        // 7 q/s against 2 q/s points starting from one: needs ~4 total.
+        let traces = steady_trace(7, 600, 1);
+        let r = simulate_required_dps(&traces, CapacityModel::gt3(), SimDuration::MINUTE);
+        assert!(r.required_dps() >= 4, "{r:?}");
+        assert!(r.required_dps() <= 6, "{r:?}");
+        assert!(r.overload_events > 0);
+        assert!((r.peak_offered_qps - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weaker_service_needs_more_points() {
+        let traces = steady_trace(5, 600, 1);
+        let gt3 = simulate_required_dps(&traces, CapacityModel::gt3(), SimDuration::MINUTE);
+        let gt4 =
+            simulate_required_dps(&traces, CapacityModel::gt4_prerelease(), SimDuration::MINUTE);
+        assert!(
+            gt4.required_dps() > gt3.required_dps(),
+            "GT4-pre {} !> GT3 {}",
+            gt4.required_dps(),
+            gt3.required_dps()
+        );
+    }
+
+    #[test]
+    fn initial_dps_comes_from_trace() {
+        let traces = steady_trace(1, 60, 3);
+        let r = simulate_required_dps(&traces, CapacityModel::gt3(), SimDuration::MINUTE);
+        assert_eq!(r.initial_dps, 3);
+    }
+
+    #[test]
+    fn empty_trace_is_harmless() {
+        let r = simulate_required_dps(&[], CapacityModel::gt3(), SimDuration::MINUTE);
+        assert_eq!(r.required_dps(), 1);
+        assert_eq!(r.intervals, 0);
+    }
+
+    #[test]
+    fn timed_out_requests_count_as_demand() {
+        let mut traces = steady_trace(1, 300, 1);
+        // Add 6 q/s of timed-out demand.
+        for s in 0..300u64 {
+            for k in 0..6 {
+                traces.push(RequestTrace::timed_out(
+                    ClientId(k),
+                    DpId(0),
+                    SimTime::from_secs(s),
+                ));
+            }
+        }
+        let r = simulate_required_dps(&traces, CapacityModel::gt3(), SimDuration::MINUTE);
+        assert!(r.added_dps >= 2, "shed demand ignored: {r:?}");
+    }
+
+    #[test]
+    fn row_renders() {
+        let r = simulate_required_dps(&steady_trace(1, 60, 1), CapacityModel::gt3(), SimDuration::MINUTE);
+        assert!(r.row().contains("required"));
+    }
+}

@@ -1,0 +1,262 @@
+//! Wire encoding of the brokering protocol payloads.
+//!
+//! Two payloads dominate DI-GRUBER's traffic:
+//!
+//! * the **availability response** a decision point returns to a site
+//!   selector (one entry per site — "the transport of significant state");
+//! * the **sync payload** decision points flood to each other every
+//!   exchange interval (the recent job-dispatch deltas).
+//!
+//! The discrete-event simulator only needs the *sizes* (they feed the SOAP
+//! marshalling cost); `digruber::live` uses the actual bytes on its
+//! channels. A compact little-endian framing stands in for the paper's SOAP
+//! envelope; we keep a constant [`SOAP_OVERHEAD_FACTOR`] to account for XML
+//! bloat when converting to marshalling cost.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use gruber_types::{GridError, GroupId, JobId, SimTime, SiteId, VoId};
+use serde::{Deserialize, Serialize};
+
+/// XML/SOAP inflates payloads ~8× over our binary framing; marshalling cost
+/// is charged on the inflated size.
+pub const SOAP_OVERHEAD_FACTOR: f64 = 8.0;
+
+/// One site's load entry in an availability response.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SiteLoadEntry {
+    /// Site.
+    pub site: SiteId,
+    /// Total CPUs at the site.
+    pub total_cpus: u32,
+    /// CPUs the decision point believes are busy.
+    pub busy_cpus: u32,
+    /// Jobs it believes are queued at the site.
+    pub queued_jobs: u32,
+}
+
+/// A dispatch record flooded between decision points: "the periodic
+/// exchange with other decision points of information about recent job
+/// dispatch operations". Peers expire records independently using the
+/// estimated finish time, so no completion messages are needed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DispatchDelta {
+    /// The dispatched job (peers use this to de-duplicate floods).
+    pub job: JobId,
+    /// Site the job was sent to.
+    pub site: SiteId,
+    /// VO of the job.
+    pub vo: VoId,
+    /// Group of the job.
+    pub group: GroupId,
+    /// CPUs the job occupies.
+    pub cpus: u32,
+    /// When the decision point dispatched the job.
+    pub dispatched_at: SimTime,
+    /// When the dispatcher estimates the job will finish.
+    pub est_finish: SimTime,
+}
+
+/// Encodes an availability response.
+pub fn encode_availability(entries: &[SiteLoadEntry]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + entries.len() * 16);
+    buf.put_u32_le(entries.len() as u32);
+    for e in entries {
+        buf.put_u32_le(e.site.0);
+        buf.put_u32_le(e.total_cpus);
+        buf.put_u32_le(e.busy_cpus);
+        buf.put_u32_le(e.queued_jobs);
+    }
+    buf.freeze()
+}
+
+/// Decodes an availability response.
+pub fn decode_availability(mut buf: Bytes) -> Result<Vec<SiteLoadEntry>, GridError> {
+    if buf.remaining() < 4 {
+        return Err(GridError::InvalidConfig("availability: short header".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 16 {
+        return Err(GridError::InvalidConfig(format!(
+            "availability: want {} bytes, have {}",
+            n * 16,
+            buf.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(SiteLoadEntry {
+            site: SiteId(buf.get_u32_le()),
+            total_cpus: buf.get_u32_le(),
+            busy_cpus: buf.get_u32_le(),
+            queued_jobs: buf.get_u32_le(),
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes a sync payload (dispatch records).
+pub fn encode_deltas(deltas: &[DispatchDelta]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + deltas.len() * 36);
+    buf.put_u32_le(deltas.len() as u32);
+    for d in deltas {
+        buf.put_u32_le(d.job.0);
+        buf.put_u32_le(d.site.0);
+        buf.put_u32_le(d.vo.0);
+        buf.put_u32_le(d.group.0);
+        buf.put_u32_le(d.cpus);
+        buf.put_u64_le(d.dispatched_at.as_millis());
+        buf.put_u64_le(d.est_finish.as_millis());
+    }
+    buf.freeze()
+}
+
+/// Decodes a sync payload.
+pub fn decode_deltas(mut buf: Bytes) -> Result<Vec<DispatchDelta>, GridError> {
+    if buf.remaining() < 4 {
+        return Err(GridError::InvalidConfig("deltas: short header".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 36 {
+        return Err(GridError::InvalidConfig(format!(
+            "deltas: want {} bytes, have {}",
+            n * 36,
+            buf.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(DispatchDelta {
+            job: JobId(buf.get_u32_le()),
+            site: SiteId(buf.get_u32_le()),
+            vo: VoId(buf.get_u32_le()),
+            group: GroupId(buf.get_u32_le()),
+            cpus: buf.get_u32_le(),
+            dispatched_at: SimTime(buf.get_u64_le()),
+            est_finish: SimTime(buf.get_u64_le()),
+        });
+    }
+    Ok(out)
+}
+
+/// The on-the-wire size, in KB, of an availability response for `n_sites`
+/// sites, after SOAP inflation — the number fed to the marshalling model.
+pub fn availability_payload_kb(n_sites: usize) -> f64 {
+    (4.0 + n_sites as f64 * 16.0) * SOAP_OVERHEAD_FACTOR / 1024.0
+}
+
+/// The on-the-wire size, in KB, of a sync payload with `n_deltas` records,
+/// after SOAP inflation.
+pub fn deltas_payload_kb(n_deltas: usize) -> f64 {
+    (4.0 + n_deltas as f64 * 36.0) * SOAP_OVERHEAD_FACTOR / 1024.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn availability_roundtrip() {
+        let entries = vec![
+            SiteLoadEntry {
+                site: SiteId(1),
+                total_cpus: 64,
+                busy_cpus: 10,
+                queued_jobs: 3,
+            },
+            SiteLoadEntry {
+                site: SiteId(2),
+                total_cpus: 128,
+                busy_cpus: 128,
+                queued_jobs: 40,
+            },
+        ];
+        let decoded = decode_availability(encode_availability(&entries)).unwrap();
+        assert_eq!(decoded, entries);
+    }
+
+    #[test]
+    fn deltas_roundtrip() {
+        let deltas = vec![DispatchDelta {
+            job: JobId(42),
+            site: SiteId(7),
+            vo: VoId(2),
+            group: GroupId(1),
+            cpus: 3,
+            dispatched_at: SimTime::from_secs(17),
+            est_finish: SimTime::from_secs(917),
+        }];
+        let decoded = decode_deltas(encode_deltas(&deltas)).unwrap();
+        assert_eq!(decoded, deltas);
+    }
+
+    #[test]
+    fn empty_payloads_roundtrip() {
+        assert!(decode_availability(encode_availability(&[])).unwrap().is_empty());
+        assert!(decode_deltas(encode_deltas(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn truncated_payloads_error() {
+        let full = encode_availability(&[SiteLoadEntry {
+            site: SiteId(1),
+            total_cpus: 1,
+            busy_cpus: 0,
+            queued_jobs: 0,
+        }]);
+        for cut in [0, 3, 5, full.len() - 1] {
+            assert!(decode_availability(full.slice(0..cut)).is_err(), "cut {cut}");
+        }
+        assert!(decode_deltas(Bytes::from_static(b"\x02\x00\x00\x00")).is_err());
+    }
+
+    #[test]
+    fn payload_sizing_for_grid3x10() {
+        // ~300 sites: the "significant state" a GRUBER query transports.
+        let kb = availability_payload_kb(300);
+        assert!((30.0..45.0).contains(&kb), "300-site payload {kb} KB");
+        // A 3-minute delta batch from a busy DP (~70 ops).
+        let kb = deltas_payload_kb(70);
+        assert!(kb < 20.0, "delta payload {kb} KB");
+    }
+
+    proptest! {
+        #[test]
+        fn availability_roundtrips_any(entries in proptest::collection::vec(
+            (0u32..10_000, 0u32..100_000, 0u32..100_000, 0u32..10_000), 0..200)
+        ) {
+            let entries: Vec<SiteLoadEntry> = entries
+                .into_iter()
+                .map(|(s, t, b, q)| SiteLoadEntry {
+                    site: SiteId(s),
+                    total_cpus: t,
+                    busy_cpus: b,
+                    queued_jobs: q,
+                })
+                .collect();
+            let decoded = decode_availability(encode_availability(&entries)).unwrap();
+            prop_assert_eq!(decoded, entries);
+        }
+
+        #[test]
+        fn deltas_roundtrip_any(deltas in proptest::collection::vec(
+            (0u32..10_000, 0u32..100, 0u32..100, 1u32..64, 0u64..10_000_000), 0..200)
+        ) {
+            let deltas: Vec<DispatchDelta> = deltas
+                .into_iter()
+                .enumerate()
+                .map(|(i, (s, v, g, c, t))| DispatchDelta {
+                    job: JobId(i as u32),
+                    site: SiteId(s),
+                    vo: VoId(v),
+                    group: GroupId(g),
+                    cpus: c,
+                    dispatched_at: SimTime(t),
+                    est_finish: SimTime(t + 1000),
+                })
+                .collect();
+            let decoded = decode_deltas(encode_deltas(&deltas)).unwrap();
+            prop_assert_eq!(decoded, deltas);
+        }
+    }
+}

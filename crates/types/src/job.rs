@@ -1,0 +1,194 @@
+//! Jobs and their lifecycle.
+//!
+//! The paper models workload executions with jobs passing through four
+//! states: (1) submitted by a user to a submission host, (2) submitted by a
+//! submission host to a site but queued or held, (3) running at a site, and
+//! (4) completed. [`JobState`] captures exactly that progression (plus a
+//! terminal `Failed` state used by the Euryale planner's replanning logic).
+
+use crate::id::{ClientId, GroupId, JobId, SiteId, UserId, VoId};
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Immutable description of a job as produced by the workload generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Unique id.
+    pub id: JobId,
+    /// Owning virtual organization.
+    pub vo: VoId,
+    /// Owning group within the VO.
+    pub group: GroupId,
+    /// Submitting user.
+    pub user: UserId,
+    /// Submission host the user handed the job to.
+    pub client: ClientId,
+    /// CPUs required (the paper's workloads are single-CPU jobs).
+    pub cpus: u32,
+    /// Permanent storage the job stages at its site for its lifetime, in
+    /// MB (0 = CPU-only job; the paper's USLAs cover storage as a second
+    /// resource dimension).
+    pub storage_mb: u32,
+    /// Wall-clock execution time once the job starts running.
+    pub runtime: SimDuration,
+    /// Instant the user submitted the job to the submission host.
+    pub submitted_at: SimTime,
+}
+
+impl JobSpec {
+    /// Total CPU time the job will consume (`cpus * runtime`).
+    pub fn cpu_time(&self) -> SimDuration {
+        self.runtime * u64::from(self.cpus)
+    }
+}
+
+/// The paper's four-state job lifecycle (plus `Failed`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// (1) Submitted by a user to a submission host; awaiting site selection.
+    AtSubmissionHost,
+    /// (2) Dispatched by the submission host to a site, but queued or held.
+    QueuedAtSite,
+    /// (3) Running at a site.
+    Running,
+    /// (4) Completed successfully.
+    Completed,
+    /// Terminal failure (site fault); Euryale may replan a fresh attempt.
+    Failed,
+}
+
+impl JobState {
+    /// True for the two terminal states.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Completed | JobState::Failed)
+    }
+
+    /// Validates the lifecycle transition described in the paper.
+    pub fn can_transition_to(self, next: JobState) -> bool {
+        use JobState::*;
+        matches!(
+            (self, next),
+            (AtSubmissionHost, QueuedAtSite)
+                | (QueuedAtSite, Running)
+                | (QueuedAtSite, Failed)
+                | (Running, Completed)
+                | (Running, Failed)
+                // Replanning: a failed attempt returns to the submission host.
+                | (Failed, AtSubmissionHost)
+        )
+    }
+}
+
+/// Mutable bookkeeping for a job as it progresses through the grid.
+///
+/// The timestamps feed the paper's metrics: `dispatched_at → started_at` is
+/// the per-job queue time (QTime), `started_at → completed_at` the execution
+/// time used for utilization.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// The job's immutable spec.
+    pub spec: JobSpec,
+    /// Current lifecycle state.
+    pub state: JobState,
+    /// Site the job was dispatched to, once selected.
+    pub site: Option<SiteId>,
+    /// Instant the submission host dispatched the job to a site.
+    pub dispatched_at: Option<SimTime>,
+    /// Instant the site scheduler started the job.
+    pub started_at: Option<SimTime>,
+    /// Instant the job completed.
+    pub completed_at: Option<SimTime>,
+    /// Whether the site-selection decision was served by a decision point
+    /// (`true`) or made randomly after a client timeout (`false`).
+    pub handled_by_gruber: bool,
+}
+
+impl JobRecord {
+    /// Fresh record for a newly submitted job.
+    pub fn new(spec: JobSpec) -> Self {
+        JobRecord {
+            spec,
+            state: JobState::AtSubmissionHost,
+            site: None,
+            dispatched_at: None,
+            started_at: None,
+            completed_at: None,
+            handled_by_gruber: false,
+        }
+    }
+
+    /// Per-job queue time: dispatch to a site until execution start.
+    ///
+    /// `None` until the job has started.
+    pub fn queue_time(&self) -> Option<SimDuration> {
+        Some(self.started_at?.since(self.dispatched_at?))
+    }
+
+    /// CPU time actually consumed (for utilization); `None` until completed.
+    pub fn consumed_cpu_time(&self) -> Option<SimDuration> {
+        let run = self.completed_at?.since(self.started_at?);
+        Some(run * u64::from(self.spec.cpus))
+    }
+
+    /// End-to-end makespan from user submission to completion.
+    pub fn makespan(&self) -> Option<SimDuration> {
+        Some(self.completed_at?.since(self.spec.submitted_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> JobSpec {
+        JobSpec {
+            id: JobId(1),
+            vo: VoId(0),
+            group: GroupId(0),
+            user: UserId(0),
+            client: ClientId(0),
+            cpus: 2,
+            storage_mb: 0,
+            runtime: SimDuration::from_secs(100),
+            submitted_at: SimTime::from_secs(5),
+        }
+    }
+
+    #[test]
+    fn cpu_time_multiplies_cpus() {
+        assert_eq!(spec().cpu_time(), SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn lifecycle_transitions() {
+        use JobState::*;
+        assert!(AtSubmissionHost.can_transition_to(QueuedAtSite));
+        assert!(QueuedAtSite.can_transition_to(Running));
+        assert!(Running.can_transition_to(Completed));
+        assert!(Running.can_transition_to(Failed));
+        assert!(Failed.can_transition_to(AtSubmissionHost));
+        assert!(!AtSubmissionHost.can_transition_to(Running));
+        assert!(!Completed.can_transition_to(Running));
+        assert!(!Running.can_transition_to(QueuedAtSite));
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+    }
+
+    #[test]
+    fn record_timings() {
+        let mut r = JobRecord::new(spec());
+        assert_eq!(r.queue_time(), None);
+        r.dispatched_at = Some(SimTime::from_secs(10));
+        r.started_at = Some(SimTime::from_secs(25));
+        r.completed_at = Some(SimTime::from_secs(125));
+        assert_eq!(r.queue_time(), Some(SimDuration::from_secs(15)));
+        // 100 s of wall time on 2 CPUs.
+        assert_eq!(r.consumed_cpu_time(), Some(SimDuration::from_secs(200)));
+        assert_eq!(r.makespan(), Some(SimDuration::from_secs(120)));
+    }
+}

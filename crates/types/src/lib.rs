@@ -1,0 +1,35 @@
+//! Shared domain vocabulary for the DI-GRUBER reproduction.
+//!
+//! This crate defines the types every other crate in the workspace speaks:
+//! strongly-typed identifiers ([`SiteId`], [`VoId`], [`JobId`], ...), the
+//! simulated clock ([`SimTime`], [`SimDuration`]), job and site descriptions,
+//! the four-state job lifecycle from the paper, and the shared error type.
+//!
+//! Nothing here contains behaviour beyond simple arithmetic and validation;
+//! the point is that `gridemu`, `gruber`, `digruber`, `euryale`, `diperf` and
+//! `grubsim` all agree on what a job, a site and a timestamp are.
+
+//! # Example
+//!
+//! ```
+//! use gruber_types::{SimDuration, SimTime, SiteId};
+//!
+//! let t = SimTime::from_secs(10) + SimDuration::MINUTE;
+//! assert_eq!(t.as_secs(), 70);
+//! assert_eq!(SiteId(3).to_string(), "site-3");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod id;
+pub mod job;
+pub mod site;
+pub mod time;
+
+pub use error::{GridError, GridResult};
+pub use id::{ClientId, ClusterId, DpId, GroupId, JobId, SiteId, UserId, VoId};
+pub use job::{JobRecord, JobSpec, JobState};
+pub use site::{ClusterSpec, SiteSpec};
+pub use time::{SimDuration, SimTime};

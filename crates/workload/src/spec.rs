@@ -1,0 +1,118 @@
+//! Workload specification.
+
+use desim::dist::Dist;
+use gruber_types::SimDuration;
+
+/// The knobs describing one experiment's workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Number of virtual organizations.
+    pub n_vos: u32,
+    /// Groups per VO.
+    pub groups_per_vo: u32,
+    /// Submission hosts (DiPerF tester clients).
+    pub n_clients: u32,
+    /// Client think time between receiving a placement and issuing the next
+    /// query (closed-loop workload), in seconds.
+    pub think_time: Dist,
+    /// Job wall-clock runtime, in seconds.
+    pub job_runtime: Dist,
+    /// CPUs per job (the paper's workloads are single-CPU).
+    pub job_cpus: u32,
+    /// Permanent storage each job stages at its site, in MB (the paper's
+    /// USLAs cover storage; the Section 4 workloads are CPU-bound, so the
+    /// default is 0).
+    pub job_storage_mb: Dist,
+    /// Experiment duration.
+    pub duration: SimDuration,
+    /// Fraction of the run over which clients leave again at the end
+    /// (0.0 = everyone stays, the paper's figures).
+    pub departure_fraction: f64,
+}
+
+impl WorkloadSpec {
+    /// The Section 4 configuration: 10 VOs × 10 groups, ~120 submission
+    /// hosts submitting in a closed loop with ~9 s think time, 40-minute
+    /// (log-normal) jobs, one hour of experiment.
+    pub fn paper_default() -> Self {
+        WorkloadSpec {
+            n_vos: 10,
+            groups_per_vo: 10,
+            n_clients: 120,
+            think_time: Dist::lognormal_mean_cv(9.0, 0.5),
+            job_runtime: Dist::lognormal_mean_cv(2400.0, 1.0),
+            job_cpus: 1,
+            job_storage_mb: Dist::Constant(0.0),
+            duration: SimDuration::HOUR,
+            departure_fraction: 0.0,
+        }
+    }
+
+    /// A small configuration for unit tests and the quickstart example:
+    /// 2 VOs × 2 groups, 8 clients, 10 minutes.
+    pub fn small() -> Self {
+        WorkloadSpec {
+            n_vos: 2,
+            groups_per_vo: 2,
+            n_clients: 8,
+            think_time: Dist::lognormal_mean_cv(5.0, 0.5),
+            job_runtime: Dist::lognormal_mean_cv(120.0, 0.8),
+            job_cpus: 1,
+            job_storage_mb: Dist::Constant(0.0),
+            duration: SimDuration::from_mins(10),
+            departure_fraction: 0.0,
+        }
+    }
+
+    /// Sanity-checks the spec.
+    pub fn validate(&self) -> Result<(), gruber_types::GridError> {
+        if self.n_vos == 0
+            || self.groups_per_vo == 0
+            || self.n_clients == 0
+            || self.job_cpus == 0
+            || self.duration.is_zero()
+            || !(0.0..=1.0).contains(&self.departure_fraction)
+        {
+            return Err(gruber_types::GridError::InvalidConfig(
+                "workload spec has a zero field".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Rough open-loop demand if every client cycled with zero response
+    /// time: `n_clients / mean_think_time` queries/second. Used by capacity
+    /// planning in `grubsim`.
+    pub fn peak_demand_qps(&self) -> f64 {
+        f64::from(self.n_clients) / self.think_time.mean()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_shape() {
+        let w = WorkloadSpec::paper_default();
+        w.validate().unwrap();
+        assert_eq!(w.n_vos, 10);
+        assert_eq!(w.groups_per_vo, 10);
+        assert_eq!(w.n_clients, 120);
+        assert_eq!(w.duration, SimDuration::HOUR);
+        // Demand must exceed a single GT3 decision point's ~2 q/s capacity
+        // (that is what drives the paper's 1-DP saturation).
+        assert!(w.peak_demand_qps() > 5.0);
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut w = WorkloadSpec::small();
+        w.validate().unwrap();
+        w.n_clients = 0;
+        assert!(w.validate().is_err());
+        let mut w = WorkloadSpec::small();
+        w.duration = SimDuration::ZERO;
+        assert!(w.validate().is_err());
+    }
+}

@@ -1,0 +1,46 @@
+//! Quickstart: run a small DI-GRUBER deployment end to end.
+//!
+//! Builds a Grid3-sized emulated grid, three decision points on the GT3
+//! service stack, a small closed-loop workload of submission hosts, runs
+//! ten simulated minutes, and prints the DiPerF summary plus the
+//! handled/not-handled scheduling-quality table.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use digruber::config::DigruberConfig;
+use digruber::run_experiment;
+use workload::WorkloadSpec;
+
+fn main() {
+    // Three decision points, Grid3×1, everything else at paper defaults
+    // (3-minute exchanges, 30 s client timeout, PlanetLab-like WAN).
+    let cfg = DigruberConfig::small(3, 42);
+    let workload = WorkloadSpec::small();
+
+    let out = run_experiment(cfg, workload, "quickstart: 3 decision points")
+        .expect("experiment failed");
+
+    println!("{}", out.report.render());
+    println!(
+        "jobs dispatched: {}   mean scheduling accuracy (handled): {:.1}%",
+        out.jobs_dispatched,
+        out.mean_handled_accuracy.unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "grid utilization: {:.2}%   mean queue time: {:.1}s",
+        out.table.all.util * 100.0,
+        out.table.all.qtime_secs
+    );
+    println!("\nfirst minutes (load / response / throughput):");
+    for (t, load, resp, thr) in out.figure_rows.iter().take(5) {
+        println!(
+            "  t+{:>3}min  {:>3.0} clients  {:>6.2}s  {:>5.2} q/s",
+            t.as_secs() / 60,
+            load,
+            resp,
+            thr
+        );
+    }
+}

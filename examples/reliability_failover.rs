@@ -1,0 +1,77 @@
+//! Service reliability under decision-point failures.
+//!
+//! "We cannot afford for this infrastructure to fail" (paper §2.2). This
+//! example injects decision-point crashes (exponential MTBF/repair clocks)
+//! into the paper-scale deployment and compares three postures:
+//!
+//! 1. no failures (the paper's experiments);
+//! 2. failures with strictly static client binding (clients keep querying
+//!    their dead point);
+//! 3. failures with client failover (re-bind after 2 consecutive
+//!    timeouts) — at this load the deployment is capacity-bound, so
+//!    failover merely spreads the pain: moving 40 clients onto the
+//!    survivors saturates *them* too;
+//! 4. failover **plus dynamic provisioning** (paper §5): the saturation
+//!    monitor adds decision points when the survivors overload — the
+//!    correct response when the problem is missing capacity.
+//!
+//! ```text
+//! cargo run --release --example reliability_failover
+//! ```
+
+use digruber::config::{DigruberConfig, DynamicConfig, FailureConfig};
+use digruber::{run_experiment, ExperimentOutput, ServiceKind};
+use gruber_types::SimDuration;
+use workload::WorkloadSpec;
+
+fn run(
+    failures: Option<FailureConfig>,
+    dynamic: Option<DynamicConfig>,
+    label: &str,
+) -> ExperimentOutput {
+    let mut cfg = DigruberConfig::paper(3, ServiceKind::Gt3, 2005);
+    cfg.failures = failures;
+    cfg.dynamic = dynamic;
+    run_experiment(cfg, WorkloadSpec::paper_default(), label).expect("experiment failed")
+}
+
+fn main() {
+    let mtbf = SimDuration::from_mins(15);
+    let repair = SimDuration::from_mins(10);
+
+    let faults = |failover_after| FailureConfig {
+        dp_mtbf: mtbf,
+        dp_repair: repair,
+        failover_after,
+    };
+    let clean = run(None, None, "no failures");
+    let static_binding = run(Some(faults(0)), None, "failures, static binding");
+    let failover = run(Some(faults(2)), None, "failures, failover only");
+    let provisioned = run(
+        Some(faults(2)),
+        Some(DynamicConfig::default()),
+        "failures, failover + dynamic provisioning",
+    );
+
+    println!("3 GT3 decision points, Grid3x10, 120 hosts, 1 h, MTBF 15 min, repair 10 min\n");
+    println!(
+        "{:<44} {:>7} {:>9} {:>6} {:>9} {:>9}",
+        "posture", "crashes", "failovers", "DPs", "handled", "peak q/s"
+    );
+    for out in [&clean, &static_binding, &failover, &provisioned] {
+        println!(
+            "{:<44} {:>7} {:>9} {:>6} {:>8.1}% {:>9.2}",
+            out.label,
+            out.dp_failures,
+            out.failovers,
+            out.final_dps,
+            out.report.handled_fraction() * 100.0,
+            out.report.peak_throughput_qps,
+        );
+    }
+    println!(
+        "\nTakeaway: at this load the 3-point deployment is capacity-bound, so\n\
+         failover alone spreads saturation rather than curing it; pairing it\n\
+         with the paper's Section 5 dynamic provisioning restores service."
+    );
+}

@@ -1,0 +1,18 @@
+//! Umbrella crate for the DI-GRUBER reproduction.
+//!
+//! Re-exports the workspace crates so the examples and integration tests can
+//! use a single dependency. See the individual crates for the real APIs:
+//! [`digruber`] is the paper's primary contribution.
+
+pub use desim;
+pub use digruber;
+pub use diperf;
+pub use euryale;
+pub use gridemu;
+pub use gruber;
+pub use gruber_metrics as metrics;
+pub use gruber_types as types;
+pub use grubsim;
+pub use simnet;
+pub use usla;
+pub use workload;

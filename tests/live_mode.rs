@@ -1,0 +1,157 @@
+//! Live (threaded) deployment integration: the same brokering semantics as
+//! the simulator, over real channels and the real wire codec.
+
+use digruber::live::LiveCluster;
+use gruber::DispatchRecord;
+use gruber_types::{DpId, GroupId, JobId, SimDuration, SiteId, SiteSpec, VoId};
+use std::time::{Duration, Instant};
+use workload::uslas::equal_shares;
+
+fn sites(n: u32, cpus: u32) -> Vec<SiteSpec> {
+    (0..n).map(|i| SiteSpec::single_cluster(SiteId(i), cpus)).collect()
+}
+
+fn record(job: u32, site: u32, cpus: u32, cluster: &LiveCluster) -> DispatchRecord {
+    let now = cluster.now();
+    DispatchRecord {
+        job: JobId(job),
+        site: SiteId(site),
+        vo: VoId(0),
+        group: GroupId(0),
+        cpus,
+        dispatched_at: now,
+        est_finish: now + SimDuration::from_secs(3600),
+    }
+}
+
+/// Polls `probe` until it returns true or the deadline passes.
+fn eventually(deadline: Duration, mut probe: impl FnMut() -> bool) -> bool {
+    let end = Instant::now() + deadline;
+    while Instant::now() < end {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    false
+}
+
+#[test]
+fn views_converge_across_the_mesh() {
+    let cluster = LiveCluster::start(
+        4,
+        sites(6, 10),
+        &equal_shares(2, 2).unwrap(),
+        Duration::from_millis(25),
+    );
+    // Spread informs across all four points.
+    for j in 0..12u32 {
+        cluster.inform(DpId(j % 4), record(j, j % 6, 1, &cluster));
+    }
+    // Every point must converge to the same global picture: 12 CPUs busy.
+    let converged = eventually(Duration::from_secs(10), || {
+        (0..4).all(|d| {
+            cluster
+                .query(DpId(d), Duration::from_secs(5))
+                .map(|free| free.iter().sum::<u32>() == 60 - 12)
+                .unwrap_or(false)
+        })
+    });
+    assert!(converged, "mesh never converged");
+    let stats = cluster.shutdown();
+    // Each point merged the 9 records the other three produced.
+    for s in &stats {
+        assert_eq!(s.peer_records, 9, "{s:?}");
+    }
+}
+
+#[test]
+fn duplicate_floods_are_idempotent() {
+    let cluster = LiveCluster::start(
+        2,
+        sites(2, 16),
+        &equal_shares(2, 2).unwrap(),
+        Duration::from_secs(3600),
+    );
+    cluster.inform(DpId(0), record(1, 0, 4, &cluster));
+    // Force several sync rounds; the single record must be applied once.
+    for _ in 0..5 {
+        cluster.force_sync();
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let ok = eventually(Duration::from_secs(10), || {
+        cluster
+            .query(DpId(1), Duration::from_secs(5))
+            .map(|f| f[0] == 12)
+            .unwrap_or(false)
+    });
+    assert!(ok, "peer never saw the record exactly once");
+    let stats = cluster.shutdown();
+    assert_eq!(stats[1].peer_records, 1);
+}
+
+#[test]
+fn live_queries_are_concurrent_safe() {
+    let cluster = std::sync::Arc::new(LiveCluster::start(
+        2,
+        sites(4, 8),
+        &equal_shares(2, 2).unwrap(),
+        Duration::from_millis(50),
+    ));
+    std::thread::scope(|scope| {
+        for t in 0..8u32 {
+            let cluster = std::sync::Arc::clone(&cluster);
+            scope.spawn(move || {
+                for i in 0..25u32 {
+                    let dp = DpId((t + i) % 2);
+                    let free = cluster.query(dp, Duration::from_secs(10)).expect("query");
+                    assert_eq!(free.len(), 4);
+                }
+            });
+        }
+    });
+    let stats = std::sync::Arc::try_unwrap(cluster)
+        .ok()
+        .expect("sole owner")
+        .shutdown();
+    let total: u64 = stats.iter().map(|s| s.queries).sum();
+    assert_eq!(total, 200);
+}
+
+#[test]
+fn threaded_workload_drives_the_full_stack() {
+    use digruber::live::drive_workload;
+    use parking_lot::Mutex;
+
+    let sites = sites(10, 64); // 640 CPUs
+    let grid = Mutex::new(
+        gridemu::Grid::new(sites.clone(), gridemu::SitePolicy::permissive()).unwrap(),
+    );
+    let cluster = LiveCluster::start(
+        3,
+        sites,
+        &equal_shares(2, 2).unwrap(),
+        Duration::from_millis(20),
+    );
+
+    let stats = drive_workload(&cluster, &grid, 8, 50, Duration::from_secs(10), 77);
+    cluster.shutdown();
+
+    let total = stats.placed_via_broker + stats.placed_randomly + stats.rejected;
+    assert_eq!(total, 400, "every job accounted for: {stats:?}");
+    // A healthy local cluster answers essentially everything in time.
+    assert!(
+        stats.placed_via_broker > 350,
+        "broker answered too little: {stats:?}"
+    );
+    // Ground truth agrees with the placement count (1-CPU jobs, none
+    // completed during the run).
+    let g = grid.lock();
+    let busy: u64 = 640 - g.idle_cpus();
+    assert_eq!(
+        busy,
+        stats.placed_via_broker + stats.placed_randomly,
+        "grid busy CPUs diverge from placements"
+    );
+    g.check_invariants();
+}

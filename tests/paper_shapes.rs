@@ -1,0 +1,186 @@
+//! End-to-end assertions of the paper's headline claims, at paper scale
+//! (Grid3×10, 120 submission hosts, one simulated hour per run).
+//!
+//! These are the acceptance tests of the reproduction: if any of them
+//! fails, a figure in EXPERIMENTS.md no longer has the shape the paper
+//! reports.
+
+use digruber::config::DigruberConfig;
+use digruber::{run_experiment, ExperimentOutput, ServiceKind};
+use workload::WorkloadSpec;
+
+fn paper_run(service: ServiceKind, n_dps: usize) -> ExperimentOutput {
+    run_experiment(
+        DigruberConfig::paper(n_dps, service, 2005),
+        WorkloadSpec::paper_default(),
+        "paper shape",
+    )
+    .expect("experiment failed")
+}
+
+#[test]
+fn gt3_throughput_scales_with_decision_points() {
+    let one = paper_run(ServiceKind::Gt3, 1);
+    let three = paper_run(ServiceKind::Gt3, 3);
+    let ten = paper_run(ServiceKind::Gt3, 10);
+
+    let (t1, t3, t10) = (
+        one.report.peak_throughput_qps,
+        three.report.peak_throughput_qps,
+        ten.report.peak_throughput_qps,
+    );
+    // "The overall improvement in terms of throughput and response time is
+    // two to three times when a three-decision point infrastructure is
+    // deployed, while for the ten-decision point infrastructure the
+    // throughput increased almost five times."
+    assert!(t3 / t1 > 2.0 && t3 / t1 < 4.5, "3-DP speedup {}", t3 / t1);
+    assert!(t10 / t1 > 3.5, "10-DP speedup {}", t10 / t1);
+
+    // Response time improves monotonically.
+    assert!(
+        one.report.response.mean > three.report.response.mean,
+        "1 DP {} !> 3 DP {}",
+        one.report.response.mean,
+        three.report.response.mean
+    );
+    assert!(three.report.response.mean > ten.report.response.mean);
+}
+
+#[test]
+fn gt3_centralized_point_saturates_near_two_qps() {
+    let one = paper_run(ServiceKind::Gt3, 1);
+    // "Throughput increases rapidly, but plateaus at a little less than
+    // [two] queries per second" — our calibration target.
+    assert!(
+        (1.5..2.6).contains(&one.report.peak_throughput_qps),
+        "1-DP peak throughput {}",
+        one.report.peak_throughput_qps
+    );
+    // The saturated point sheds a large fraction of requests to timeouts.
+    assert!(
+        one.report.handled_fraction() < 0.6,
+        "1 DP should be overloaded, handled {}",
+        one.report.handled_fraction()
+    );
+}
+
+#[test]
+fn gt4_prerelease_is_slower_but_scales_the_same_way() {
+    let one = paper_run(ServiceKind::Gt4Prerelease, 1);
+    let three = paper_run(ServiceKind::Gt4Prerelease, 3);
+    let ten = paper_run(ServiceKind::Gt4Prerelease, 10);
+
+    // "plateaus just above [one] query per second" for the centralized GT4.
+    assert!(
+        (0.8..1.8).contains(&one.report.peak_throughput_qps),
+        "GT4 1-DP peak {}",
+        one.report.peak_throughput_qps
+    );
+    // "Overall, throughput and Response improve by a factor of three when
+    // [...] one to three, and by a factor of five when using five [more]
+    // decision points."
+    let s3 = three.report.peak_throughput_qps / one.report.peak_throughput_qps;
+    let s10 = ten.report.peak_throughput_qps / one.report.peak_throughput_qps;
+    assert!(s3 > 2.0, "GT4 3-DP speedup {s3}");
+    assert!(s10 > 4.0, "GT4 10-DP speedup {s10}");
+
+    // "GT3 DI-GRUBER was able to handle almost all requests" with 3+ DPs
+    // in the GT4 table discussion: with 3 and 10 points the handled
+    // fraction is near 1.
+    assert!(three.report.handled_fraction() > 0.85);
+    assert!(ten.report.handled_fraction() > 0.95);
+
+    // And GT4-prerelease is slower than GT3 at equal configuration.
+    let gt3 = paper_run(ServiceKind::Gt3, 3);
+    assert!(three.report.peak_throughput_qps < gt3.report.peak_throughput_qps);
+}
+
+#[test]
+fn handled_requests_beat_unhandled_on_scheduling_quality() {
+    // Table 1's comparison: "Accuracy shows significant improvement;
+    // higher Resource Utilization; QTime is better" for requests handled
+    // by GRUBER vs those that were not.
+    let one = paper_run(ServiceKind::Gt3, 1);
+    let handled = one.table.handled;
+    let not = one.table.not_handled;
+    assert!(handled.requests > 0 && not.requests > 0);
+    assert!(handled.accuracy.is_some());
+    assert!(not.accuracy.is_none(), "random placements have no accuracy");
+    assert!(
+        handled.qtime_secs <= not.qtime_secs + 1e-9,
+        "handled QTime {} !<= unhandled {}",
+        handled.qtime_secs,
+        not.qtime_secs
+    );
+}
+
+#[test]
+fn one_dp_low_qtime_is_deceptive_normalized_qtime_corrects_it() {
+    // "Note that the scenario with only one decision point has a small
+    // QTime; this is due to the fact that [...] the number of jobs entering
+    // the grid was smaller [...] Normalized QTime now shows its worse
+    // performance."
+    let one = paper_run(ServiceKind::Gt3, 1);
+    let ten = paper_run(ServiceKind::Gt3, 10);
+    // Fewer jobs enter the grid under the centralized point.
+    assert!(
+        one.jobs_dispatched < ten.jobs_dispatched / 2,
+        "1 DP admitted {} jobs, 10 DPs {}",
+        one.jobs_dispatched,
+        ten.jobs_dispatched
+    );
+    // Utilization is lower with one decision point.
+    assert!(one.table.all.util < ten.table.all.util);
+}
+
+#[test]
+fn accuracy_decays_with_exchange_interval() {
+    use gruber_types::SimDuration;
+    // Figure 8: a three-minute exchange interval suffices for high
+    // accuracy; accuracy decays as the interval grows.
+    let mut accs = Vec::new();
+    for mins in [3u64, 30] {
+        let mut cfg = DigruberConfig::paper(3, ServiceKind::Gt3, 2005);
+        cfg.sync_interval = SimDuration::from_mins(mins);
+        let out = run_experiment(cfg, WorkloadSpec::paper_default(), "fig8 point").unwrap();
+        accs.push(out.mean_handled_accuracy.unwrap());
+    }
+    assert!(accs[0] > 0.85, "3-min accuracy {}", accs[0]);
+    assert!(
+        accs[0] > accs[1] + 0.05,
+        "accuracy did not decay: {accs:?}"
+    );
+}
+
+#[test]
+fn environment_is_ten_times_grid3() {
+    let out = paper_run(ServiceKind::Gt3, 3);
+    // "an environment ten times larger than today's Open Science Grid":
+    // ~300 sites, tens of thousands of CPUs.
+    assert_eq!(out.final_dps, 3);
+    let w = digruber::World::new(
+        DigruberConfig::paper(3, ServiceKind::Gt3, 2005),
+        WorkloadSpec::paper_default(),
+    )
+    .unwrap();
+    assert_eq!(w.grid.n_sites(), 300);
+    assert!(w.grid.total_cpus() > 20_000);
+}
+
+#[test]
+fn marginal_gains_vanish_past_the_knee() {
+    // "Results presented in Section 5 suggest that performance gains
+    // obtained with more than [10] decision points would be marginal."
+    let six = paper_run(ServiceKind::Gt3, 6);
+    let sixteen = paper_run(ServiceKind::Gt3, 16);
+    let gain = sixteen.report.peak_throughput_qps - six.report.peak_throughput_qps;
+    assert!(
+        gain < 1.0,
+        "ten extra decision points bought {gain} q/s — the knee moved"
+    );
+    // While the first points each buy roughly a full point of capacity.
+    let one = paper_run(ServiceKind::Gt3, 1);
+    let three = paper_run(ServiceKind::Gt3, 3);
+    let early_marginal = (three.report.peak_throughput_qps - one.report.peak_throughput_qps) / 2.0;
+    assert!(early_marginal > 1.5, "early marginal gain {early_marginal}");
+}

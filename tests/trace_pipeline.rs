@@ -1,0 +1,68 @@
+//! The experiment → trace → GRUB-SIM pipeline, end to end (Table 3's
+//! data path), including the on-disk trace format.
+
+use digruber::config::DigruberConfig;
+use digruber::{run_experiment, ServiceKind};
+use diperf::trace::{from_lines, to_lines};
+use gruber_types::SimDuration;
+use grubsim::{simulate_required_dps, CapacityModel};
+use workload::WorkloadSpec;
+
+fn scaled_run(n_dps: usize) -> digruber::ExperimentOutput {
+    let mut cfg = DigruberConfig::paper(n_dps, ServiceKind::Gt3, 99);
+    cfg.grid_factor = 1;
+    run_experiment(
+        cfg,
+        WorkloadSpec {
+            n_clients: 40,
+            duration: SimDuration::from_mins(20),
+            ..WorkloadSpec::paper_default()
+        },
+        "trace pipeline",
+    )
+    .unwrap()
+}
+
+#[test]
+fn traces_roundtrip_through_the_line_format() {
+    let out = scaled_run(2);
+    assert!(!out.traces.is_empty());
+    let lines = to_lines(&out.traces);
+    let parsed = from_lines(&lines).expect("parse our own traces");
+    assert_eq!(parsed, out.traces);
+}
+
+#[test]
+fn grubsim_consumes_experiment_traces() {
+    let out = scaled_run(1);
+    let report = simulate_required_dps(&out.traces, CapacityModel::gt3(), SimDuration::MINUTE);
+    assert_eq!(report.initial_dps, 1);
+    assert!(report.intervals > 0);
+    assert!(report.peak_offered_qps > 0.0);
+    // An overloaded 1-DP run must provoke provisioning; the total stays
+    // small ("as little as three to five decision points can be
+    // sufficient").
+    assert!(report.required_dps() >= 1);
+    assert!(report.required_dps() <= 8, "{report:?}");
+}
+
+#[test]
+fn grubsim_requirement_shrinks_when_experiment_has_enough_dps() {
+    let under = scaled_run(1);
+    let okay = scaled_run(4);
+    let r_under = simulate_required_dps(&under.traces, CapacityModel::gt3(), SimDuration::MINUTE);
+    let r_okay = simulate_required_dps(&okay.traces, CapacityModel::gt3(), SimDuration::MINUTE);
+    // The well-provisioned run needs no (or almost no) additions.
+    assert!(
+        r_okay.added_dps <= r_under.added_dps + 1,
+        "under: {r_under:?}, okay: {r_okay:?}"
+    );
+}
+
+#[test]
+fn grubsim_replay_is_deterministic() {
+    let out = scaled_run(2);
+    let a = simulate_required_dps(&out.traces, CapacityModel::gt3(), SimDuration::MINUTE);
+    let b = simulate_required_dps(&out.traces, CapacityModel::gt3(), SimDuration::MINUTE);
+    assert_eq!(a, b);
+}
