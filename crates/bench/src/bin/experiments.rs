@@ -7,7 +7,10 @@
 //! Ids: `fig1 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 table2 table3 all`.
 
 use bench::render::{render_accuracy, render_figure, render_table_block};
-use bench::{accuracy_vs_interval, crossover, dp_scaling, fig1_instance_creation, table3, SEED};
+use bench::{
+    accuracy_vs_interval, crossover, default_jobs, dp_scaling, dp_scaling_spec,
+    fig1_instance_creation, run_specs, table3, SEED,
+};
 use digruber::ServiceKind;
 use std::sync::OnceLock;
 
@@ -16,6 +19,13 @@ const DP_COUNTS: [usize; 3] = [1, 3, 10];
 
 /// Directory traces are saved into when `--save-traces DIR` is passed.
 static TRACE_DIR: OnceLock<Option<String>> = OnceLock::new();
+
+/// Worker threads for multi-run artifacts (`--jobs N`; default all cores).
+static JOBS: OnceLock<usize> = OnceLock::new();
+
+fn jobs() -> usize {
+    *JOBS.get().expect("set in main")
+}
 
 fn save_traces(id: &str, out: &digruber::ExperimentOutput) {
     if let Some(Some(dir)) = TRACE_DIR.get() {
@@ -41,8 +51,25 @@ fn main() {
             dir
         });
     TRACE_DIR.set(trace_dir).expect("set once");
+    let n_jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .map(|i| {
+            let n = args
+                .get(i + 1)
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+                .unwrap_or_else(|| {
+                    eprintln!("--jobs needs a positive integer");
+                    std::process::exit(2);
+                });
+            args.drain(i..=i + 1);
+            n
+        })
+        .unwrap_or_else(default_jobs);
+    JOBS.set(n_jobs).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|all>... [--save-traces DIR]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|all>... [--save-traces DIR] [--jobs N]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -69,8 +96,12 @@ fn overall_table(id: &str, service: ServiceKind) {
         "[{id}] Overall performance ({:?}): QTime / Normalized QTime / Util / Accuracy",
         service
     );
-    for n in DP_COUNTS {
-        let out = dp_scaling(service, n, SEED).expect("experiment failed");
+    let specs: Vec<_> = DP_COUNTS
+        .iter()
+        .map(|&n| dp_scaling_spec(service, n, SEED))
+        .collect();
+    for (m, &n) in run_specs(&specs, jobs()).iter().zip(&DP_COUNTS) {
+        let out = m.output.as_ref().expect("experiment failed");
         println!("{}", render_table_block(n, &out.table));
     }
 }
@@ -87,7 +118,7 @@ fn run(id: &str) {
         "table1" => overall_table("table1", ServiceKind::Gt3),
         "fig8" => {
             let rows =
-                accuracy_vs_interval(ServiceKind::Gt3, &INTERVALS_MIN, SEED).expect("failed");
+                accuracy_vs_interval(ServiceKind::Gt3, &INTERVALS_MIN, SEED, jobs()).expect("failed");
             println!(
                 "[fig8]\n{}",
                 render_accuracy("GT3 accuracy vs exchange interval (3 DPs)", &rows)
@@ -98,7 +129,7 @@ fn run(id: &str) {
         "fig11" => scaling_figure("fig11", ServiceKind::Gt4Prerelease, 10),
         "table2" => overall_table("table2", ServiceKind::Gt4Prerelease),
         "fig12" => {
-            let rows = accuracy_vs_interval(ServiceKind::Gt4Prerelease, &INTERVALS_MIN, SEED)
+            let rows = accuracy_vs_interval(ServiceKind::Gt4Prerelease, &INTERVALS_MIN, SEED, jobs())
                 .expect("failed");
             println!(
                 "[fig12]\n{}",
@@ -110,7 +141,7 @@ fn run(id: &str) {
             // the paper's "appropriate number of decision points".
             println!("[crossover] GT3, 1..16 decision points");
             println!("  DPs  peak q/s  mean resp(s)  handled   marginal q/s per DP");
-            let rows = crossover(ServiceKind::Gt3, &[1, 2, 3, 4, 5, 6, 8, 10, 12, 16], SEED)
+            let rows = crossover(ServiceKind::Gt3, &[1, 2, 3, 4, 5, 6, 8, 10, 12, 16], SEED, jobs())
                 .expect("experiment failed");
             let mut prev: Option<(usize, f64)> = None;
             for (n, thr, resp, handled) in rows {
@@ -143,7 +174,7 @@ fn run(id: &str) {
                 (ServiceKind::Gt4Prerelease, "GT4-based"),
             ] {
                 println!("  {name}:");
-                for report in table3(service, &DP_COUNTS, SEED).expect("failed") {
+                for report in table3(service, &DP_COUNTS, SEED, jobs()).expect("failed") {
                     println!("    {}", report.row());
                 }
             }

@@ -29,10 +29,15 @@
 //! --enforce             enforce USLA admission verdicts
 //! --dynamic             enable dynamic provisioning
 //! --failures            inject decision-point failures (with failover)
+//! --jobs N              worker threads for the sweep       (default: all cores;
+//!                       1 = serial; results identical either way)
+//! --bench-out PATH      perf snapshot destination          (default BENCH_sweep.json;
+//!                       "none" disables)
 //! ```
 
+use bench::{default_jobs, run_specs, SweepSnapshot};
 use digruber::config::{DigruberConfig, DynamicConfig, FailureConfig};
-use digruber::{run_experiment, ServiceKind, SyncTopology, WanKind};
+use digruber::{RunSpec, ServiceKind, SyncTopology, WanKind};
 use gruber::SelectorKind;
 use gruber_types::SimDuration;
 use workload::WorkloadSpec;
@@ -117,9 +122,12 @@ fn main() {
         ..WorkloadSpec::paper_default()
     };
 
-    println!(
-        "  DPs  peak thr(q/s)  mean resp(s)  handled   accuracy    util   jobs  failovers"
-    );
+    let jobs: usize = args.parsed("--jobs", default_jobs());
+    if jobs == 0 {
+        die("--jobs must be at least 1");
+    }
+
+    let mut specs = Vec::with_capacity(dps.len());
     for &n in &dps {
         let mut cfg = DigruberConfig::paper(n, service, seed);
         cfg.sync_interval = SimDuration::from_mins(args.parsed("--sync-mins", 3u64));
@@ -149,8 +157,21 @@ fn main() {
             ));
         }
 
-        let out = run_experiment(cfg, workload.clone(), &format!("{n} DPs"))
-            .unwrap_or_else(|e| die(&format!("experiment failed: {e}")));
+        specs.push(RunSpec::new(format!("{n} DPs"), cfg, workload.clone()));
+    }
+
+    let start = std::time::Instant::now();
+    let measurements = run_specs(&specs, jobs);
+    let total_wall = start.elapsed();
+
+    println!(
+        "  DPs  peak thr(q/s)  mean resp(s)  handled   accuracy    util   jobs  failovers"
+    );
+    for m in &measurements {
+        let out = m
+            .output
+            .as_ref()
+            .unwrap_or_else(|e| die(&format!("experiment {:?} failed: {e}", m.label)));
         println!(
             "  {:>3}  {:>12.2}  {:>11.1}  {:>6.1}%   {:>7}  {:>5.1}%  {:>5}  {:>9}",
             out.final_dps,
@@ -163,6 +184,20 @@ fn main() {
             out.table.all.util * 100.0,
             out.jobs_dispatched,
             out.failovers,
+        );
+    }
+
+    let bench_out = args.value_of("--bench-out").unwrap_or("BENCH_sweep.json");
+    if bench_out != "none" {
+        let snap = SweepSnapshot::from_measurements(jobs, &measurements, total_wall);
+        snap.write_to(std::path::Path::new(bench_out))
+            .unwrap_or_else(|e| die(&format!("writing {bench_out}: {e}")));
+        eprintln!(
+            "sweep: {} runs on {} worker(s) in {:.2}s ({:.2}x vs serial); snapshot -> {bench_out}",
+            measurements.len(),
+            jobs.min(specs.len().max(1)),
+            total_wall.as_secs_f64(),
+            snap.speedup_vs_serial(),
         );
     }
 }

@@ -1,7 +1,13 @@
 //! One driver per paper artifact.
+//!
+//! Multi-run drivers (`accuracy_vs_interval`, `table3`, `crossover`) are
+//! built from [`RunSpec`] lists and take a `jobs` worker count — pass `1`
+//! for the historical serial behaviour; any value produces identical
+//! results (the runs only differ in which thread executed them).
 
+use crate::parallel::run_specs;
 use digruber::config::DigruberConfig;
-use digruber::{run_experiment, ExperimentOutput, ServiceKind};
+use digruber::{run_experiment, ExperimentOutput, RunSpec, ServiceKind};
 use gruber_types::{GridResult, SimDuration};
 use grubsim::{simulate_required_dps, CapacityModel, GrubSimReport};
 use workload::WorkloadSpec;
@@ -9,9 +15,8 @@ use workload::WorkloadSpec;
 /// Default experiment seed (any seed reproduces the same shapes).
 pub const SEED: u64 = 2005;
 
-/// The scalability figure family (Figs 5–7 for GT3, 9–11 for GT4): the
-/// paper's workload against `n_dps` decision points.
-pub fn dp_scaling(service: ServiceKind, n_dps: usize, seed: u64) -> GridResult<ExperimentOutput> {
+/// The spec behind [`dp_scaling`], reusable by spec-list drivers.
+pub fn dp_scaling_spec(service: ServiceKind, n_dps: usize, seed: u64) -> RunSpec {
     let label = format!(
         "{} DI-GRUBER, {} decision point(s)",
         match service {
@@ -21,11 +26,22 @@ pub fn dp_scaling(service: ServiceKind, n_dps: usize, seed: u64) -> GridResult<E
         },
         n_dps
     );
-    run_experiment(
+    RunSpec::new(
+        label,
         DigruberConfig::paper(n_dps, service, seed),
         WorkloadSpec::paper_default(),
-        &label,
     )
+}
+
+/// The scalability figure family (Figs 5–7 for GT3, 9–11 for GT4): the
+/// paper's workload against `n_dps` decision points.
+pub fn dp_scaling(service: ServiceKind, n_dps: usize, seed: u64) -> GridResult<ExperimentOutput> {
+    dp_scaling_spec(service, n_dps, seed).run()
+}
+
+/// Runs a spec list on `jobs` workers and unwraps outputs in spec order.
+fn run_all(specs: &[RunSpec], jobs: usize) -> GridResult<Vec<ExperimentOutput>> {
+    run_specs(specs, jobs).into_iter().map(|m| m.output).collect()
 }
 
 /// Figure 1: GT3 service-instance creation under a DiPerF ramp. The
@@ -45,24 +61,30 @@ pub fn fig1_instance_creation(seed: u64) -> GridResult<ExperimentOutput> {
 
 /// Figures 8 / 12: scheduling accuracy as a function of the exchange
 /// interval, three decision points. Returns `(interval, mean accuracy)`
-/// rows.
+/// rows, one per interval, in input order.
 pub fn accuracy_vs_interval(
     service: ServiceKind,
     intervals_min: &[u64],
     seed: u64,
+    jobs: usize,
 ) -> GridResult<Vec<(u64, f64)>> {
-    let mut rows = Vec::new();
-    for &m in intervals_min {
-        let mut cfg = DigruberConfig::paper(3, service, seed);
-        cfg.sync_interval = SimDuration::from_mins(m);
-        let out = run_experiment(
-            cfg,
-            WorkloadSpec::paper_default(),
-            &format!("accuracy @ {m} min exchange"),
-        )?;
-        rows.push((m, out.mean_handled_accuracy.unwrap_or(0.0)));
-    }
-    Ok(rows)
+    let specs: Vec<RunSpec> = intervals_min
+        .iter()
+        .map(|&m| {
+            let mut cfg = DigruberConfig::paper(3, service, seed);
+            cfg.sync_interval = SimDuration::from_mins(m);
+            RunSpec::new(
+                format!("accuracy @ {m} min exchange"),
+                cfg,
+                WorkloadSpec::paper_default(),
+            )
+        })
+        .collect();
+    Ok(run_all(&specs, jobs)?
+        .iter()
+        .zip(intervals_min)
+        .map(|(out, &m)| (m, out.mean_handled_accuracy.unwrap_or(0.0)))
+        .collect())
 }
 
 /// Table 3: GRUB-SIM replay of the scalability traces.
@@ -70,21 +92,20 @@ pub fn table3(
     service: ServiceKind,
     dp_counts: &[usize],
     seed: u64,
+    jobs: usize,
 ) -> GridResult<Vec<GrubSimReport>> {
     let model = match service {
         ServiceKind::Gt3 | ServiceKind::Gt3InstanceCreation => CapacityModel::gt3(),
         ServiceKind::Gt4Prerelease => CapacityModel::gt4_prerelease(),
     };
-    let mut reports = Vec::new();
-    for &n in dp_counts {
-        let out = dp_scaling(service, n, seed)?;
-        reports.push(simulate_required_dps(
-            &out.traces,
-            model,
-            SimDuration::MINUTE,
-        ));
-    }
-    Ok(reports)
+    let specs: Vec<RunSpec> = dp_counts
+        .iter()
+        .map(|&n| dp_scaling_spec(service, n, seed))
+        .collect();
+    Ok(run_all(&specs, jobs)?
+        .iter()
+        .map(|out| simulate_required_dps(&out.traces, model, SimDuration::MINUTE))
+        .collect())
 }
 
 /// The crossover study: sweep the decision-point count and report where
@@ -96,18 +117,24 @@ pub fn crossover(
     service: ServiceKind,
     dp_counts: &[usize],
     seed: u64,
+    jobs: usize,
 ) -> GridResult<Vec<(usize, f64, f64, f64)>> {
-    let mut rows = Vec::new();
-    for &n in dp_counts {
-        let out = dp_scaling(service, n, seed)?;
-        rows.push((
-            n,
-            out.report.peak_throughput_qps,
-            out.report.response.mean,
-            out.report.handled_fraction(),
-        ));
-    }
-    Ok(rows)
+    let specs: Vec<RunSpec> = dp_counts
+        .iter()
+        .map(|&n| dp_scaling_spec(service, n, seed))
+        .collect();
+    Ok(run_all(&specs, jobs)?
+        .iter()
+        .zip(dp_counts)
+        .map(|(out, &n)| {
+            (
+                n,
+                out.report.peak_throughput_qps,
+                out.report.response.mean,
+                out.report.handled_fraction(),
+            )
+        })
+        .collect())
 }
 
 /// A scaled-down configuration for Criterion benches and smoke tests:

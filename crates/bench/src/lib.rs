@@ -9,6 +9,10 @@
 #![warn(missing_docs)]
 
 pub mod drivers;
+pub mod parallel;
 pub mod render;
+pub mod snapshot;
 
 pub use drivers::*;
+pub use parallel::{default_jobs, run_specs, RunMeasurement};
+pub use snapshot::{output_fingerprint, SweepSnapshot};

@@ -1,0 +1,144 @@
+//! Parallel sweep executor.
+//!
+//! Parameter sweeps are embarrassingly parallel — every [`RunSpec`] builds
+//! its own `World` from its own seed, and runs share no mutable state — so
+//! a fixed-size pool of scoped OS threads fans the spec list out and
+//! collects outputs **in spec order**, regardless of which thread finished
+//! first. `jobs == 1` degenerates to the exact serial loop the binaries
+//! ran before this module existed.
+//!
+//! Work distribution is a single shared atomic cursor: each worker claims
+//! the next un-run spec index when it goes idle, so a long 10-DP run does
+//! not straggle behind short 1-DP runs the way static chunking would.
+
+use digruber::{ExperimentOutput, RunSpec};
+use gruber_types::GridResult;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// One executed spec: its result plus the executor's measurements.
+#[derive(Debug)]
+pub struct RunMeasurement {
+    /// Index of the spec in the submitted slice.
+    pub spec_index: usize,
+    /// Label copied from the spec (outputs of failed runs have no label).
+    pub label: String,
+    /// Wall-clock time this single run took on its worker thread.
+    pub wall: Duration,
+    /// The experiment's output, or the error it died with.
+    pub output: GridResult<ExperimentOutput>,
+}
+
+/// Default worker count: every core.
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs every spec and returns measurements in spec order.
+///
+/// `jobs` is clamped to `[1, specs.len()]`; `1` runs serially on the
+/// calling thread.
+pub fn run_specs(specs: &[RunSpec], jobs: usize) -> Vec<RunMeasurement> {
+    let jobs = jobs.clamp(1, specs.len().max(1));
+    if jobs <= 1 {
+        return specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| measure(i, spec))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<RunMeasurement>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i) else { break };
+                *slots[i].lock().expect("slot lock") = Some(measure(i, spec));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("slot lock")
+                .expect("every index claimed exactly once")
+        })
+        .collect()
+}
+
+fn measure(spec_index: usize, spec: &RunSpec) -> RunMeasurement {
+    let start = Instant::now();
+    let output = spec.run();
+    RunMeasurement {
+        spec_index,
+        label: spec.label.clone(),
+        wall: start.elapsed(),
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use digruber::config::DigruberConfig;
+    use workload::WorkloadSpec;
+
+    fn small_specs(n: usize) -> Vec<RunSpec> {
+        (0..n)
+            .map(|i| {
+                RunSpec::new(
+                    format!("spec {i}"),
+                    DigruberConfig::small(1 + i % 2, 40 + i as u64),
+                    WorkloadSpec::small(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn collects_in_spec_order() {
+        let specs = small_specs(5);
+        let out = run_specs(&specs, 4);
+        assert_eq!(out.len(), 5);
+        for (i, m) in out.iter().enumerate() {
+            assert_eq!(m.spec_index, i);
+            assert_eq!(m.label, format!("spec {i}"));
+            assert!(m.output.is_ok());
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial() {
+        let specs = small_specs(4);
+        let serial = run_specs(&specs, 1);
+        let parallel = run_specs(&specs, 4);
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(
+                s.output.as_ref().unwrap(),
+                p.output.as_ref().unwrap(),
+                "spec {} diverged between serial and parallel execution",
+                s.spec_index
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_jobs_clamp() {
+        let specs = small_specs(2);
+        let out = run_specs(&specs, 64);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|m| m.output.is_ok()));
+    }
+
+    #[test]
+    fn empty_spec_list_is_fine() {
+        assert!(run_specs(&[], 8).is_empty());
+    }
+}

@@ -54,5 +54,5 @@ pub mod run;
 pub mod world;
 
 pub use config::{DigruberConfig, Dissemination, ServiceKind, SyncTopology, WanKind};
-pub use run::{run_experiment, ExperimentOutput};
+pub use run::{run_experiment, ExperimentOutput, RunSpec};
 pub use world::World;

@@ -10,8 +10,48 @@ use gruber_metrics::JobMetricsAccumulator;
 use gruber_types::{DpId, GridResult, JobRecord, JobState, SimDuration, SimTime};
 use workload::WorkloadSpec;
 
-/// Everything a figure/table needs from one experiment run.
+/// A fully-specified, seeded experiment: configuration + workload +
+/// label. This is the unit the parallel sweep executor fans out — two
+/// `run()` calls on equal specs produce field-for-field identical
+/// [`ExperimentOutput`]s, on any thread, in any order (the determinism
+/// regression test pins this).
 #[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Human-readable label carried into the output.
+    pub label: String,
+    /// Deployment/experiment configuration (includes the RNG seed).
+    pub cfg: DigruberConfig,
+    /// Workload the testers submit.
+    pub workload: WorkloadSpec,
+}
+
+impl RunSpec {
+    /// Builds a spec.
+    pub fn new(label: impl Into<String>, cfg: DigruberConfig, workload: WorkloadSpec) -> Self {
+        RunSpec {
+            label: label.into(),
+            cfg,
+            workload,
+        }
+    }
+
+    /// The paper's Section 4 setup at full scale.
+    pub fn paper(label: impl Into<String>, n_dps: usize, service: crate::config::ServiceKind, seed: u64) -> Self {
+        RunSpec::new(
+            label,
+            DigruberConfig::paper(n_dps, service, seed),
+            WorkloadSpec::paper_default(),
+        )
+    }
+
+    /// Runs the experiment this spec describes.
+    pub fn run(&self) -> GridResult<ExperimentOutput> {
+        run_experiment(self.cfg.clone(), self.workload.clone(), &self.label)
+    }
+}
+
+/// Everything a figure/table needs from one experiment run.
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOutput {
     /// Human-readable label.
     pub label: String,
@@ -43,6 +83,11 @@ pub struct ExperimentOutput {
     /// CPU time consumed per VO as a fraction of all consumed CPU time
     /// (indexed by VO id) — the fairness view of the run.
     pub vo_cpu_share: Vec<f64>,
+    /// Simulation events executed (deterministic; the bench snapshots
+    /// divide it by wall-clock for an events/sec rate).
+    pub events_executed: u64,
+    /// High-water mark of the pending event queue.
+    pub peak_pending: usize,
 }
 
 /// CPU time a job consumed inside `[0, end)`.
@@ -93,11 +138,13 @@ pub fn run_experiment(
 
     let end = sim.world().end;
     sim.run_until(end);
+    let events_executed = sim.events_executed();
+    let peak_pending = sim.peak_pending();
     let w = sim.into_world();
-    Ok(finalize(w, label))
+    Ok(finalize(w, label, events_executed, peak_pending))
 }
 
-fn finalize(mut w: World, label: &str) -> ExperimentOutput {
+fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize) -> ExperimentOutput {
     let end = w.end;
     // Requests whose clients timed out and that the service never finished
     // within the run are pure timeouts. Sorted by tag: HashMap iteration
@@ -164,6 +211,8 @@ fn finalize(mut w: World, label: &str) -> ExperimentOutput {
                 vo_consumed
             }
         },
+        events_executed,
+        peak_pending,
     }
 }
 

@@ -40,8 +40,14 @@ pub struct Scheduler<W> {
     now: SimTime,
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled<W>>>,
+    /// Tokens scheduled but neither fired nor cancelled — the set `cancel`
+    /// consults so that cancelling an already-fired event reports `false`
+    /// instead of leaking a tombstone.
+    live: HashSet<u64>,
     cancelled: HashSet<u64>,
     executed: u64,
+    peak_pending: usize,
+    cancellations: u64,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -50,8 +56,11 @@ impl<W> Default for Scheduler<W> {
             now: SimTime::ZERO,
             seq: 0,
             queue: BinaryHeap::new(),
+            live: HashSet::new(),
             cancelled: HashSet::new(),
             executed: 0,
+            peak_pending: 0,
+            cancellations: 0,
         }
     }
 }
@@ -72,6 +81,17 @@ impl<W> Scheduler<W> {
         self.queue.len()
     }
 
+    /// High-water mark of the pending queue over the whole run — a cheap
+    /// proxy for peak simulation memory, reported by the bench snapshots.
+    pub fn peak_pending(&self) -> usize {
+        self.peak_pending
+    }
+
+    /// Number of successful [`Scheduler::cancel`] calls so far.
+    pub fn cancellations(&self) -> u64 {
+        self.cancellations
+    }
+
     /// Schedules `f` to run at absolute time `at`.
     ///
     /// Scheduling in the past is clamped to *now* (the event still runs,
@@ -89,6 +109,8 @@ impl<W> Scheduler<W> {
             seq,
             run: Box::new(f),
         }));
+        self.live.insert(seq);
+        self.peak_pending = self.peak_pending.max(self.queue.len());
         EventToken(seq)
     }
 
@@ -103,12 +125,15 @@ impl<W> Scheduler<W> {
     }
 
     /// Cancels a previously scheduled event. Returns `true` if the event had
-    /// not yet fired (or been cancelled).
+    /// not yet fired (or been cancelled); cancelling an already-fired or
+    /// already-cancelled event returns `false` and changes nothing.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if token.0 >= self.seq {
+        if !self.live.remove(&token.0) {
             return false;
         }
-        self.cancelled.insert(token.0)
+        self.cancelled.insert(token.0);
+        self.cancellations += 1;
+        true
     }
 
     fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<W>> {
@@ -120,6 +145,7 @@ impl<W> Scheduler<W> {
             if self.cancelled.remove(&ev.seq) {
                 continue;
             }
+            self.live.remove(&ev.seq);
             return Some(ev);
         }
         None
@@ -159,6 +185,18 @@ impl<W> Simulation<W> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.sched.now
+    }
+
+    /// Events executed so far (readable without `&mut`, unlike
+    /// [`Simulation::scheduler`] — the bench harness samples this).
+    pub fn events_executed(&self) -> u64 {
+        self.sched.executed
+    }
+
+    /// Pending-queue high-water mark so far (see
+    /// [`Scheduler::peak_pending`]).
+    pub fn peak_pending(&self) -> usize {
+        self.sched.peak_pending
     }
 
     /// Runs events until the queue is empty or `limit` is passed.
@@ -333,5 +371,145 @@ mod tests {
         sim.run_until(SimTime::from_secs(100));
         assert_eq!(sim.scheduler().events_executed(), 7);
         assert_eq!(sim.scheduler().pending(), 0);
+    }
+}
+
+/// Property-based invariants for the scheduler's cancellation and
+/// accounting API under arbitrary schedule/cancel/run interleavings.
+/// The world is a `Vec<u64>` logging which event ids actually fired.
+#[cfg(test)]
+mod properties {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        /// Scheduling-phase invariants: pending() counts every scheduled
+        /// event (cancelled ones stay queued until popped), a first cancel
+        /// of a live token returns true, a second returns false, a
+        /// cancelled event never fires, and the final ledger balances:
+        /// scheduled = fired + successfully-cancelled.
+        #[test]
+        fn cancel_ledger_balances(
+            ops in proptest::collection::vec(
+                (0u64..10_000, proptest::bool::ANY, 0u64..64),
+                1..40,
+            ),
+        ) {
+            let mut sim = Simulation::new(Vec::<u64>::new());
+            let mut tokens: Vec<(u64, EventToken)> = Vec::new();
+            let mut cancelled: HashSet<u64> = HashSet::new();
+            for (i, &(at, do_cancel, pick)) in ops.iter().enumerate() {
+                let id = i as u64;
+                let tok = sim
+                    .scheduler()
+                    .schedule_at(SimTime(at), move |w: &mut Vec<u64>, _| w.push(id));
+                // Nothing has been popped yet, so every scheduled event —
+                // cancelled or not — is still pending.
+                prop_assert_eq!(sim.scheduler().pending(), i + 1);
+                tokens.push((id, tok));
+                if do_cancel {
+                    let (cid, ctok) = tokens[pick as usize % tokens.len()];
+                    let first_cancel = cancelled.insert(cid);
+                    prop_assert_eq!(sim.scheduler().cancel(ctok), first_cancel);
+                    // Cancelling the same token again is always a no-op.
+                    prop_assert!(!sim.scheduler().cancel(ctok));
+                }
+            }
+            let n = ops.len();
+            prop_assert_eq!(sim.scheduler().cancellations(), cancelled.len() as u64);
+            prop_assert_eq!(sim.peak_pending(), n);
+
+            sim.run_until(SimTime(u64::MAX));
+            prop_assert_eq!(sim.scheduler().pending(), 0);
+            prop_assert_eq!(
+                sim.events_executed(),
+                (n - cancelled.len()) as u64
+            );
+            let fired = sim.world();
+            prop_assert_eq!(fired.len() + cancelled.len(), n);
+            for id in fired {
+                prop_assert!(!cancelled.contains(id), "cancelled event {id} fired");
+            }
+        }
+
+        /// Cancelling after the event fired reports false and counts
+        /// nothing, no matter the schedule.
+        #[test]
+        fn cancel_after_fire_is_a_noop(
+            times in proptest::collection::vec(0u64..1_000, 1..20),
+        ) {
+            let mut sim = Simulation::new(Vec::<u64>::new());
+            let tokens: Vec<EventToken> = times
+                .iter()
+                .map(|&t| sim.scheduler().schedule_at(SimTime(t), |_, _| {}))
+                .collect();
+            sim.run_until(SimTime(1_000));
+            prop_assert_eq!(sim.events_executed(), times.len() as u64);
+            for tok in tokens {
+                prop_assert!(!sim.scheduler().cancel(tok));
+            }
+            prop_assert_eq!(sim.scheduler().cancellations(), 0);
+        }
+
+        /// Full interleave: alternate batches of schedule/cancel with
+        /// partial run_until() advances. A cancel must succeed iff the
+        /// token is live (scheduled, unfired, uncancelled) at that moment,
+        /// mirrored here by a model `live` set maintained from the fired
+        /// log between batches.
+        #[test]
+        fn interleaved_run_and_cancel_match_model(
+            batches in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u64..5_000, proptest::bool::ANY, 0u64..64),
+                    1..10,
+                ),
+                1..6,
+            ),
+        ) {
+            let mut sim = Simulation::new(Vec::<u64>::new());
+            let mut tokens: Vec<(u64, EventToken)> = Vec::new();
+            let mut live: HashSet<u64> = HashSet::new();
+            let mut seen_fired = 0usize;
+            let mut next_id = 0u64;
+            let mut scheduled = 0usize;
+            let mut cancels_ok = 0u64;
+            let mut limit = 0u64;
+            for batch in &batches {
+                for &(at, do_cancel, pick) in batch {
+                    let id = next_id;
+                    next_id += 1;
+                    scheduled += 1;
+                    let tok = sim
+                        .scheduler()
+                        .schedule_at(SimTime(at), move |w: &mut Vec<u64>, _| w.push(id));
+                    live.insert(id);
+                    tokens.push((id, tok));
+                    if do_cancel {
+                        let (cid, ctok) = tokens[pick as usize % tokens.len()];
+                        let expect = live.remove(&cid);
+                        prop_assert_eq!(sim.scheduler().cancel(ctok), expect);
+                        if expect {
+                            cancels_ok += 1;
+                        }
+                    }
+                }
+                limit += 1_500;
+                sim.run_until(SimTime(limit));
+                // Sync the model: everything the log gained this batch is
+                // no longer live.
+                for &id in &sim.world()[seen_fired..] {
+                    prop_assert!(live.remove(&id), "event {id} fired twice or while dead");
+                }
+                seen_fired = sim.world().len();
+            }
+            sim.run_until(SimTime(u64::MAX));
+            prop_assert_eq!(sim.scheduler().pending(), 0);
+            prop_assert_eq!(sim.scheduler().cancellations(), cancels_ok);
+            prop_assert_eq!(
+                sim.world().len() as u64 + cancels_ok,
+                scheduled as u64
+            );
+        }
     }
 }

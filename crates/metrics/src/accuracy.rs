@@ -52,6 +52,40 @@ mod tests {
     fn saturated_grid_scores_one() {
         assert_eq!(schedule_accuracy(0, &[0, 0, 0]), 1.0);
         assert_eq!(schedule_accuracy(0, &[]), 1.0);
+        // The convention extends to a nonsensical selection on an empty
+        // grid: nothing to compare against, so no penalty.
+        assert_eq!(schedule_accuracy(7, &[]), 1.0);
+    }
+
+    #[test]
+    fn single_site_grid_is_always_perfect_or_zero() {
+        // One site means no real choice: picking it with its true free
+        // count is perfect, whatever that count is.
+        assert_eq!(schedule_accuracy(1, &[1]), 1.0);
+        assert_eq!(schedule_accuracy(500, &[500]), 1.0);
+        // Unless the site is actually full and the caller reports 0 free
+        // at the selection while the list claims capacity — a stale-view
+        // artifact that should score 0, not panic.
+        assert_eq!(schedule_accuracy(0, &[8]), 0.0);
+        // And a saturated single site falls back to the 1.0 convention.
+        assert_eq!(schedule_accuracy(0, &[0]), 1.0);
+    }
+
+    #[test]
+    fn selected_above_best_clamps_to_one() {
+        // `free_at_selected` can exceed every entry of `free_per_site`
+        // when the two observations were taken at different instants
+        // (jobs finished in between). Accuracy must clamp, not exceed 1.
+        assert_eq!(schedule_accuracy(50, &[10, 20]), 1.0);
+        assert_eq!(schedule_accuracy(u32::MAX, &[1]), 1.0);
+    }
+
+    #[test]
+    fn selected_not_maximal_scores_strict_fraction() {
+        // A suboptimal-but-nonempty choice lands strictly inside (0, 1).
+        let a = schedule_accuracy(3, &[3, 4]);
+        assert!(a > 0.0 && a < 1.0, "accuracy {a}");
+        assert_eq!(a, 0.75);
     }
 
     proptest! {
@@ -74,6 +108,20 @@ mod tests {
             prop_assert!(
                 schedule_accuracy(lo, &sites) <= schedule_accuracy(hi, &sites) + 1e-12
             );
+        }
+
+        #[test]
+        fn perfect_iff_selected_matches_or_beats_best(
+            sel in 0u32..1000,
+            sites in proptest::collection::vec(1u32..1000, 1..50),
+        ) {
+            let best = *sites.iter().max().expect("non-empty");
+            let a = schedule_accuracy(sel, &sites);
+            if sel >= best {
+                prop_assert_eq!(a, 1.0);
+            } else {
+                prop_assert!(a < 1.0, "sel {sel} < best {best} but accuracy {a}");
+            }
         }
     }
 }

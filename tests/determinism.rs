@@ -1,0 +1,136 @@
+//! Deterministic-replay regression tests for the parallel sweep executor.
+//!
+//! The whole bench story rests on one claim: a [`RunSpec`] fully
+//! determines its [`ExperimentOutput`], so fanning specs across worker
+//! threads changes wall-clock and nothing else. These tests pin that
+//! claim at reduced fig5 scale (Grid3×1, 24 clients, 12 simulated
+//! minutes) — serial (`jobs = 1`) and parallel (`jobs = 4`) executions
+//! must agree field-for-field AND byte-for-byte, and the perf snapshot
+//! the sweep emits must carry equal fingerprints for equal specs.
+//!
+//! As a side effect, [`parallel_sweep_is_identical_to_serial`] writes the
+//! workspace's reference `BENCH_sweep.json` from its (≥4-spec) parallel
+//! sweep, so a plain `cargo test` leaves a current snapshot behind.
+
+use bench::{output_fingerprint, run_specs, SweepSnapshot};
+use digruber::config::DigruberConfig;
+use digruber::{RunSpec, ServiceKind};
+use gruber_types::SimDuration;
+use workload::WorkloadSpec;
+
+/// A fig5-family run scaled down for test time: the paper topology and
+/// protocol, one-tenth the grid, a fifth of the clients and of the hour.
+fn reduced_paper_spec(service: ServiceKind, n_dps: usize, seed: u64) -> RunSpec {
+    let mut cfg = DigruberConfig::paper(n_dps, service, seed);
+    cfg.grid_factor = 1;
+    let wl = WorkloadSpec {
+        n_clients: 24,
+        duration: SimDuration::from_mins(12),
+        ..WorkloadSpec::paper_default()
+    };
+    RunSpec::new(
+        format!("reduced fig5: {service:?} x{n_dps} DPs"),
+        cfg,
+        wl,
+    )
+}
+
+/// The four-spec sweep both tests run: the GT3 scaling family plus a GT4
+/// point, all from the same seed.
+fn sweep_specs() -> Vec<RunSpec> {
+    vec![
+        reduced_paper_spec(ServiceKind::Gt3, 1, 2005),
+        reduced_paper_spec(ServiceKind::Gt3, 3, 2005),
+        reduced_paper_spec(ServiceKind::Gt3, 10, 2005),
+        reduced_paper_spec(ServiceKind::Gt4Prerelease, 3, 2005),
+    ]
+}
+
+#[test]
+fn parallel_sweep_is_identical_to_serial() {
+    let specs = sweep_specs();
+
+    let serial = run_specs(&specs, 1);
+    let start = std::time::Instant::now();
+    let parallel = run_specs(&specs, 4);
+    let parallel_wall = start.elapsed();
+
+    assert_eq!(serial.len(), specs.len());
+    assert_eq!(parallel.len(), specs.len());
+
+    for ((s, p), spec) in serial.iter().zip(&parallel).zip(&specs) {
+        let s_out = s.output.as_ref().expect("serial run failed");
+        let p_out = p.output.as_ref().expect("parallel run failed");
+
+        // Field-for-field: ExperimentOutput derives PartialEq over every
+        // field, traces and figure rows included.
+        assert_eq!(
+            s_out, p_out,
+            "spec {:?} diverged between --jobs 1 and --jobs 4",
+            spec.label
+        );
+
+        // Byte-for-byte: the full Debug rendering covers every field in
+        // declaration order; equal strings mean equal bytes, which is the
+        // property the snapshot fingerprint compresses.
+        assert_eq!(format!("{s_out:?}"), format!("{p_out:?}"));
+        assert_eq!(output_fingerprint(s_out), output_fingerprint(p_out));
+    }
+
+    // The runs did real work, deterministically counted.
+    for m in &parallel {
+        let out = m.output.as_ref().unwrap();
+        assert!(out.events_executed > 1_000, "{}: only {} events", m.label, out.events_executed);
+        assert!(out.peak_pending > 0);
+        assert!(out.report.issued > 0);
+    }
+
+    // Leave the reference snapshot behind for tooling (and prove the
+    // emitter handles a real ≥4-run sweep end to end).
+    let snap = SweepSnapshot::from_measurements(4, &parallel, parallel_wall);
+    let json = snap.to_json();
+    assert!(json.contains("\"n_runs\": 4"));
+    assert!(json.contains("\"events_per_sec\""));
+    assert!(json.contains("\"speedup_vs_serial\""));
+    assert_eq!(json.matches("\"ok\": true").count(), 4);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_sweep.json");
+    snap.write_to(std::path::Path::new(path))
+        .expect("write BENCH_sweep.json");
+}
+
+#[test]
+fn repeated_serial_sweeps_are_identical() {
+    // The baseline the parallel test leans on: the executor itself (not
+    // just the simulation) introduces no run-to-run variation.
+    let a = run_specs(&sweep_specs()[..2], 1);
+    let b = run_specs(&sweep_specs()[..2], 1);
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(
+            x.output.as_ref().unwrap(),
+            y.output.as_ref().unwrap(),
+            "two serial executions of {:?} differ",
+            x.label
+        );
+    }
+}
+
+#[test]
+fn snapshot_fingerprints_discriminate_specs() {
+    // Different specs must not collide (fingerprints would be useless for
+    // change detection otherwise); equal specs must collide.
+    let ms = run_specs(&sweep_specs(), 2);
+    let fps: Vec<String> = ms
+        .iter()
+        .map(|m| output_fingerprint(m.output.as_ref().unwrap()))
+        .collect();
+    for i in 0..fps.len() {
+        for j in i + 1..fps.len() {
+            assert_ne!(fps[i], fps[j], "specs {i} and {j} collided");
+        }
+    }
+    let again = run_specs(&sweep_specs()[..1], 1);
+    assert_eq!(
+        fps[0],
+        output_fingerprint(again[0].output.as_ref().unwrap())
+    );
+}

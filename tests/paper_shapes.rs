@@ -7,6 +7,7 @@
 
 use digruber::config::DigruberConfig;
 use digruber::{run_experiment, ExperimentOutput, ServiceKind};
+use gruber_types::SimDuration;
 use workload::WorkloadSpec;
 
 fn paper_run(service: ServiceKind, n_dps: usize) -> ExperimentOutput {
@@ -16,6 +17,21 @@ fn paper_run(service: ServiceKind, n_dps: usize) -> ExperimentOutput {
         "paper shape",
     )
     .expect("experiment failed")
+}
+
+/// The same experiment at a tenth of the grid and a fifth of the load —
+/// milliseconds instead of seconds per run. The `fast_*` golden tests
+/// below assert the paper's *orderings* (which survive scaling) rather
+/// than its calibrated magnitudes (which do not).
+fn reduced_run(service: ServiceKind, n_dps: usize) -> ExperimentOutput {
+    let mut cfg = DigruberConfig::paper(n_dps, service, 2005);
+    cfg.grid_factor = 1;
+    let wl = WorkloadSpec {
+        n_clients: 24,
+        duration: SimDuration::from_mins(12),
+        ..WorkloadSpec::paper_default()
+    };
+    run_experiment(cfg, wl, "reduced shape").expect("experiment failed")
 }
 
 #[test]
@@ -134,8 +150,70 @@ fn one_dp_low_qtime_is_deceptive_normalized_qtime_corrects_it() {
 }
 
 #[test]
+fn fast_handled_beats_unhandled_on_scheduling_quality() {
+    // Table 1's ordering at reduced scale: GRUBER-handled requests must
+    // beat the timeout/random fallback on accuracy, utilization and
+    // queue time wherever both populations exist. The reduced grid needs
+    // extra pressure (more clients, a tight timeout) before a lone GT4
+    // decision point starts shedding requests.
+    // 54 clients against one GT4 point lands at ~80 % handled: the
+    // handled class dominates (as in Table 1) while leaving a real
+    // timed-out population to compare against.
+    let mut cfg = DigruberConfig::paper(1, ServiceKind::Gt4Prerelease, 2005);
+    cfg.grid_factor = 1;
+    let wl = WorkloadSpec {
+        n_clients: 54,
+        duration: SimDuration::from_mins(12),
+        ..WorkloadSpec::paper_default()
+    };
+    let out = run_experiment(cfg, wl, "reduced table1").expect("experiment failed");
+    let handled = out.table.handled;
+    let not = out.table.not_handled;
+    assert!(
+        handled.requests > 0 && not.requests > 0,
+        "need both populations: handled {} / not {}",
+        handled.requests,
+        not.requests
+    );
+    assert!(handled.accuracy.is_some());
+    assert!(not.accuracy.is_none(), "random placements have no accuracy");
+    assert!(
+        handled.qtime_secs <= not.qtime_secs + 1e-9,
+        "handled QTime {} !<= unhandled {}",
+        handled.qtime_secs,
+        not.qtime_secs
+    );
+    assert!(
+        handled.util >= not.util - 1e-9,
+        "handled util {} !>= unhandled {}",
+        handled.util,
+        not.util
+    );
+}
+
+#[test]
+fn fast_three_dps_strictly_beat_one_on_throughput() {
+    // The scalability headline, reduced: distributing the broker must
+    // strictly raise peak throughput even on the small grid.
+    let one = reduced_run(ServiceKind::Gt3, 1);
+    let three = reduced_run(ServiceKind::Gt3, 3);
+    assert!(
+        three.report.peak_throughput_qps > one.report.peak_throughput_qps,
+        "3-DP peak {} !> 1-DP peak {}",
+        three.report.peak_throughput_qps,
+        one.report.peak_throughput_qps
+    );
+    // And serves a larger share of the request stream.
+    assert!(
+        three.report.handled_fraction() >= one.report.handled_fraction(),
+        "3-DP handled {} !>= 1-DP {}",
+        three.report.handled_fraction(),
+        one.report.handled_fraction()
+    );
+}
+
+#[test]
 fn accuracy_decays_with_exchange_interval() {
-    use gruber_types::SimDuration;
     // Figure 8: a three-minute exchange interval suffices for high
     // accuracy; accuracy decays as the interval grows.
     let mut accs = Vec::new();

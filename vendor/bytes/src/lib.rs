@@ -1,0 +1,199 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Covers the surface `simnet::codec` and `digruber::live` use: an
+//! immutable, cheaply-cloneable [`Bytes`] (shared via `Arc`), a growable
+//! [`BytesMut`] builder, and the little-endian get/put accessors from the
+//! [`Buf`]/[`BufMut`] traits. `Bytes::clone` is O(1) and shares the
+//! allocation, matching the real crate's behaviour on the sync-flood hot
+//! path (one encode, N peer sends).
+
+use std::sync::Arc;
+
+/// Cheaply-cloneable immutable byte buffer (an `Arc<[u8]>` plus a cursor).
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    /// Read cursor: `get_*` consume from the front, like the real crate.
+    pos: usize,
+}
+
+impl Bytes {
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            pos: 0,
+        }
+    }
+
+    /// Copies a slice into a new buffer.
+    pub fn copy_from_slice(bytes: &[u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            pos: 0,
+        }
+    }
+
+    /// Unread length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether all bytes were consumed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy of the sub-range `range` of the unread bytes.
+    pub fn slice(&self, range: core::ops::Range<usize>) -> Bytes {
+        Bytes::copy_from_slice(&self.as_ref()[range])
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes {
+            data: Arc::from(v),
+            pos: 0,
+        }
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+impl Eq for Bytes {}
+
+/// Read access to a byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads one byte, advancing the cursor.
+    fn get_u8(&mut self) -> u8;
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().expect("4 bytes"))
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().expect("8 bytes"))
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+}
+
+/// Growable byte builder.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Empty builder with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Written length.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether nothing was written yet.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freezes into an immutable, shareable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.data)
+    }
+}
+
+/// Write access to a byte builder.
+pub trait BufMut {
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a slice.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u32_le(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_le() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u32_le(0xDEAD_BEEF);
+        b.put_u64_le(0x0123_4567_89AB_CDEF);
+        let mut r = b.freeze();
+        assert_eq!(r.remaining(), 12);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn clone_shares_and_reads_independently() {
+        let mut b = BytesMut::with_capacity(8);
+        b.put_u32_le(1);
+        b.put_u32_le(2);
+        let mut x = b.freeze();
+        let mut y = x.clone();
+        assert_eq!(x.get_u32_le(), 1);
+        assert_eq!(y.get_u32_le(), 1);
+        assert_eq!(x.get_u32_le(), 2);
+        assert_eq!(y.get_u32_le(), 2);
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline stand-in for `criterion`: a minimal wall-clock timing harness.
+//!
+//! Presents the API surface the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! throughput annotations — and reports a mean time per iteration from a
+//! warmup + timed loop. No statistics, plots or baselines; when a real
+//! crates.io mirror is available, swapping the genuine criterion back in
+//! requires only the `[workspace.dependencies]` entry.
+//!
+//! Honors `CRITERION_QUICK=1` to cap measurement at one batch (useful in
+//! CI smoke runs).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Units the per-iteration throughput is reported in.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Items processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup. All variants behave identically
+/// here (setup always runs outside the timed section).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-iteration timing loop handed to bench closures.
+pub struct Bencher {
+    /// Total measured time across timed iterations.
+    elapsed: Duration,
+    /// Timed iterations executed.
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    fn budget() -> Duration {
+        if std::env::var_os("CRITERION_QUICK").is_some() {
+            Duration::ZERO
+        } else {
+            Duration::from_millis(300)
+        }
+    }
+
+    /// Times `routine`, repeating until the measurement budget is spent.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warmup: one call, also an estimate of per-iter cost.
+        let start = Instant::now();
+        black_box(routine());
+        let first = start.elapsed().max(Duration::from_nanos(1));
+        let budget = Self::budget();
+        let mut remaining = budget;
+        self.elapsed = first;
+        self.iters = 1;
+        while remaining > self.elapsed {
+            let batch = (remaining.as_nanos() / first.as_nanos()).clamp(1, 10_000) as u64;
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let spent = start.elapsed();
+            self.elapsed += spent;
+            self.iters += batch;
+            remaining = budget.saturating_sub(self.elapsed);
+        }
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let budget = Self::budget();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iters += 1;
+            if total >= budget || iters >= 10_000 {
+                break;
+            }
+        }
+        self.elapsed = total;
+        self.iters = iters;
+    }
+
+    fn report(&self, name: &str, throughput: Option<Throughput>) {
+        if self.iters == 0 {
+            println!("{name:<44} (no iterations)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iters as f64;
+        let time = if per_iter >= 1.0 {
+            format!("{per_iter:.3} s")
+        } else if per_iter >= 1e-3 {
+            format!("{:.3} ms", per_iter * 1e3)
+        } else if per_iter >= 1e-6 {
+            format!("{:.3} µs", per_iter * 1e6)
+        } else {
+            format!("{:.1} ns", per_iter * 1e9)
+        };
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!("  {:>12.1} MiB/s", n as f64 / per_iter / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{name:<44} {time:>12}  ({} iters){rate}",
+            self.iters
+        );
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in sizes batches by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Annotates subsequent benchmarks with a throughput rate.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&format!("{}/{}", self.name, id.into()), self.throughput);
+        self
+    }
+
+    /// Runs one parameterized benchmark.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.id), self.throughput);
+        self
+    }
+
+    /// Ends the group (no-op; results print as they finish).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher::new();
+        f(&mut b);
+        b.report(&id.into(), None);
+        self
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_and_reports() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("demo");
+        g.throughput(Throughput::Elements(10));
+        let mut runs = 0u64;
+        g.bench_function("count", |b| b.iter(|| runs += 1));
+        g.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.finish();
+        assert!(runs >= 1);
+    }
+
+    #[test]
+    fn iter_batched_consumes_inputs() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u8, 2, 3],
+                |v| v.into_iter().map(u64::from).sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The workspace uses serde only as *markers*: every serializable type
+//! derives `Serialize`/`Deserialize`, but no serializer ships in-tree
+//! (DESIGN §7 deliberately excludes `serde_json`; all JSON the repo emits
+//! is hand-rolled, e.g. `bench::snapshot`). Since no code path ever calls
+//! a serde method, the traits here are empty and blanket-implemented, and
+//! the derive macros expand to nothing. Swapping the real serde back in
+//! requires only restoring the `[workspace.dependencies]` entry.
+
+/// Marker for serializable types. Blanket-implemented: the derive exists
+/// so type authors *declare* intent; no in-tree code serializes.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker for deserializable types. Blanket-implemented (see
+/// [`Serialize`]).
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
