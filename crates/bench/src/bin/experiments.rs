@@ -5,20 +5,34 @@
 //! ```
 //!
 //! Ids: `fig1 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 table2 table3 all`.
+//!
+//! `--trace PATH` switches structured tracing on for every run: the
+//! per-decision-point JSONL stream (schema `digruber-trace/1`, see the
+//! `obs` crate docs) of all runs is concatenated into PATH, and each id
+//! additionally gets a human-readable timeline summary under
+//! `results/timeline_<id>.txt`. Tracing never changes the figures — the
+//! timeline rides along as an extra output of the same deterministic run.
 
 use bench::render::{render_accuracy, render_figure, render_table_block};
 use bench::{
-    accuracy_vs_interval, crossover, default_jobs, dp_scaling, dp_scaling_spec,
-    fig1_instance_creation, run_specs, table3, SEED,
+    accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs, dp_scaling_spec,
+    fig1_spec, run_specs, SEED,
 };
-use digruber::ServiceKind;
-use std::sync::OnceLock;
+use digruber::{ExperimentOutput, RunSpec, ServiceKind};
+use gruber_types::{SimDuration, SimTime};
+use std::sync::{Mutex, OnceLock};
 
 const INTERVALS_MIN: [u64; 4] = [1, 3, 10, 30];
 const DP_COUNTS: [usize; 3] = [1, 3, 10];
 
 /// Directory traces are saved into when `--save-traces DIR` is passed.
 static TRACE_DIR: OnceLock<Option<String>> = OnceLock::new();
+
+/// Destination of the structured-trace JSONL (`--trace PATH`).
+static TRACE_OUT: OnceLock<Option<String>> = OnceLock::new();
+
+/// JSONL accumulated across ids, written once at exit.
+static TRACE_JSONL: Mutex<String> = Mutex::new(String::new());
 
 /// Worker threads for multi-run artifacts (`--jobs N`; default all cores).
 static JOBS: OnceLock<usize> = OnceLock::new();
@@ -27,7 +41,11 @@ fn jobs() -> usize {
     *JOBS.get().expect("set in main")
 }
 
-fn save_traces(id: &str, out: &digruber::ExperimentOutput) {
+fn tracing_on() -> bool {
+    matches!(TRACE_OUT.get(), Some(Some(_)))
+}
+
+fn save_traces(id: &str, out: &ExperimentOutput) {
     if let Some(Some(dir)) = TRACE_DIR.get() {
         std::fs::create_dir_all(dir).expect("create trace dir");
         let path = format!("{dir}/{id}.trace");
@@ -37,39 +55,71 @@ fn save_traces(id: &str, out: &digruber::ExperimentOutput) {
     }
 }
 
+/// Runs a spec list on the configured workers, with tracing applied when
+/// `--trace` was passed, and unwraps the outputs in spec order.
+fn run_list(mut specs: Vec<RunSpec>) -> Vec<ExperimentOutput> {
+    if tracing_on() {
+        for s in &mut specs {
+            s.cfg.trace = Some(obs::TraceConfig::default());
+        }
+    }
+    run_specs(&specs, jobs())
+        .into_iter()
+        .map(|m| m.output.expect("experiment failed"))
+        .collect()
+}
+
+fn run_one(spec: RunSpec) -> ExperimentOutput {
+    run_list(vec![spec]).pop().expect("one spec, one output")
+}
+
+/// Appends each run's JSONL to the shared stream and writes the
+/// human-readable timeline summary for this id into `results/`.
+fn export_timelines(id: &str, outs: &[&ExperimentOutput]) {
+    if !tracing_on() {
+        return;
+    }
+    let mut text = String::new();
+    {
+        let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+        for out in outs {
+            let tl = out.timeline.as_ref().expect("traced run has a timeline");
+            jsonl.push_str(&tl.to_jsonl(&out.label));
+            text.push_str(&tl.render(&out.label));
+            text.push('\n');
+        }
+    }
+    std::fs::create_dir_all("results").expect("create results/");
+    let path = format!("results/timeline_{id}.txt");
+    std::fs::write(&path, text).expect("write timeline summary");
+    eprintln!("saved timeline summary to {path}");
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
-    let trace_dir = args
-        .iter()
-        .position(|a| a == "--save-traces")
-        .map(|i| {
-            let dir = args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("--save-traces needs a directory");
+    let mut drain_value = |flag: &str| -> Option<String> {
+        args.iter().position(|a| a == flag).map(|i| {
+            let v = args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a value");
                 std::process::exit(2);
             });
             args.drain(i..=i + 1);
-            dir
-        });
-    TRACE_DIR.set(trace_dir).expect("set once");
-    let n_jobs = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .map(|i| {
-            let n = args
-                .get(i + 1)
-                .and_then(|v| v.parse().ok())
-                .filter(|&n| n > 0)
-                .unwrap_or_else(|| {
-                    eprintln!("--jobs needs a positive integer");
-                    std::process::exit(2);
-                });
-            args.drain(i..=i + 1);
-            n
+            v
+        })
+    };
+    TRACE_DIR.set(drain_value("--save-traces")).expect("set once");
+    TRACE_OUT.set(drain_value("--trace")).expect("set once");
+    let n_jobs = drain_value("--jobs")
+        .map(|v| {
+            v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| {
+                eprintln!("--jobs needs a positive integer");
+                std::process::exit(2);
+            })
         })
         .unwrap_or_else(default_jobs);
     JOBS.set(n_jobs).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|all>... [--save-traces DIR] [--jobs N]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|all>... [--save-traces DIR] [--jobs N] [--trace PATH]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -83,11 +133,17 @@ fn main() {
     for id in ids {
         run(id);
     }
+    if let Some(Some(path)) = TRACE_OUT.get() {
+        let jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+        std::fs::write(path, jsonl.as_str()).expect("write trace JSONL");
+        eprintln!("trace JSONL -> {path}");
+    }
 }
 
 fn scaling_figure(id: &str, service: ServiceKind, n_dps: usize) {
-    let out = dp_scaling(service, n_dps, SEED).expect("experiment failed");
+    let out = run_one(dp_scaling_spec(service, n_dps, SEED));
     save_traces(id, &out);
+    export_timelines(id, &[&out]);
     println!("[{id}]\n{}", render_figure(&out));
 }
 
@@ -100,51 +156,59 @@ fn overall_table(id: &str, service: ServiceKind) {
         .iter()
         .map(|&n| dp_scaling_spec(service, n, SEED))
         .collect();
-    for (m, &n) in run_specs(&specs, jobs()).iter().zip(&DP_COUNTS) {
-        let out = m.output.as_ref().expect("experiment failed");
+    let outs = run_list(specs);
+    export_timelines(id, &outs.iter().collect::<Vec<_>>());
+    for (out, &n) in outs.iter().zip(&DP_COUNTS) {
         println!("{}", render_table_block(n, &out.table));
     }
+}
+
+fn accuracy_figure(id: &str, service: ServiceKind, title: &str) {
+    let outs = run_list(accuracy_specs(service, &INTERVALS_MIN, SEED));
+    export_timelines(id, &outs.iter().collect::<Vec<_>>());
+    let rows = accuracy_rows(&INTERVALS_MIN, &outs);
+    println!("[{id}]\n{}", render_accuracy(title, &rows));
 }
 
 fn run(id: &str) {
     match id {
         "fig1" => {
-            let out = fig1_instance_creation(SEED).expect("experiment failed");
+            let out = run_one(fig1_spec(SEED));
+            export_timelines("fig1", &[&out]);
             println!("[fig1]\n{}", render_figure(&out));
         }
         "fig5" => scaling_figure("fig5", ServiceKind::Gt3, 1),
         "fig6" => scaling_figure("fig6", ServiceKind::Gt3, 3),
         "fig7" => scaling_figure("fig7", ServiceKind::Gt3, 10),
         "table1" => overall_table("table1", ServiceKind::Gt3),
-        "fig8" => {
-            let rows =
-                accuracy_vs_interval(ServiceKind::Gt3, &INTERVALS_MIN, SEED, jobs()).expect("failed");
-            println!(
-                "[fig8]\n{}",
-                render_accuracy("GT3 accuracy vs exchange interval (3 DPs)", &rows)
-            );
-        }
+        "fig8" => accuracy_figure(
+            "fig8",
+            ServiceKind::Gt3,
+            "GT3 accuracy vs exchange interval (3 DPs)",
+        ),
         "fig9" => scaling_figure("fig9", ServiceKind::Gt4Prerelease, 1),
         "fig10" => scaling_figure("fig10", ServiceKind::Gt4Prerelease, 3),
         "fig11" => scaling_figure("fig11", ServiceKind::Gt4Prerelease, 10),
         "table2" => overall_table("table2", ServiceKind::Gt4Prerelease),
-        "fig12" => {
-            let rows = accuracy_vs_interval(ServiceKind::Gt4Prerelease, &INTERVALS_MIN, SEED, jobs())
-                .expect("failed");
-            println!(
-                "[fig12]\n{}",
-                render_accuracy("GT4 accuracy vs exchange interval (3 DPs)", &rows)
-            );
-        }
+        "fig12" => accuracy_figure(
+            "fig12",
+            ServiceKind::Gt4Prerelease,
+            "GT4 accuracy vs exchange interval (3 DPs)",
+        ),
         "crossover" => {
             // Where does adding decision points stop paying? The knee is
             // the paper's "appropriate number of decision points".
             println!("[crossover] GT3, 1..16 decision points");
             println!("  DPs  peak q/s  mean resp(s)  handled   marginal q/s per DP");
-            let rows = crossover(ServiceKind::Gt3, &[1, 2, 3, 4, 5, 6, 8, 10, 12, 16], SEED, jobs())
-                .expect("experiment failed");
+            let dp_counts = [1usize, 2, 3, 4, 5, 6, 8, 10, 12, 16];
+            let specs: Vec<_> = dp_counts
+                .iter()
+                .map(|&n| dp_scaling_spec(ServiceKind::Gt3, n, SEED))
+                .collect();
+            let outs = run_list(specs);
+            export_timelines("crossover", &outs.iter().collect::<Vec<_>>());
             let mut prev: Option<(usize, f64)> = None;
-            for (n, thr, resp, handled) in rows {
+            for (n, thr, resp, handled) in crossover_rows(&dp_counts, &outs) {
                 let marginal = match prev {
                     Some((pn, pthr)) => (thr - pthr) / (n - pn) as f64,
                     None => thr,
@@ -162,25 +226,58 @@ fn run(id: &str) {
             // within a VO, when using DI-GRUBER configurations that feature
             // multiple loosely coupled GRUBER instances".
             println!("[fairness] per-VO consumed CPU share, 3 GT3 DPs, symmetric demand");
-            let out = dp_scaling(ServiceKind::Gt3, 3, SEED).expect("experiment failed");
+            let out = run_one(dp_scaling_spec(ServiceKind::Gt3, 3, SEED));
+            export_timelines("fairness", &[&out]);
             for (v, s) in out.vo_cpu_share.iter().enumerate() {
                 println!("  vo:{v}  {:5.2}%  (target 10.00%)", s * 100.0);
             }
         }
         "table3" => {
             println!("[table3] GRUB-SIM: required decision points");
+            let interval = SimDuration::MINUTE;
             for (service, name) in [
                 (ServiceKind::Gt3, "GT3-based"),
                 (ServiceKind::Gt4Prerelease, "GT4-based"),
             ] {
                 println!("  {name}:");
-                for report in table3(service, &DP_COUNTS, SEED, jobs()).expect("failed") {
+                let specs: Vec<_> = DP_COUNTS
+                    .iter()
+                    .map(|&n| dp_scaling_spec(service, n, SEED))
+                    .collect();
+                let outs = run_list(specs);
+                export_timelines(
+                    &format!("table3_{name}"),
+                    &outs.iter().collect::<Vec<_>>(),
+                );
+                let model = capacity_model(service);
+                for out in &outs {
+                    // The replay gets its own recorder: its overload /
+                    // provisioning events live on the replay clock, not the
+                    // traced run's.
+                    let rec = obs::Recorder::from_config(if tracing_on() {
+                        Some(obs::TraceConfig::default())
+                    } else {
+                        None
+                    });
+                    let report = grubsim::simulate_required_dps_traced(
+                        &out.traces,
+                        model,
+                        interval,
+                        &rec,
+                    );
+                    let end = SimTime(report.intervals as u64 * interval.as_millis());
+                    if let Some(tl) = rec.finish(end) {
+                        let label = format!("{}/grubsim", out.label);
+                        TRACE_JSONL
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .push_str(&tl.to_jsonl(&label));
+                    }
                     println!("    {}", report.row());
                 }
             }
         }
         other => {
-            // fig12 is reachable via `all`? keep explicit too.
             eprintln!("unknown experiment id {other:?}");
             std::process::exit(2);
         }

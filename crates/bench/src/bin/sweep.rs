@@ -33,6 +33,10 @@
 //!                       1 = serial; results identical either way)
 //! --bench-out PATH      perf snapshot destination          (default BENCH_sweep.json;
 //!                       "none" disables)
+//! --trace PATH          structured tracing: per-decision-point JSONL
+//!                       (schema digruber-trace/1, one run per `meta` line)
+//!                       appended for every run, byte-identical for any
+//!                       --jobs value                       (default off)
 //! ```
 
 use bench::{default_jobs, run_specs, SweepSnapshot};
@@ -126,6 +130,7 @@ fn main() {
     if jobs == 0 {
         die("--jobs must be at least 1");
     }
+    let trace_out = args.value_of("--trace").map(str::to_string);
 
     let mut specs = Vec::with_capacity(dps.len());
     for &n in &dps {
@@ -156,6 +161,9 @@ fn main() {
                 v.parse().unwrap_or_else(|_| die("bad --monitor-secs")),
             ));
         }
+        if trace_out.is_some() {
+            cfg.trace = Some(obs::TraceConfig::default());
+        }
 
         specs.push(RunSpec::new(format!("{n} DPs"), cfg, workload.clone()));
     }
@@ -185,6 +193,19 @@ fn main() {
             out.jobs_dispatched,
             out.failovers,
         );
+    }
+
+    if let Some(path) = &trace_out {
+        let mut jsonl = String::new();
+        for m in &measurements {
+            if let Ok(out) = &m.output {
+                let tl = out.timeline.as_ref().expect("traced spec has a timeline");
+                jsonl.push_str(&tl.to_jsonl(&m.label));
+            }
+        }
+        std::fs::write(path, &jsonl)
+            .unwrap_or_else(|e| die(&format!("writing {path}: {e}")));
+        eprintln!("sweep: trace JSONL for {} run(s) -> {path}", measurements.len());
     }
 
     let bench_out = args.value_of("--bench-out").unwrap_or("BENCH_sweep.json");

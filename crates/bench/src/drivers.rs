@@ -12,6 +12,14 @@ use gruber_types::{GridResult, SimDuration};
 use grubsim::{simulate_required_dps, CapacityModel, GrubSimReport};
 use workload::WorkloadSpec;
 
+/// The GRUB-SIM capacity model matching a service stack.
+pub fn capacity_model(service: ServiceKind) -> CapacityModel {
+    match service {
+        ServiceKind::Gt3 | ServiceKind::Gt3InstanceCreation => CapacityModel::gt3(),
+        ServiceKind::Gt4Prerelease => CapacityModel::gt4_prerelease(),
+    }
+}
+
 /// Default experiment seed (any seed reproduces the same shapes).
 pub const SEED: u64 = 2005;
 
@@ -50,13 +58,19 @@ fn run_all(specs: &[RunSpec], jobs: usize) -> GridResult<Vec<ExperimentOutput>> 
 /// client loop, WAN and collector are used, exactly like the paper's
 /// stand-alone DiPerF experiment.
 pub fn fig1_instance_creation(seed: u64) -> GridResult<ExperimentOutput> {
+    fig1_spec(seed).run()
+}
+
+/// The spec behind [`fig1_instance_creation`], reusable by callers that
+/// want to adjust it (e.g. to switch tracing on) before running.
+pub fn fig1_spec(seed: u64) -> RunSpec {
     let mut cfg = DigruberConfig::paper(1, ServiceKind::Gt3InstanceCreation, seed);
     // A tiny grid keeps the availability payload (and thus marshalling
     // cost) negligible, isolating the service-creation cost like Fig 1.
     cfg.grid_factor = 1;
     let mut wl = WorkloadSpec::paper_default();
     wl.n_clients = 100;
-    run_experiment(cfg, wl, "GT3 service instance creation (Figure 1)")
+    RunSpec::new("GT3 service instance creation (Figure 1)", cfg, wl)
 }
 
 /// Figures 8 / 12: scheduling accuracy as a function of the exchange
@@ -68,7 +82,13 @@ pub fn accuracy_vs_interval(
     seed: u64,
     jobs: usize,
 ) -> GridResult<Vec<(u64, f64)>> {
-    let specs: Vec<RunSpec> = intervals_min
+    let outs = run_all(&accuracy_specs(service, intervals_min, seed), jobs)?;
+    Ok(accuracy_rows(intervals_min, &outs))
+}
+
+/// The spec list behind [`accuracy_vs_interval`], one per interval.
+pub fn accuracy_specs(service: ServiceKind, intervals_min: &[u64], seed: u64) -> Vec<RunSpec> {
+    intervals_min
         .iter()
         .map(|&m| {
             let mut cfg = DigruberConfig::paper(3, service, seed);
@@ -79,12 +99,16 @@ pub fn accuracy_vs_interval(
                 WorkloadSpec::paper_default(),
             )
         })
-        .collect();
-    Ok(run_all(&specs, jobs)?
-        .iter()
+        .collect()
+}
+
+/// Extracts the `(interval, mean accuracy)` rows from finished
+/// [`accuracy_specs`] outputs (in spec order).
+pub fn accuracy_rows(intervals_min: &[u64], outs: &[ExperimentOutput]) -> Vec<(u64, f64)> {
+    outs.iter()
         .zip(intervals_min)
         .map(|(out, &m)| (m, out.mean_handled_accuracy.unwrap_or(0.0)))
-        .collect())
+        .collect()
 }
 
 /// Table 3: GRUB-SIM replay of the scalability traces.
@@ -94,10 +118,7 @@ pub fn table3(
     seed: u64,
     jobs: usize,
 ) -> GridResult<Vec<GrubSimReport>> {
-    let model = match service {
-        ServiceKind::Gt3 | ServiceKind::Gt3InstanceCreation => CapacityModel::gt3(),
-        ServiceKind::Gt4Prerelease => CapacityModel::gt4_prerelease(),
-    };
+    let model = capacity_model(service);
     let specs: Vec<RunSpec> = dp_counts
         .iter()
         .map(|&n| dp_scaling_spec(service, n, seed))
@@ -123,8 +144,15 @@ pub fn crossover(
         .iter()
         .map(|&n| dp_scaling_spec(service, n, seed))
         .collect();
-    Ok(run_all(&specs, jobs)?
-        .iter()
+    Ok(crossover_rows(dp_counts, &run_all(&specs, jobs)?))
+}
+
+/// Extracts the crossover rows from finished scaling-spec outputs.
+pub fn crossover_rows(
+    dp_counts: &[usize],
+    outs: &[ExperimentOutput],
+) -> Vec<(usize, f64, f64, f64)> {
+    outs.iter()
         .zip(dp_counts)
         .map(|(out, &n)| {
             (
@@ -134,7 +162,7 @@ pub fn crossover(
                 out.report.handled_fraction(),
             )
         })
-        .collect())
+        .collect()
 }
 
 /// A scaled-down configuration for Criterion benches and smoke tests:

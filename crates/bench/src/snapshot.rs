@@ -19,7 +19,7 @@ use std::time::Duration;
 
 /// Schema identifier embedded in every snapshot, bumped on breaking
 /// layout changes.
-pub const SCHEMA: &str = "digruber-bench-sweep/1";
+pub const SCHEMA: &str = "digruber-bench-sweep/2";
 
 /// A whole sweep's perf summary, ready to serialize.
 #[derive(Debug)]
@@ -72,6 +72,10 @@ pub struct RunMetrics {
     pub jobs_dispatched: usize,
     /// Decision points at the end of the run.
     pub final_dps: usize,
+    /// Whether structured tracing was enabled for the run — the events/sec
+    /// headline is only comparable across snapshots with equal `traced`
+    /// (the no-sink overhead bound is measured against `false` rows).
+    pub traced: bool,
 }
 
 impl RunMetrics {
@@ -88,6 +92,7 @@ impl RunMetrics {
             utilization: out.table.all.util,
             jobs_dispatched: out.jobs_dispatched,
             final_dps: out.final_dps,
+            traced: out.timeline.is_some(),
         }
     }
 }
@@ -161,7 +166,8 @@ impl SweepSnapshot {
                     let _ = writeln!(s, "      \"mean_handled_accuracy\": {acc},");
                     let _ = writeln!(s, "      \"utilization\": {},", json_f64(m.utilization));
                     let _ = writeln!(s, "      \"jobs_dispatched\": {},", m.jobs_dispatched);
-                    let _ = writeln!(s, "      \"final_dps\": {}", m.final_dps);
+                    let _ = writeln!(s, "      \"final_dps\": {},", m.final_dps);
+                    let _ = writeln!(s, "      \"traced\": {}", m.traced);
                 }
                 Err(e) => {
                     let _ = writeln!(s, "      \"ok\": false,");
@@ -276,7 +282,8 @@ mod tests {
         let json = snap.to_json();
         // Spot-check the shape without a parser: keys present, balanced
         // braces/brackets, every run row rendered.
-        assert!(json.contains("\"schema\": \"digruber-bench-sweep/1\""));
+        assert!(json.contains("\"schema\": \"digruber-bench-sweep/2\""));
+        assert!(json.contains("\"traced\": false"));
         assert!(json.contains("\"jobs\": 2"));
         assert!(json.contains("\"n_runs\": 2"));
         assert!(json.contains("\"speedup_vs_serial\""));

@@ -192,6 +192,11 @@ pub struct DigruberConfig {
     pub grid_factor: usize,
     /// Experiment RNG seed.
     pub seed: u64,
+    /// Optional structured tracing: when set, the run installs an
+    /// `obs::Recorder` into every scheduler, engine and service station
+    /// and the output carries a per-decision-point timeline. `None` (the
+    /// default) costs one untaken branch per instrumented call.
+    pub trace: Option<obs::TraceConfig>,
 }
 
 impl DigruberConfig {
@@ -219,6 +224,7 @@ impl DigruberConfig {
             monitor_refresh: None,
             grid_factor: 10,
             seed,
+            trace: None,
         }
     }
 

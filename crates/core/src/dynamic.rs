@@ -77,7 +77,7 @@ pub fn monitor_tick(w: &mut World, s: &mut Scheduler<World>) {
         let live = w.dps.iter().filter(|d| d.up).count();
         if w.idle_strikes >= cfg.idle_strikes_to_retire && live > cfg.min_dps.max(w.cfg.n_dps)
         {
-            if let Some(retired) = w.retire_decision_point() {
+            if let Some(retired) = w.retire_decision_point(now) {
                 w.retire_log.push((now, retired));
                 w.idle_strikes = 0;
             }

@@ -71,6 +71,8 @@ pub fn client_issue(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
         responded: false,
         timeout_token: None,
     });
+    w.trace
+        .emit(now, || obs::TraceEvent::QueryIssued { client, dp });
     let timeout_token = s.schedule_in(w.cfg.client_timeout, move |w, s| request_timeout(w, s, tag));
     w.requests.get_mut(&tag).expect("just inserted").timeout_token = Some(timeout_token);
 
@@ -94,7 +96,10 @@ pub fn request_arrives(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
     }
     let payload_kb = simnet::codec::availability_payload_kb(w.grid.n_sites());
     let gen = w.dps[dp_idx].station.generation();
-    match w.dps[dp_idx].station.arrive(tag, payload_kb, &mut w.svc_rng) {
+    match w.dps[dp_idx]
+        .station
+        .arrive_at(s.now(), tag, payload_kb, &mut w.svc_rng)
+    {
         simnet::service::Admission::Started(started) => {
             s.schedule_in(started.service_time, move |w, s| {
                 service_done(w, s, dp_idx, started.tag, gen)
@@ -117,12 +122,12 @@ pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag:
     if w.dps[dp_idx].station.generation() != gen {
         return; // the container crashed since; this request was lost
     }
-    if let Some(next) = w.dps[dp_idx].station.finish(&mut w.svc_rng) {
+    let now = s.now();
+    if let Some(next) = w.dps[dp_idx].station.finish_at(now, &mut w.svc_rng) {
         s.schedule_in(next.service_time, move |w, s| {
             service_done(w, s, dp_idx, next.tag, gen)
         });
     }
-    let now = s.now();
     let Some(req) = w.requests.get(&tag) else {
         return; // request state already retired
     };
@@ -171,8 +176,14 @@ pub fn response_arrives(
         // service still completed the request, so DiPerF's service-side
         // throughput counts it as a (late) completion.
         let trace = RequestTrace::late(req.client, req.dp, req.sent_at, now - req.sent_at);
+        let (client, dp, late_by) = (req.client, req.dp, now - req.sent_at);
         w.requests.remove(&tag);
         w.collector.record(trace);
+        w.trace.emit(now, || obs::TraceEvent::ResponseLate {
+            dp,
+            client,
+            response_ms: late_by.as_millis(),
+        });
         return;
     }
     req.responded = true;
@@ -193,6 +204,11 @@ pub fn response_arrives(
         w.denied_requests += 1;
         w.collector
             .record(RequestTrace::answered(client, dp, sent_at, now - sent_at));
+        w.trace.emit(now, || obs::TraceEvent::ResponseAnswered {
+            dp,
+            client,
+            response_ms: (now - sent_at).as_millis(),
+        });
         let think = w.factory.think_time(client);
         s.schedule_in(think, move |w, s| client_issue(w, s, client));
         return;
@@ -239,6 +255,11 @@ pub fn response_arrives(
     let response_time = (now + l_inform + l_ack) - sent_at;
     w.collector
         .record(RequestTrace::answered(client, dp, sent_at, response_time));
+    w.trace.emit(now, || obs::TraceEvent::ResponseAnswered {
+        dp,
+        client,
+        response_ms: response_time.as_millis(),
+    });
 
     let think = w.factory.think_time(client);
     s.schedule_in(l_inform + l_ack + think, move |w, s| {
@@ -255,13 +276,17 @@ pub fn request_timeout(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
         return;
     }
     req.timed_out = true;
+    let now = s.now();
     let client = req.client;
+    let dp = req.dp;
     let job = req.job.clone();
+    w.trace
+        .emit(now, || obs::TraceEvent::ClientTimeout { client, dp });
     // The request state stays in the map: if the service completes the
     // request later, `response_arrives` records it as a late completion;
     // requests the service never finishes are recorded as pure timeouts
     // when the run is finalized.
-    crate::faults::note_client_timeout(w, client);
+    crate::faults::note_client_timeout(w, client, now);
     let n_sites = w.grid.n_sites();
     let site = SiteId::from_index(w.clients[client.index()].fallback_rng.index(n_sites));
     dispatch_job(w, s, job, site, false);
@@ -361,6 +386,12 @@ pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
     if w.exchanges_state() {
         let forward = w.cfg.topology != SyncTopology::FullMesh;
         for i in 0..w.dps.len() {
+            if !w.dps[i].up {
+                // A crashed point neither floods nor drains its log; what
+                // it brokered before the crash goes out when it recovers
+                // and rejoins the next round.
+                continue;
+            }
             let log = w.dps[i].engine.drain_log();
             let usla_delta = if w.cfg.dissemination == Dissemination::UsageAndUslas {
                 w.dps[i].engine.uslas().delta_since(0)
@@ -385,9 +416,18 @@ pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
                 );
                 let log = log.clone();
                 let usla_delta = usla_delta.clone();
+                let records = log.len() as u32;
+                w.trace.emit(now, || obs::TraceEvent::ExchangeSent {
+                    from: gruber_types::DpId(i as u32),
+                    to: gruber_types::DpId(j as u32),
+                    records,
+                });
                 s.schedule_in(lat, move |w: &mut World, s| {
                     let now = s.now();
                     if let Some(dp) = w.dps.get_mut(j) {
+                        if !dp.up {
+                            return; // flood arrived at a crashed point
+                        }
                         if forward {
                             dp.engine.merge_peer_records_forwarding(&log, now);
                         } else {

@@ -12,7 +12,7 @@
 use crate::world::World;
 use desim::dist::Dist;
 use desim::Scheduler;
-use gruber_types::{ClientId, SimDuration};
+use gruber_types::{ClientId, DpId, SimDuration, SimTime};
 
 fn exp_delay(mean: SimDuration, w: &mut World) -> SimDuration {
     let d = Dist::Exponential {
@@ -40,7 +40,13 @@ pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
         return;
     }
     w.dps[dp_idx].up = false;
-    w.dps[dp_idx].station.crash();
+    // The station's crash emits `SvcCrashDropped` with the exact in-flight
+    // and queued counts; `DpFailed` is the marker the timeline uses to
+    // flip the point's up/down state.
+    w.dps[dp_idx].station.crash_at(now);
+    w.trace.emit(now, || obs::TraceEvent::DpFailed {
+        dp: DpId(dp_idx as u32),
+    });
     w.dp_failures += 1;
     let fc = w.cfg.failures.expect("failures configured");
     let repair = exp_delay(fc.dp_repair, w);
@@ -61,15 +67,25 @@ pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
         return;
     }
     w.dps[dp_idx].up = true;
+    w.trace.emit(now, || obs::TraceEvent::DpRecovered {
+        dp: DpId(dp_idx as u32),
+    });
     let fc = w.cfg.failures.expect("failures configured");
     if fc.failover_after > 0 {
         let n = w.dps.len();
         let share = 1.0 / n as f64;
-        for c in &mut w.clients {
+        for ci in 0..w.clients.len() {
+            let c = &mut w.clients[ci];
             if c.dp.index() != dp_idx && c.fallback_rng.chance(share) {
-                c.dp = gruber_types::DpId(dp_idx as u32);
+                let from = c.dp;
+                c.dp = DpId(dp_idx as u32);
                 c.consecutive_timeouts = 0;
                 w.failovers += 1;
+                w.trace.emit(now, || obs::TraceEvent::ClientRebound {
+                    client: ClientId(ci as u32),
+                    from,
+                    to: DpId(dp_idx as u32),
+                });
             }
         }
     }
@@ -82,7 +98,7 @@ pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
 /// Called on every client timeout: counts consecutive timeouts and
 /// re-binds the client to a random *other* decision point once the
 /// failover threshold is reached.
-pub fn note_client_timeout(w: &mut World, client: ClientId) {
+pub fn note_client_timeout(w: &mut World, client: ClientId, now: SimTime) {
     let c = &mut w.clients[client.index()];
     c.consecutive_timeouts += 1;
     let Some(fc) = w.cfg.failures else {
@@ -107,9 +123,14 @@ pub fn note_client_timeout(w: &mut World, client: ClientId) {
     } else {
         candidates[c.fallback_rng.index(candidates.len())]
     };
-    c.dp = gruber_types::DpId(pick as u32);
+    c.dp = DpId(pick as u32);
     c.consecutive_timeouts = 0;
     w.failovers += 1;
+    w.trace.emit(now, || obs::TraceEvent::ClientRebound {
+        client,
+        from: old,
+        to: DpId(pick as u32),
+    });
 }
 
 #[cfg(test)]
@@ -167,6 +188,97 @@ mod tests {
         let out = run_experiment(cfg, wl(), "clean").unwrap();
         assert_eq!(out.dp_failures, 0);
         assert_eq!(out.failovers, 0);
+    }
+
+    #[test]
+    fn crash_drops_exactly_the_inflight_requests() {
+        use gruber_types::SimTime;
+        // Saturate one decision point's container (4 workers + 3 queued),
+        // then crash it: the timeline must charge exactly those 7 requests
+        // as dropped, and the station must be empty afterwards.
+        let mut cfg = faulty_cfg(2, 5);
+        cfg.trace = Some(obs::TraceConfig::default());
+        let mut w = crate::world::World::new(cfg, wl()).unwrap();
+        for t in 0..7u64 {
+            w.dps[0].station.arrive(t, 1.0, &mut w.svc_rng);
+        }
+        assert_eq!(w.dps[0].station.load(), 7);
+        let mut sim = desim::Simulation::new(w);
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(1), |w, s| dp_fail(w, s, 0));
+        sim.run_until(SimTime::from_secs(2));
+        let w = sim.world();
+        assert_eq!(w.dps[0].station.load(), 0);
+        assert!(!w.dps[0].up);
+        let tl = w.trace.finish(SimTime::from_secs(2)).unwrap();
+        assert_eq!(tl.totals.failures, 1);
+        assert_eq!(tl.totals.dropped_requests, 7);
+        let t0 = tl
+            .dp_totals
+            .iter()
+            .find(|t| t.dp == gruber_types::DpId(0))
+            .unwrap();
+        assert_eq!(t0.dropped_requests, 7, "drop count must match in-flight");
+        assert_eq!(t0.started, 4);
+        assert_eq!(t0.queued, 3);
+    }
+
+    #[test]
+    fn recovered_dp_rejoins_the_next_exchange_round() {
+        use crate::events::sync_round;
+        use gruber::DispatchRecord;
+        use gruber_types::{DpId, GroupId, JobId, SimTime, SiteId, VoId};
+
+        fn rec(job: u32) -> DispatchRecord {
+            DispatchRecord {
+                job: JobId(job),
+                site: SiteId(0),
+                vo: VoId(0),
+                group: GroupId(0),
+                cpus: 1,
+                dispatched_at: SimTime::ZERO,
+                est_finish: SimTime::from_secs(4000),
+            }
+        }
+
+        let mut cfg = faulty_cfg(2, 5);
+        cfg.n_dps = 2;
+        cfg.trace = Some(obs::TraceConfig::default());
+        let mut sim =
+            desim::Simulation::new(crate::world::World::new(cfg, wl()).unwrap());
+        let tracer = sim.world().trace.clone();
+        sim.scheduler().set_tracer(tracer);
+        // dp0 brokers a dispatch, then a sync round floods it — but dp1
+        // crashes at the same instant (FIFO: the crash fires before the
+        // flood's WAN delivery), so the in-flight exchange is lost.
+        sim.scheduler().schedule_at(SimTime::from_secs(5), |w, s| {
+            let now = s.now();
+            w.dps[0].engine.record_dispatch(rec(1), now);
+        });
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(10), sync_round);
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(10), |w, s| dp_fail(w, s, 1));
+        // Repair well before the next (auto-rescheduled) round at t=190 s.
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(60), |w, s| dp_repair(w, s, 1));
+        sim.scheduler().schedule_at(SimTime::from_secs(100), |w, s| {
+            let now = s.now();
+            w.dps[0].engine.record_dispatch(rec(2), now);
+        });
+        sim.run_until(SimTime::from_secs(200));
+        let w = sim.world();
+        assert!(w.dps[1].up);
+        // The crashed round's record never arrived; the post-recovery round
+        // did. Exactly one merged record, and it is job 2's.
+        let (_, merged) = w.dps[1].engine.counters();
+        assert_eq!(merged, 1, "recovered DP must rejoin the next round");
+        let tl = w.trace.finish(SimTime::from_secs(200)).unwrap();
+        let t1 = tl.dp_totals.iter().find(|t| t.dp == DpId(1)).unwrap();
+        assert_eq!(t1.exchanges_in, 1, "only the post-recovery flood merges");
+        assert_eq!(t1.exchange_records_in, 1);
+        assert_eq!(t1.failures, 1);
+        assert_eq!(t1.recoveries, 1);
     }
 
     #[test]

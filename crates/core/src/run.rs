@@ -88,6 +88,9 @@ pub struct ExperimentOutput {
     pub events_executed: u64,
     /// High-water mark of the pending event queue.
     pub peak_pending: usize,
+    /// Per-decision-point timeline (present iff `cfg.trace` was set);
+    /// deterministic like every other field.
+    pub timeline: Option<obs::RunTimeline>,
 }
 
 /// CPU time a job consumed inside `[0, end)`.
@@ -107,6 +110,8 @@ pub fn run_experiment(
 ) -> GridResult<ExperimentOutput> {
     let world = World::new(cfg, workload)?;
     let mut sim = Simulation::new(world);
+    let tracer = sim.world().trace.clone();
+    sim.scheduler().set_tracer(tracer);
 
     // Seed the initial events: tester ramp, sync rounds, load sampling,
     // and (when configured) the dynamic monitor.
@@ -213,6 +218,7 @@ fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize
         },
         events_executed,
         peak_pending,
+        timeline: w.trace.finish(end),
     }
 }
 

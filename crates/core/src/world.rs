@@ -126,6 +126,10 @@ pub struct World {
     pub dp_failures: u64,
     /// Client failover re-bindings performed.
     pub failovers: u64,
+    /// Structured trace recorder ([`obs::Recorder::OFF`] unless
+    /// `cfg.trace` is set); clones of it live in every scheduler, engine
+    /// and service station of this run.
+    pub trace: obs::Recorder,
 }
 
 /// WAN address of a client.
@@ -153,13 +157,21 @@ impl World {
             Some(set) => set.clone(),
             None => equal_shares(workload.n_vos, workload.groups_per_vo)?,
         };
+        let trace = obs::Recorder::from_config(cfg.trace);
         let dps: Vec<DecisionPoint> = (0..cfg.n_dps)
-            .map(|i| DecisionPoint {
-                id: DpId(i as u32),
-                engine: GruberEngine::new(&site_specs, &uslas),
-                station: ServiceStation::new(cfg.service.profile()),
-                up: true,
-                monitor_free: None,
+            .map(|i| {
+                let id = DpId(i as u32);
+                let mut engine = GruberEngine::new(&site_specs, &uslas);
+                let mut station = ServiceStation::new(cfg.service.profile());
+                engine.set_tracer(trace.clone(), id);
+                station.set_tracer(trace.clone(), id);
+                DecisionPoint {
+                    id,
+                    engine,
+                    station,
+                    up: true,
+                    monitor_free: None,
+                }
             })
             .collect();
         let mut misc_rng = DetRng::new(cfg.seed, 0xB1AD);
@@ -210,6 +222,7 @@ impl World {
             rejected_dispatches: 0,
             dp_failures: 0,
             failovers: 0,
+            trace,
         })
     }
 
@@ -223,10 +236,18 @@ impl World {
     /// new id.
     pub fn add_decision_point(&mut self, now: SimTime, overloaded: DpId) -> DpId {
         let new_id = DpId(self.dps.len() as u32);
+        let mut engine = GruberEngine::new(&self.site_specs, &self.uslas);
+        let mut station = ServiceStation::new(self.cfg.service.profile());
+        engine.set_tracer(self.trace.clone(), new_id);
+        station.set_tracer(self.trace.clone(), new_id);
+        self.trace.emit(now, || obs::TraceEvent::DpProvisioned {
+            dp: new_id,
+            trigger: overloaded,
+        });
         self.dps.push(DecisionPoint {
             id: new_id,
-            engine: GruberEngine::new(&self.site_specs, &self.uslas),
-            station: ServiceStation::new(self.cfg.service.profile()),
+            engine,
+            station,
             up: true,
             monitor_free: None,
         });
@@ -253,14 +274,16 @@ impl World {
     /// re-bind across the remaining points. Only points beyond the initial
     /// deployment are retired, and the point itself stays in the vector
     /// (marked down, never again addressed) so ids remain stable.
-    pub fn retire_decision_point(&mut self) -> Option<DpId> {
+    pub fn retire_decision_point(&mut self, now: SimTime) -> Option<DpId> {
         let last = self.dps.len() - 1;
         if last < self.cfg.n_dps || !self.dps[last].up {
             return None;
         }
         self.dps[last].up = false;
-        self.dps[last].station.crash();
+        self.dps[last].station.crash_at(now);
         let retired = DpId(last as u32);
+        self.trace
+            .emit(now, || obs::TraceEvent::DpRetired { dp: retired });
         let targets: Vec<u32> = (0..last as u32)
             .filter(|&j| self.dps[j as usize].up)
             .collect();

@@ -1,6 +1,7 @@
 //! The event loop.
 
 use gruber_types::{SimDuration, SimTime};
+use obs::{Recorder, TraceEvent};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
@@ -48,6 +49,7 @@ pub struct Scheduler<W> {
     executed: u64,
     peak_pending: usize,
     cancellations: u64,
+    tracer: Recorder,
 }
 
 impl<W> Default for Scheduler<W> {
@@ -61,6 +63,7 @@ impl<W> Default for Scheduler<W> {
             executed: 0,
             peak_pending: 0,
             cancellations: 0,
+            tracer: Recorder::OFF,
         }
     }
 }
@@ -90,6 +93,13 @@ impl<W> Scheduler<W> {
     /// Number of successful [`Scheduler::cancel`] calls so far.
     pub fn cancellations(&self) -> u64 {
         self.cancellations
+    }
+
+    /// Installs a trace recorder; every executed or cancelled event is
+    /// reported to it. The default is [`Recorder::OFF`] (one branch per
+    /// event, nothing recorded).
+    pub fn set_tracer(&mut self, tracer: Recorder) {
+        self.tracer = tracer;
     }
 
     /// Schedules `f` to run at absolute time `at`.
@@ -133,6 +143,8 @@ impl<W> Scheduler<W> {
         }
         self.cancelled.insert(token.0);
         self.cancellations += 1;
+        self.tracer
+            .emit(self.now, || TraceEvent::EventCancelled { seq: token.0 });
         true
     }
 
@@ -208,6 +220,9 @@ impl<W> Simulation<W> {
             debug_assert!(ev.at >= self.sched.now, "time went backwards");
             self.sched.now = ev.at;
             self.sched.executed += 1;
+            self.sched
+                .tracer
+                .emit(ev.at, || TraceEvent::EventExecuted { seq: ev.seq });
             (ev.run)(&mut self.world, &mut self.sched);
         }
         if self.sched.now < limit {
@@ -222,6 +237,9 @@ impl<W> Simulation<W> {
         while let Some(ev) = self.sched.pop_due(SimTime(u64::MAX)) {
             self.sched.now = ev.at;
             self.sched.executed += 1;
+            self.sched
+                .tracer
+                .emit(ev.at, || TraceEvent::EventExecuted { seq: ev.seq });
             (ev.run)(&mut self.world, &mut self.sched);
             assert!(
                 self.sched.executed - start <= max_events,

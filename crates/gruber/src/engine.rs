@@ -10,7 +10,8 @@
 //!   the believed per-VO/group usage?
 
 use crate::view::{DispatchRecord, GridView};
-use gruber_types::{JobSpec, SimTime, SiteSpec};
+use gruber_types::{DpId, JobSpec, SimTime, SiteSpec};
+use obs::{Recorder, TraceEvent, TraceVerdict};
 use usla::{AdmissionVerdict, EntitlementEngine, Principal, ResourceKind, UslaSet, UslaStore};
 
 /// A decision point's brokering core.
@@ -21,6 +22,8 @@ pub struct GruberEngine {
     outgoing: Vec<DispatchRecord>,
     dispatches_recorded: u64,
     peers_merged: u64,
+    tracer: Recorder,
+    dp: DpId,
 }
 
 impl GruberEngine {
@@ -32,7 +35,16 @@ impl GruberEngine {
             outgoing: Vec::new(),
             dispatches_recorded: 0,
             peers_merged: 0,
+            tracer: Recorder::OFF,
+            dp: DpId(0),
         }
+    }
+
+    /// Installs a trace recorder, attributing this engine's events to
+    /// decision point `dp`.
+    pub fn set_tracer(&mut self, tracer: Recorder, dp: DpId) {
+        self.tracer = tracer;
+        self.dp = dp;
     }
 
     /// Believed free CPUs per site — the availability response payload.
@@ -44,8 +56,17 @@ impl GruberEngine {
     /// the local view immediately and queues it for the next peer exchange.
     pub fn record_dispatch(&mut self, rec: DispatchRecord, now: SimTime) {
         if self.view.observe(&rec, now) {
+            self.tracer.emit(now, || TraceEvent::QueryAccepted {
+                dp: self.dp,
+                job: rec.job,
+            });
             self.outgoing.push(rec);
             self.dispatches_recorded += 1;
+        } else {
+            self.tracer.emit(now, || TraceEvent::QueryDuplicate {
+                dp: self.dp,
+                job: rec.job,
+            });
         }
     }
 
@@ -54,6 +75,11 @@ impl GruberEngine {
     pub fn merge_peer_records(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
         let new = self.view.merge(records, now);
         self.peers_merged += new as u64;
+        self.tracer.emit(now, || TraceEvent::ExchangeMerged {
+            dp: self.dp,
+            received: records.len() as u32,
+            fresh: new as u32,
+        });
         new
     }
 
@@ -75,6 +101,11 @@ impl GruberEngine {
             }
         }
         self.peers_merged += new as u64;
+        self.tracer.emit(now, || TraceEvent::ExchangeMerged {
+            dp: self.dp,
+            received: records.len() as u32,
+            fresh: new as u32,
+        });
         new
     }
 
@@ -98,11 +129,23 @@ impl GruberEngine {
         let engine =
             EntitlementEngine::new(&snapshot, ResourceKind::Cpu, self.view.grid_cpus() as f64);
         let group = Principal::Group(job.vo, job.group);
-        engine.check_admission(group, f64::from(job.cpus), idle, |p| match p {
+        let verdict = engine.check_admission(group, f64::from(job.cpus), idle, |p| match p {
             Principal::Vo(_) => vo_usage,
             Principal::Group(..) => group_usage,
             _ => 0.0,
-        })
+        });
+        self.tracer.emit(now, || TraceEvent::Decision {
+            dp: self.dp,
+            job: job.id,
+            verdict: match verdict {
+                AdmissionVerdict::Guaranteed | AdmissionVerdict::UnderEntitlement => {
+                    TraceVerdict::Admitted
+                }
+                AdmissionVerdict::Opportunistic => TraceVerdict::Opportunistic,
+                AdmissionVerdict::Denied => TraceVerdict::Denied,
+            },
+        });
+        verdict
     }
 
     /// The engine's USLA store (publication / discovery / dissemination).

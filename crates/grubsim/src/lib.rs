@@ -42,4 +42,4 @@ pub mod replay;
 
 pub use capacity::CapacityModel;
 pub use rebalance::{simulate_rebalancing, RebalanceReport};
-pub use replay::{simulate_required_dps, GrubSimReport};
+pub use replay::{simulate_required_dps, simulate_required_dps_traced, GrubSimReport};

@@ -2,7 +2,8 @@
 
 use crate::capacity::CapacityModel;
 use diperf::RequestTrace;
-use gruber_types::SimDuration;
+use gruber_types::{SimDuration, SimTime};
+use obs::{Recorder, TraceEvent};
 use serde::{Deserialize, Serialize};
 
 /// What GRUB-SIM concluded from one trace.
@@ -62,6 +63,18 @@ pub fn simulate_required_dps(
     model: CapacityModel,
     interval: SimDuration,
 ) -> GrubSimReport {
+    simulate_required_dps_traced(traces, model, interval, &Recorder::OFF)
+}
+
+/// [`simulate_required_dps`] with a trace recorder: every overload event
+/// and decision-point addition is emitted, timestamped at the start of the
+/// replay interval that triggered it.
+pub fn simulate_required_dps_traced(
+    traces: &[RequestTrace],
+    model: CapacityModel,
+    interval: SimDuration,
+    tracer: &Recorder,
+) -> GrubSimReport {
     assert!(!interval.is_zero(), "zero replay interval");
     let initial_dps = traces
         .iter()
@@ -92,7 +105,7 @@ pub fn simulate_required_dps(
     let mut backlog = 0.0f64;
     let mut peak_offered = 0.0f64;
 
-    for &a in &arrivals {
+    for (idx, &a) in arrivals.iter().enumerate() {
         let offered = a as f64 + backlog;
         peak_offered = peak_offered.max(a as f64 / secs);
         let capacity = dps as f64 * model.per_interval(secs);
@@ -102,6 +115,15 @@ pub fn simulate_required_dps(
             overloads += 1;
             dps += 1;
             added += 1;
+            let at = SimTime(idx as u64 * interval.as_millis());
+            tracer.emit(at, || TraceEvent::ReplayOverload {
+                interval: idx as u64,
+                backlog: backlog as u64,
+            });
+            tracer.emit(at, || TraceEvent::ReplayDpAdded {
+                interval: idx as u64,
+                total: dps as u32,
+            });
         }
     }
 

@@ -1,0 +1,276 @@
+//! The trace-event vocabulary.
+//!
+//! One flat enum, integer fields only: events must be cheap to construct,
+//! `Copy`, and render byte-identically across runs (no floats, no heap).
+//! Each variant names the subsystem that emits it; the timestamp is not
+//! part of the event — the sink keys every emission by simulated time.
+
+use gruber_types::{ClientId, DpId, JobId};
+
+/// Admission verdict as recorded by the tracer — a dependency-free mirror
+/// of `usla::AdmissionVerdict` (obs sits below the USLA stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceVerdict {
+    /// The job may start within its entitlement (guaranteed or under
+    /// target share).
+    Admitted,
+    /// Over entitlement, admitted opportunistically on idle capacity.
+    Opportunistic,
+    /// A hard cap or exhausted capacity forbids admission.
+    Denied,
+}
+
+impl TraceVerdict {
+    /// Stable lowercase name (used by the JSONL export).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceVerdict::Admitted => "admitted",
+            TraceVerdict::Opportunistic => "opportunistic",
+            TraceVerdict::Denied => "denied",
+        }
+    }
+}
+
+/// One structured event on a hot path of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// `desim`: the scheduler executed the event with this sequence number.
+    EventExecuted {
+        /// Scheduler sequence number.
+        seq: u64,
+    },
+    /// `desim`: a live event was cancelled before firing.
+    EventCancelled {
+        /// Scheduler sequence number.
+        seq: u64,
+    },
+    /// `simnet`: a request found a free container worker and started.
+    SvcStarted {
+        /// Decision point owning the station.
+        dp: DpId,
+        /// Caller-supplied request tag.
+        tag: u64,
+    },
+    /// `simnet`: all workers busy — the request queued FIFO.
+    SvcQueued {
+        /// Decision point owning the station.
+        dp: DpId,
+        /// Caller-supplied request tag.
+        tag: u64,
+        /// Backlog depth after the enqueue.
+        depth: u32,
+    },
+    /// `simnet`: the accept queue was full — the request was refused.
+    SvcRejected {
+        /// Decision point owning the station.
+        dp: DpId,
+        /// Caller-supplied request tag.
+        tag: u64,
+    },
+    /// `simnet`: a request finished service and freed its worker.
+    SvcCompleted {
+        /// Decision point owning the station.
+        dp: DpId,
+        /// Tag of the backlog request promoted into the freed worker
+        /// (`u64::MAX` when the backlog was empty).
+        tag: u64,
+        /// Backlog depth after any queued successor was promoted.
+        depth: u32,
+    },
+    /// `simnet`: the container crashed, dropping all in-flight requests.
+    SvcCrashDropped {
+        /// Decision point owning the station.
+        dp: DpId,
+        /// Requests that were occupying workers.
+        in_service: u32,
+        /// Requests that were waiting in the backlog.
+        queued: u32,
+    },
+    /// `digruber`: a client issued a query to its bound decision point.
+    QueryIssued {
+        /// Issuing client.
+        client: ClientId,
+        /// Bound decision point.
+        dp: DpId,
+    },
+    /// `gruber`: the engine accepted a *new* dispatch record into its view
+    /// and flood log.
+    QueryAccepted {
+        /// Decision point whose engine recorded it.
+        dp: DpId,
+        /// The dispatched job.
+        job: JobId,
+    },
+    /// `gruber`: a dispatch record was a duplicate (already in the view).
+    QueryDuplicate {
+        /// Decision point whose engine saw it.
+        dp: DpId,
+        /// The duplicated job id.
+        job: JobId,
+    },
+    /// `gruber`: a USLA admission decision was evaluated.
+    Decision {
+        /// Deciding decision point.
+        dp: DpId,
+        /// The job under decision.
+        job: JobId,
+        /// The verdict.
+        verdict: TraceVerdict,
+    },
+    /// `digruber`: one peer flood of a sync round left a decision point.
+    ExchangeSent {
+        /// Sender.
+        from: DpId,
+        /// Receiver the flood is addressed to.
+        to: DpId,
+        /// Dispatch records in the flood.
+        records: u32,
+    },
+    /// `gruber`: a peer flood was merged into the receiving view.
+    ExchangeMerged {
+        /// Receiving decision point.
+        dp: DpId,
+        /// Records in the flood.
+        received: u32,
+        /// Records that were new to this view.
+        fresh: u32,
+    },
+    /// `digruber`: an availability response reached the client in time.
+    ResponseAnswered {
+        /// Answering decision point.
+        dp: DpId,
+        /// The client.
+        client: ClientId,
+        /// Full query response time, milliseconds.
+        response_ms: u64,
+    },
+    /// `digruber`: the service completed a request whose client had
+    /// already timed out (a late completion — counted by service-side
+    /// throughput, not by the client).
+    ResponseLate {
+        /// Completing decision point.
+        dp: DpId,
+        /// The (long gone) client.
+        client: ClientId,
+        /// Time from send to the late completion, milliseconds.
+        response_ms: u64,
+    },
+    /// `digruber`: a client's query timeout fired before any response.
+    ClientTimeout {
+        /// The client that gave up.
+        client: ClientId,
+        /// The decision point that failed to answer in time.
+        dp: DpId,
+    },
+    /// `digruber::faults`: a decision point crashed.
+    DpFailed {
+        /// The crashed point.
+        dp: DpId,
+    },
+    /// `digruber::faults`: a crashed decision point came back up.
+    DpRecovered {
+        /// The repaired point.
+        dp: DpId,
+    },
+    /// `digruber`: a client re-bound from one decision point to another
+    /// (timeout failover, or rebalance-on-repair).
+    ClientRebound {
+        /// The re-binding client.
+        client: ClientId,
+        /// Previous binding.
+        from: DpId,
+        /// New binding.
+        to: DpId,
+    },
+    /// `digruber`: dynamic reconfiguration provisioned a fresh point.
+    DpProvisioned {
+        /// The new decision point.
+        dp: DpId,
+        /// The saturated point that triggered it.
+        trigger: DpId,
+    },
+    /// `digruber`: dynamic scale-down retired a point.
+    DpRetired {
+        /// The retired decision point.
+        dp: DpId,
+    },
+    /// `grubsim`: a replay interval's backlog exceeded the burst allowance.
+    ReplayOverload {
+        /// Replay interval index.
+        interval: u64,
+        /// Backlog at the overload, in whole queries (rounded).
+        backlog: u64,
+    },
+    /// `grubsim`: the replay added a decision point.
+    ReplayDpAdded {
+        /// Replay interval index.
+        interval: u64,
+        /// Total decision points after the addition.
+        total: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable snake_case name of the variant (JSONL `event` field and the
+    /// human-readable ring rendering).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::EventExecuted { .. } => "event_executed",
+            TraceEvent::EventCancelled { .. } => "event_cancelled",
+            TraceEvent::SvcStarted { .. } => "svc_started",
+            TraceEvent::SvcQueued { .. } => "svc_queued",
+            TraceEvent::SvcRejected { .. } => "svc_rejected",
+            TraceEvent::SvcCompleted { .. } => "svc_completed",
+            TraceEvent::SvcCrashDropped { .. } => "svc_crash_dropped",
+            TraceEvent::QueryIssued { .. } => "query_issued",
+            TraceEvent::QueryAccepted { .. } => "query_accepted",
+            TraceEvent::QueryDuplicate { .. } => "query_duplicate",
+            TraceEvent::Decision { .. } => "decision",
+            TraceEvent::ExchangeSent { .. } => "exchange_sent",
+            TraceEvent::ExchangeMerged { .. } => "exchange_merged",
+            TraceEvent::ResponseAnswered { .. } => "response_answered",
+            TraceEvent::ResponseLate { .. } => "response_late",
+            TraceEvent::ClientTimeout { .. } => "client_timeout",
+            TraceEvent::DpFailed { .. } => "dp_failed",
+            TraceEvent::DpRecovered { .. } => "dp_recovered",
+            TraceEvent::ClientRebound { .. } => "client_rebound",
+            TraceEvent::DpProvisioned { .. } => "dp_provisioned",
+            TraceEvent::DpRetired { .. } => "dp_retired",
+            TraceEvent::ReplayOverload { .. } => "replay_overload",
+            TraceEvent::ReplayDpAdded { .. } => "replay_dp_added",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_stable_snake_case() {
+        let ev = TraceEvent::SvcQueued {
+            dp: DpId(1),
+            tag: 7,
+            depth: 3,
+        };
+        assert_eq!(ev.kind(), "svc_queued");
+        assert_eq!(
+            TraceEvent::EventExecuted { seq: 0 }.kind(),
+            "event_executed"
+        );
+        assert_eq!(TraceVerdict::Opportunistic.as_str(), "opportunistic");
+    }
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // The scheduler emits one of these per simulation event; keep the
+        // variant payloads register-sized.
+        assert!(std::mem::size_of::<TraceEvent>() <= 24);
+        let ev = TraceEvent::QueryIssued {
+            client: ClientId(0),
+            dp: DpId(0),
+        };
+        let copy = ev;
+        assert_eq!(ev, copy);
+    }
+}

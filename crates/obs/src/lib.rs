@@ -1,0 +1,50 @@
+//! Structured simulation tracing and per-decision-point observability.
+//!
+//! The paper's evaluation is entirely *observational*: DiPerF-style time
+//! series of throughput, response time and accuracy, per decision point.
+//! The rest of the workspace computes end-of-run aggregates; this crate
+//! adds the missing middle layer — a way to see *when* a decision point
+//! saturated, *which* exchange round went stale, and *what* a client did
+//! after a failover — without perturbing the simulation it observes.
+//!
+//! ## Design
+//!
+//! * [`TraceEvent`] is a flat, integer-only enum covering the hot paths of
+//!   every instrumented crate: `desim` (event execute/cancel), `simnet`
+//!   (container enqueue/start/reject/drop), `gruber` (query accept /
+//!   admission decide / reject, peer exchange), `digruber`'s protocol and
+//!   fault layers (issue/response/timeout, dp_fail/recover, client
+//!   re-bind) and `grubsim` replay (overload, point added).
+//! * [`Recorder`] is the handle the instrumented code holds. It is a
+//!   cloneable reference to a shared sink, or — the common case — the
+//!   `static`-constructible no-op [`Recorder::OFF`]. Emission takes a
+//!   closure, so when no sink is installed the cost is one branch and the
+//!   event is never even constructed. The sweep perf snapshot
+//!   (`BENCH_sweep.json`) pins the resulting events/sec headline.
+//! * The sink keeps a bounded ring of recent raw events (debugging) and
+//!   feeds an *online* per-decision-point aggregator, so the exported
+//!   counters are exact even when the ring has rotated.
+//! * Everything is keyed by simulated time and derives `PartialEq`:
+//!   a seeded run produces one byte-identical [`RunTimeline`] no matter
+//!   which worker thread executed it (`--jobs N` determinism).
+//!
+//! ## Output
+//!
+//! [`RunTimeline`] carries per-bin samples (fixed sim-time cadence:
+//! queries served, response-time log-histogram, queue depth, staleness of
+//! the last peer exchange) plus whole-run totals. [`RunTimeline::to_jsonl`]
+//! renders the machine-readable JSONL consumed by `--trace out.jsonl` on
+//! the `sweep`/`experiments` binaries; [`RunTimeline::render`] produces the
+//! human-readable timeline summary written under `results/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod export;
+pub mod sink;
+pub mod timeline;
+
+pub use event::{TraceEvent, TraceVerdict};
+pub use sink::{Recorder, TraceConfig};
+pub use timeline::{DpSample, DpTotals, ResponseHistogram, RunTimeline, RunTotals, SimSample};

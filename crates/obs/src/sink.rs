@@ -1,0 +1,216 @@
+//! The recorder handle and the shared trace sink.
+//!
+//! Instrumented code holds a [`Recorder`] — either the `static`-constructible
+//! no-op [`Recorder::OFF`] (the default everywhere) or a cloneable reference
+//! to one run's [shared sink](TraceLog). Emission takes a closure so the
+//! disabled path costs a single branch and never constructs the event.
+//!
+//! The sink is `Arc<Mutex<..>>` only because the live-mode harness moves
+//! engines across threads (`GruberEngine` must stay `Send`); within a
+//! simulated run there is exactly one thread touching it, so the lock is
+//! uncontended and the sweep's `--jobs N` parallelism — one recorder per
+//! run — never shares a sink between workers.
+
+use crate::event::TraceEvent;
+use crate::timeline::{RunTimeline, TimelineBuilder};
+use gruber_types::{SimDuration, SimTime};
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+
+/// Configuration for one run's trace sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Sampling cadence for per-decision-point metrics, in sim-time.
+    pub cadence: SimDuration,
+    /// Capacity of the bounded ring of recent raw events kept for
+    /// debugging. Aggregates are exact regardless of ring size.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            cadence: SimDuration::MINUTE,
+            ring_capacity: 512,
+        }
+    }
+}
+
+/// The shared sink one traced run appends into.
+#[derive(Debug)]
+struct TraceLog {
+    ring: VecDeque<(u64, TraceEvent)>,
+    ring_capacity: usize,
+    dropped_raw: u64,
+    timeline: TimelineBuilder,
+    cadence_ms: u64,
+}
+
+impl TraceLog {
+    fn push(&mut self, at_ms: u64, ev: TraceEvent) {
+        self.timeline.observe(at_ms, &ev);
+        if self.ring_capacity == 0 {
+            self.dropped_raw += 1;
+            return;
+        }
+        if self.ring.len() == self.ring_capacity {
+            self.ring.pop_front();
+            self.dropped_raw += 1;
+        }
+        self.ring.push_back((at_ms, ev));
+    }
+}
+
+/// Handle to a run's trace sink; the no-op [`Recorder::OFF`] when tracing
+/// is disabled.
+///
+/// Cloning shares the sink: the world hands clones to every scheduler,
+/// engine and service station of one run, and they all append to the same
+/// timeline.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Option<Arc<Mutex<TraceLog>>>,
+}
+
+impl Recorder {
+    /// The disabled recorder: `emit` is a single branch, no allocation,
+    /// usable in `static`/`const` position.
+    pub const OFF: Recorder = Recorder { inner: None };
+
+    /// A live recorder backed by a fresh sink.
+    pub fn new(cfg: TraceConfig) -> Recorder {
+        let cadence_ms = cfg.cadence.as_millis().max(1);
+        Recorder {
+            inner: Some(Arc::new(Mutex::new(TraceLog {
+                ring: VecDeque::with_capacity(cfg.ring_capacity.min(4096)),
+                ring_capacity: cfg.ring_capacity,
+                dropped_raw: 0,
+                timeline: TimelineBuilder::new(cadence_ms),
+                cadence_ms,
+            }))),
+        }
+    }
+
+    /// Builds a recorder from an optional config: `None` yields
+    /// [`Recorder::OFF`].
+    pub fn from_config(cfg: Option<TraceConfig>) -> Recorder {
+        match cfg {
+            Some(c) => Recorder::new(c),
+            None => Recorder::OFF,
+        }
+    }
+
+    /// Whether a sink is installed.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Records one event at simulated time `at`. The closure only runs —
+    /// and the event is only constructed — when a sink is installed.
+    #[inline]
+    pub fn emit(&self, at: SimTime, build: impl FnOnce() -> TraceEvent) {
+        if let Some(log) = &self.inner {
+            let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+            log.push(at.as_millis(), build());
+        }
+    }
+
+    /// Snapshots the run's timeline through `end`. `None` when disabled.
+    ///
+    /// Non-destructive: the sink keeps accepting events and `finish` may
+    /// be called again.
+    pub fn finish(&self, end: SimTime) -> Option<RunTimeline> {
+        let log = self.inner.as_ref()?;
+        let log = log.lock().unwrap_or_else(|e| e.into_inner());
+        let (dp_samples, sim_samples, dp_totals, totals) =
+            log.timeline.finish(end.as_millis());
+        Some(RunTimeline {
+            cadence_ms: log.cadence_ms,
+            end_ms: end.as_millis(),
+            dp_samples,
+            sim_samples,
+            dp_totals,
+            totals,
+            recent: log.ring.iter().copied().collect(),
+            dropped_raw: log.dropped_raw,
+        })
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Recorder::OFF
+    }
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(if self.is_enabled() {
+            "Recorder(on)"
+        } else {
+            "Recorder(off)"
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::{ClientId, DpId};
+
+    #[test]
+    fn off_recorder_never_runs_the_closure() {
+        let rec = Recorder::OFF;
+        assert!(!rec.is_enabled());
+        rec.emit(SimTime(5), || panic!("closure must not run when off"));
+        assert!(rec.finish(SimTime(10)).is_none());
+    }
+
+    #[test]
+    fn clones_share_one_sink() {
+        let rec = Recorder::new(TraceConfig::default());
+        let other = rec.clone();
+        rec.emit(SimTime(1), || TraceEvent::QueryIssued {
+            client: ClientId(0),
+            dp: DpId(0),
+        });
+        other.emit(SimTime(2), || TraceEvent::QueryIssued {
+            client: ClientId(1),
+            dp: DpId(0),
+        });
+        let tl = rec.finish(SimTime(1000)).unwrap();
+        assert_eq!(tl.totals.issued, 2);
+        assert_eq!(tl.recent.len(), 2);
+    }
+
+    #[test]
+    fn ring_is_bounded_but_aggregates_are_exact() {
+        let rec = Recorder::new(TraceConfig {
+            cadence: SimDuration::from_secs(60),
+            ring_capacity: 4,
+        });
+        for i in 0..10u64 {
+            rec.emit(SimTime(i), || TraceEvent::QueryIssued {
+                client: ClientId(0),
+                dp: DpId(0),
+            });
+        }
+        let tl = rec.finish(SimTime(100)).unwrap();
+        assert_eq!(tl.recent.len(), 4);
+        assert_eq!(tl.dropped_raw, 6);
+        assert_eq!(tl.totals.issued, 10, "aggregates survive ring eviction");
+        assert_eq!(tl.recent[0].0, 6, "ring keeps the most recent events");
+    }
+
+    #[test]
+    fn finish_is_non_destructive() {
+        let rec = Recorder::new(TraceConfig::default());
+        rec.emit(SimTime(1), || TraceEvent::DpFailed { dp: DpId(0) });
+        let a = rec.finish(SimTime(50)).unwrap();
+        let b = rec.finish(SimTime(50)).unwrap();
+        assert_eq!(a, b);
+        rec.emit(SimTime(2), || TraceEvent::DpRecovered { dp: DpId(0) });
+        assert_eq!(rec.finish(SimTime(50)).unwrap().totals.recoveries, 1);
+    }
+}

@@ -1,0 +1,679 @@
+//! Online per-decision-point aggregation over the event stream.
+//!
+//! The sink feeds every emission through [`TimelineBuilder::observe`];
+//! because the simulation emits in nondecreasing sim-time order, the
+//! builder can close fixed-cadence bins deterministically as the stream
+//! advances and never needs to buffer raw events. Counters are kept twice:
+//! a per-bin set that resets at each cadence boundary (the samples) and a
+//! cumulative set (the totals), so the exported aggregates stay exact even
+//! when the debugging ring has rotated old events away.
+
+use crate::event::{TraceEvent, TraceVerdict};
+use gruber_types::DpId;
+
+/// Log₂-bucketed response-time histogram over milliseconds.
+///
+/// Bucket `i` counts responses with `floor(log2(1 + ms)) == i`, i.e.
+/// `[2^i - 1, 2^(i+1) - 1)` ms; the last bucket absorbs everything above
+/// ~9 minutes. 20 buckets cover the full range between a LAN round trip
+/// and a run-length stall.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseHistogram {
+    /// Bucket counts.
+    pub buckets: [u64; Self::BUCKETS],
+}
+
+impl ResponseHistogram {
+    /// Number of buckets.
+    pub const BUCKETS: usize = 20;
+
+    /// The bucket index for a response time in milliseconds.
+    pub fn bucket(ms: u64) -> usize {
+        let bits = 64 - (ms + 1).leading_zeros() as usize - 1;
+        bits.min(Self::BUCKETS - 1)
+    }
+
+    /// Records one response.
+    pub fn record(&mut self, ms: u64) {
+        self.buckets[Self::bucket(ms)] += 1;
+    }
+
+    /// Total responses recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Inclusive lower edge of bucket `i`, milliseconds.
+    pub fn lower_edge_ms(i: usize) -> u64 {
+        (1u64 << i) - 1
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &ResponseHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+}
+
+impl Default for ResponseHistogram {
+    fn default() -> Self {
+        ResponseHistogram {
+            buckets: [0; Self::BUCKETS],
+        }
+    }
+}
+
+/// Per-bin counters of one decision point (reset at each cadence flush).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+struct BinCounters {
+    issued: u64,
+    started: u64,
+    queued: u64,
+    rejected: u64,
+    completed: u64,
+    answered: u64,
+    late: u64,
+    timeouts: u64,
+    denied: u64,
+    sum_response_ms: u64,
+    max_response_ms: u64,
+}
+
+/// One decision point's sample for one cadence bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpSample {
+    /// Bin end, milliseconds of sim-time.
+    pub t_ms: u64,
+    /// The decision point.
+    pub dp: DpId,
+    /// Whether the point was up at the bin boundary.
+    pub up: bool,
+    /// Queries issued *to* this point in the bin.
+    pub issued: u64,
+    /// Requests that started service immediately.
+    pub started: u64,
+    /// Requests that queued in the container.
+    pub queued: u64,
+    /// Requests refused at the accept queue.
+    pub rejected: u64,
+    /// Requests whose service completed.
+    pub completed: u64,
+    /// Queries answered within the client timeout.
+    pub answered: u64,
+    /// Late completions (client had already timed out).
+    pub late: u64,
+    /// Client timeouts charged to this point.
+    pub timeouts: u64,
+    /// USLA-denied placements.
+    pub denied: u64,
+    /// Container backlog depth at the bin boundary (gauge).
+    pub queue_depth: u32,
+    /// Time since the last merged peer exchange at the bin boundary;
+    /// `None` until the first exchange arrives.
+    pub staleness_ms: Option<u64>,
+    /// Sum of response times recorded in the bin, ms (mean = sum/answered+late).
+    pub sum_response_ms: u64,
+    /// Largest response time recorded in the bin, ms.
+    pub max_response_ms: u64,
+}
+
+/// Whole-simulation sample for one cadence bin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimSample {
+    /// Bin end, milliseconds of sim-time.
+    pub t_ms: u64,
+    /// Scheduler events executed in the bin.
+    pub executed: u64,
+    /// Event cancellations in the bin.
+    pub cancelled: u64,
+}
+
+/// One decision point's whole-run totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpTotals {
+    /// The decision point.
+    pub dp: DpId,
+    /// Queries issued to this point.
+    pub issued: u64,
+    /// Requests that started service immediately.
+    pub started: u64,
+    /// Requests that queued.
+    pub queued: u64,
+    /// Requests refused at the accept queue.
+    pub rejected: u64,
+    /// Requests whose service completed.
+    pub completed: u64,
+    /// Queries answered in time.
+    pub answered: u64,
+    /// Late completions.
+    pub late: u64,
+    /// Client timeouts.
+    pub timeouts: u64,
+    /// USLA-denied placements.
+    pub denied: u64,
+    /// New dispatch records accepted into the view.
+    pub accepted: u64,
+    /// Duplicate dispatch records ignored.
+    pub duplicates: u64,
+    /// Peer floods merged.
+    pub exchanges_in: u64,
+    /// Records received across merged floods.
+    pub exchange_records_in: u64,
+    /// Peer floods sent.
+    pub exchanges_out: u64,
+    /// Records sent across outgoing floods.
+    pub exchange_records_out: u64,
+    /// Crashes of this point.
+    pub failures: u64,
+    /// Recoveries of this point.
+    pub recoveries: u64,
+    /// In-flight requests dropped by crashes.
+    pub dropped_requests: u64,
+    /// Clients that re-bound *to* this point.
+    pub rebinds_gained: u64,
+    /// Clients that re-bound *away from* this point.
+    pub rebinds_lost: u64,
+    /// Sum of all response times, ms.
+    pub sum_response_ms: u64,
+    /// Largest response time, ms.
+    pub max_response_ms: u64,
+    /// Response-time histogram (answered + late).
+    pub hist: ResponseHistogram,
+}
+
+impl Default for DpTotals {
+    fn default() -> Self {
+        DpTotals {
+            dp: DpId(0),
+            issued: 0,
+            started: 0,
+            queued: 0,
+            rejected: 0,
+            completed: 0,
+            answered: 0,
+            late: 0,
+            timeouts: 0,
+            denied: 0,
+            accepted: 0,
+            duplicates: 0,
+            exchanges_in: 0,
+            exchange_records_in: 0,
+            exchanges_out: 0,
+            exchange_records_out: 0,
+            failures: 0,
+            recoveries: 0,
+            dropped_requests: 0,
+            rebinds_gained: 0,
+            rebinds_lost: 0,
+            sum_response_ms: 0,
+            max_response_ms: 0,
+            hist: ResponseHistogram {
+                buckets: [0; ResponseHistogram::BUCKETS],
+            },
+        }
+    }
+}
+
+/// Whole-run totals across all decision points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunTotals {
+    /// Queries issued.
+    pub issued: u64,
+    /// Queries answered in time.
+    pub answered: u64,
+    /// Late completions.
+    pub late: u64,
+    /// Client timeouts (late + never-completed).
+    pub timed_out: u64,
+    /// USLA-denied placements.
+    pub denied: u64,
+    /// New dispatch records accepted.
+    pub accepted: u64,
+    /// Duplicate dispatch records.
+    pub duplicates: u64,
+    /// Scheduler events executed.
+    pub events_executed: u64,
+    /// Event cancellations.
+    pub cancellations: u64,
+    /// Decision-point crashes.
+    pub failures: u64,
+    /// Decision-point recoveries.
+    pub recoveries: u64,
+    /// In-flight requests dropped by crashes.
+    pub dropped_requests: u64,
+    /// Client re-bindings (failover + rebalance).
+    pub rebinds: u64,
+    /// GRUB-SIM replay overload events.
+    pub replay_overloads: u64,
+    /// GRUB-SIM replay decision points added.
+    pub replay_dps_added: u64,
+}
+
+/// Per-point rolling state inside the builder.
+#[derive(Debug, Clone, Default)]
+struct DpState {
+    bin: BinCounters,
+    tot: DpTotals,
+    up: bool,
+    queue_depth: u32,
+    last_exchange_ms: Option<u64>,
+    seen: bool,
+}
+
+/// The online aggregator the sink drives.
+#[derive(Debug)]
+pub struct TimelineBuilder {
+    cadence_ms: u64,
+    bin_start_ms: u64,
+    dps: Vec<DpState>,
+    sim_bin: SimSample,
+    dp_samples: Vec<DpSample>,
+    sim_samples: Vec<SimSample>,
+    totals: RunTotals,
+}
+
+impl TimelineBuilder {
+    /// A builder flushing samples every `cadence_ms` of sim-time.
+    pub fn new(cadence_ms: u64) -> Self {
+        TimelineBuilder {
+            cadence_ms: cadence_ms.max(1),
+            bin_start_ms: 0,
+            dps: Vec::new(),
+            sim_bin: SimSample {
+                t_ms: 0,
+                executed: 0,
+                cancelled: 0,
+            },
+            dp_samples: Vec::new(),
+            sim_samples: Vec::new(),
+            totals: RunTotals::default(),
+        }
+    }
+
+    fn dp(&mut self, dp: DpId) -> &mut DpState {
+        let i = dp.index();
+        if i >= self.dps.len() {
+            self.dps.resize_with(i + 1, DpState::default);
+        }
+        let st = &mut self.dps[i];
+        if !st.seen {
+            st.seen = true;
+            st.up = true;
+            st.tot.dp = dp;
+        }
+        st
+    }
+
+    /// Closes every bin ending at or before `at_ms`, emitting samples.
+    fn flush_until(&mut self, at_ms: u64) {
+        while self.bin_start_ms + self.cadence_ms <= at_ms {
+            let bin_end = self.bin_start_ms + self.cadence_ms;
+            self.close_bin(bin_end);
+            self.bin_start_ms = bin_end;
+        }
+    }
+
+    fn close_bin(&mut self, bin_end: u64) {
+        self.sim_samples.push(SimSample {
+            t_ms: bin_end,
+            executed: self.sim_bin.executed,
+            cancelled: self.sim_bin.cancelled,
+        });
+        self.sim_bin.executed = 0;
+        self.sim_bin.cancelled = 0;
+        for st in self.dps.iter_mut().filter(|s| s.seen) {
+            let b = st.bin;
+            self.dp_samples.push(DpSample {
+                t_ms: bin_end,
+                dp: st.tot.dp,
+                up: st.up,
+                issued: b.issued,
+                started: b.started,
+                queued: b.queued,
+                rejected: b.rejected,
+                completed: b.completed,
+                answered: b.answered,
+                late: b.late,
+                timeouts: b.timeouts,
+                denied: b.denied,
+                queue_depth: st.queue_depth,
+                staleness_ms: st.last_exchange_ms.map(|t| bin_end.saturating_sub(t)),
+                sum_response_ms: b.sum_response_ms,
+                max_response_ms: b.max_response_ms,
+            });
+            st.bin = BinCounters::default();
+        }
+    }
+
+    /// Feeds one event, closing any bins the stream has moved past.
+    pub fn observe(&mut self, at_ms: u64, ev: &TraceEvent) {
+        self.flush_until(at_ms);
+        match *ev {
+            TraceEvent::EventExecuted { .. } => {
+                self.sim_bin.executed += 1;
+                self.totals.events_executed += 1;
+            }
+            TraceEvent::EventCancelled { .. } => {
+                self.sim_bin.cancelled += 1;
+                self.totals.cancellations += 1;
+            }
+            TraceEvent::SvcStarted { dp, .. } => {
+                let st = self.dp(dp);
+                st.bin.started += 1;
+                st.tot.started += 1;
+            }
+            TraceEvent::SvcQueued { dp, depth, .. } => {
+                let st = self.dp(dp);
+                st.bin.queued += 1;
+                st.tot.queued += 1;
+                st.queue_depth = depth;
+            }
+            TraceEvent::SvcRejected { dp, .. } => {
+                let st = self.dp(dp);
+                st.bin.rejected += 1;
+                st.tot.rejected += 1;
+            }
+            TraceEvent::SvcCompleted { dp, depth, .. } => {
+                let st = self.dp(dp);
+                st.bin.completed += 1;
+                st.tot.completed += 1;
+                st.queue_depth = depth;
+            }
+            TraceEvent::SvcCrashDropped {
+                dp,
+                in_service,
+                queued,
+            } => {
+                let dropped = u64::from(in_service) + u64::from(queued);
+                let st = self.dp(dp);
+                st.tot.dropped_requests += dropped;
+                st.queue_depth = 0;
+                self.totals.dropped_requests += dropped;
+            }
+            TraceEvent::QueryIssued { dp, .. } => {
+                let st = self.dp(dp);
+                st.bin.issued += 1;
+                st.tot.issued += 1;
+                self.totals.issued += 1;
+            }
+            TraceEvent::QueryAccepted { dp, .. } => {
+                self.dp(dp).tot.accepted += 1;
+                self.totals.accepted += 1;
+            }
+            TraceEvent::QueryDuplicate { dp, .. } => {
+                self.dp(dp).tot.duplicates += 1;
+                self.totals.duplicates += 1;
+            }
+            TraceEvent::Decision { dp, verdict, .. } => {
+                if verdict == TraceVerdict::Denied {
+                    let st = self.dp(dp);
+                    st.bin.denied += 1;
+                    st.tot.denied += 1;
+                    self.totals.denied += 1;
+                }
+            }
+            TraceEvent::ExchangeSent { from, records, .. } => {
+                let st = self.dp(from);
+                st.tot.exchanges_out += 1;
+                st.tot.exchange_records_out += u64::from(records);
+            }
+            TraceEvent::ExchangeMerged {
+                dp,
+                received,
+                fresh: _,
+            } => {
+                let st = self.dp(dp);
+                st.tot.exchanges_in += 1;
+                st.tot.exchange_records_in += u64::from(received);
+                st.last_exchange_ms = Some(at_ms);
+            }
+            TraceEvent::ResponseAnswered {
+                dp, response_ms, ..
+            } => {
+                let st = self.dp(dp);
+                st.bin.answered += 1;
+                st.bin.sum_response_ms += response_ms;
+                st.bin.max_response_ms = st.bin.max_response_ms.max(response_ms);
+                st.tot.answered += 1;
+                st.tot.sum_response_ms += response_ms;
+                st.tot.max_response_ms = st.tot.max_response_ms.max(response_ms);
+                st.tot.hist.record(response_ms);
+                self.totals.answered += 1;
+            }
+            TraceEvent::ResponseLate {
+                dp, response_ms, ..
+            } => {
+                let st = self.dp(dp);
+                st.bin.late += 1;
+                st.bin.sum_response_ms += response_ms;
+                st.bin.max_response_ms = st.bin.max_response_ms.max(response_ms);
+                st.tot.late += 1;
+                st.tot.sum_response_ms += response_ms;
+                st.tot.max_response_ms = st.tot.max_response_ms.max(response_ms);
+                st.tot.hist.record(response_ms);
+                self.totals.late += 1;
+            }
+            TraceEvent::ClientTimeout { dp, .. } => {
+                let st = self.dp(dp);
+                st.bin.timeouts += 1;
+                st.tot.timeouts += 1;
+                self.totals.timed_out += 1;
+            }
+            TraceEvent::DpFailed { dp } => {
+                let st = self.dp(dp);
+                st.up = false;
+                st.tot.failures += 1;
+                self.totals.failures += 1;
+            }
+            TraceEvent::DpRecovered { dp } => {
+                let st = self.dp(dp);
+                st.up = true;
+                st.tot.recoveries += 1;
+                self.totals.recoveries += 1;
+            }
+            TraceEvent::ClientRebound { from, to, .. } => {
+                self.dp(from).tot.rebinds_lost += 1;
+                self.dp(to).tot.rebinds_gained += 1;
+                self.totals.rebinds += 1;
+            }
+            TraceEvent::DpProvisioned { dp, .. } => {
+                // Materialize the point so it shows up in samples from now on.
+                self.dp(dp);
+            }
+            TraceEvent::DpRetired { dp } => {
+                self.dp(dp).up = false;
+            }
+            TraceEvent::ReplayOverload { .. } => {
+                self.totals.replay_overloads += 1;
+            }
+            TraceEvent::ReplayDpAdded { .. } => {
+                self.totals.replay_dps_added += 1;
+            }
+        }
+    }
+
+    /// Closes the final (possibly partial) bin and snapshots the run.
+    pub fn finish(&self, end_ms: u64) -> (Vec<DpSample>, Vec<SimSample>, Vec<DpTotals>, RunTotals) {
+        // Work on a clone: `finish` must not disturb the live builder (the
+        // recorder may be asked to finish more than once).
+        let mut b = TimelineBuilder {
+            cadence_ms: self.cadence_ms,
+            bin_start_ms: self.bin_start_ms,
+            dps: self.dps.clone(),
+            sim_bin: self.sim_bin,
+            dp_samples: self.dp_samples.clone(),
+            sim_samples: self.sim_samples.clone(),
+            totals: self.totals,
+        };
+        b.flush_until(end_ms);
+        if b.bin_start_ms < end_ms {
+            b.close_bin(end_ms);
+        }
+        let dp_totals: Vec<DpTotals> = b
+            .dps
+            .iter()
+            .filter(|s| s.seen)
+            .map(|s| s.tot)
+            .collect();
+        (b.dp_samples, b.sim_samples, dp_totals, b.totals)
+    }
+}
+
+/// Everything one traced run exports: per-bin samples, per-point and
+/// whole-run totals, plus the tail of the raw event ring for debugging.
+///
+/// Derives `PartialEq` end-to-end — the trace-determinism test compares
+/// timelines (and their JSONL renderings) across `--jobs 1` / `--jobs 8`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunTimeline {
+    /// Sampling cadence, ms of sim-time.
+    pub cadence_ms: u64,
+    /// End of the run, ms of sim-time.
+    pub end_ms: u64,
+    /// Per-decision-point bin samples, ordered by (bin, dp).
+    pub dp_samples: Vec<DpSample>,
+    /// Whole-simulation bin samples, ordered by bin.
+    pub sim_samples: Vec<SimSample>,
+    /// Per-decision-point whole-run totals, ordered by dp.
+    pub dp_totals: Vec<DpTotals>,
+    /// Whole-run totals.
+    pub totals: RunTotals,
+    /// The most recent raw events (bounded ring; oldest first).
+    pub recent: Vec<(u64, TraceEvent)>,
+    /// Raw events the ring evicted (aggregates above still include them).
+    pub dropped_raw: u64,
+}
+
+impl RunTimeline {
+    /// Sum of a per-DP field across `dp_totals` (reconciliation helper).
+    pub fn sum_dp<F: Fn(&DpTotals) -> u64>(&self, f: F) -> u64 {
+        self.dp_totals.iter().map(f).sum()
+    }
+
+    /// The merged response-time histogram across all decision points.
+    pub fn response_histogram(&self) -> ResponseHistogram {
+        let mut h = ResponseHistogram::default();
+        for t in &self.dp_totals {
+            h.merge(&t.hist);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::ClientId;
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(ResponseHistogram::bucket(0), 0);
+        assert_eq!(ResponseHistogram::bucket(1), 1);
+        assert_eq!(ResponseHistogram::bucket(2), 1);
+        assert_eq!(ResponseHistogram::bucket(3), 2);
+        assert_eq!(ResponseHistogram::bucket(1000), 9);
+        assert_eq!(
+            ResponseHistogram::bucket(u64::MAX - 1),
+            ResponseHistogram::BUCKETS - 1
+        );
+        let mut h = ResponseHistogram::default();
+        h.record(0);
+        h.record(500);
+        h.record(500);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.buckets[0], 1);
+        assert_eq!(h.buckets[8], 2);
+    }
+
+    #[test]
+    fn bins_close_on_cadence_and_counters_reset() {
+        let mut b = TimelineBuilder::new(1000);
+        let dp = DpId(0);
+        let client = ClientId(0);
+        b.observe(100, &TraceEvent::QueryIssued { client, dp });
+        b.observe(
+            200,
+            &TraceEvent::ResponseAnswered {
+                dp,
+                client,
+                response_ms: 150,
+            },
+        );
+        // Crossing into the second bin flushes the first.
+        b.observe(1500, &TraceEvent::QueryIssued { client, dp });
+        let (samples, sim, totals, run) = b.finish(2000);
+        assert_eq!(samples.len(), 2);
+        assert_eq!(sim.len(), 2);
+        assert_eq!(samples[0].t_ms, 1000);
+        assert_eq!(samples[0].issued, 1);
+        assert_eq!(samples[0].answered, 1);
+        assert_eq!(samples[0].sum_response_ms, 150);
+        assert_eq!(samples[1].t_ms, 2000);
+        assert_eq!(samples[1].issued, 1);
+        assert_eq!(samples[1].answered, 0, "bin counters must reset");
+        assert_eq!(totals[0].issued, 2);
+        assert_eq!(totals[0].answered, 1);
+        assert_eq!(run.issued, 2);
+        assert_eq!(run.answered, 1);
+    }
+
+    #[test]
+    fn staleness_tracks_last_merge() {
+        let mut b = TimelineBuilder::new(1000);
+        let dp = DpId(2);
+        b.observe(
+            300,
+            &TraceEvent::ExchangeMerged {
+                dp,
+                received: 5,
+                fresh: 4,
+            },
+        );
+        let (samples, _, totals, _) = b.finish(3000);
+        let mine: Vec<&DpSample> = samples.iter().filter(|s| s.dp == dp).collect();
+        assert_eq!(mine.len(), 3);
+        assert_eq!(mine[0].staleness_ms, Some(700));
+        assert_eq!(mine[2].staleness_ms, Some(2700));
+        assert_eq!(totals.iter().find(|t| t.dp == dp).unwrap().exchanges_in, 1);
+    }
+
+    #[test]
+    fn fail_recover_flips_up_and_drops_count() {
+        let mut b = TimelineBuilder::new(1000);
+        let dp = DpId(0);
+        b.observe(
+            100,
+            &TraceEvent::SvcCrashDropped {
+                dp,
+                in_service: 4,
+                queued: 3,
+            },
+        );
+        b.observe(100, &TraceEvent::DpFailed { dp });
+        b.observe(2500, &TraceEvent::DpRecovered { dp });
+        let (samples, _, _, run) = b.finish(3000);
+        let mine: Vec<&DpSample> = samples.iter().filter(|s| s.dp == dp).collect();
+        assert!(!mine[0].up);
+        assert!(!mine[1].up);
+        assert!(mine[2].up);
+        assert_eq!(run.dropped_requests, 7);
+        assert_eq!(run.failures, 1);
+        assert_eq!(run.recoveries, 1);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut b = TimelineBuilder::new(500);
+        b.observe(
+            10,
+            &TraceEvent::QueryIssued {
+                client: ClientId(0),
+                dp: DpId(0),
+            },
+        );
+        let a = b.finish(1000);
+        let c = b.finish(1000);
+        assert_eq!(a, c);
+    }
+}

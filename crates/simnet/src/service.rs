@@ -20,7 +20,8 @@
 
 use desim::dist::Dist;
 use desim::DetRng;
-use gruber_types::SimDuration;
+use gruber_types::{DpId, SimDuration, SimTime};
+use obs::{Recorder, TraceEvent};
 use std::collections::VecDeque;
 
 /// Cost profile of a service container.
@@ -138,6 +139,10 @@ pub struct ServiceStation {
     /// Bumped on every crash; completions scheduled before a crash carry
     /// the old generation and must be discarded by the caller.
     generation: u64,
+    /// Trace sink ([`Recorder::OFF`] unless installed) and the decision
+    /// point this station belongs to, for event attribution.
+    tracer: Recorder,
+    node: DpId,
 }
 
 impl ServiceStation {
@@ -152,7 +157,16 @@ impl ServiceStation {
             peak_backlog: 0,
             rejected: 0,
             generation: 0,
+            tracer: Recorder::OFF,
+            node: DpId(0),
         }
+    }
+
+    /// Installs a trace recorder, attributing this station's events to
+    /// decision point `node`.
+    pub fn set_tracer(&mut self, tracer: Recorder, node: DpId) {
+        self.tracer = tracer;
+        self.node = node;
     }
 
     /// The station's profile.
@@ -195,20 +209,46 @@ impl ServiceStation {
     /// and the generation counter bumps so stale completion events can be
     /// recognized. Returns how many requests were dropped.
     pub fn crash(&mut self) -> usize {
-        let dropped = self.in_service + self.backlog.len();
+        self.crash_at(SimTime::ZERO)
+    }
+
+    /// [`ServiceStation::crash`] with the crash timestamp, for tracing.
+    pub fn crash_at(&mut self, now: SimTime) -> usize {
+        let in_service = self.in_service;
+        let queued = self.backlog.len();
+        self.tracer.emit(now, || TraceEvent::SvcCrashDropped {
+            dp: self.node,
+            in_service: in_service as u32,
+            queued: queued as u32,
+        });
         self.in_service = 0;
         self.backlog.clear();
         self.generation += 1;
-        dropped
+        in_service + queued
     }
 
     /// A new request arrives carrying `payload_kb` of state: it starts if a
     /// worker is free, queues if the accept queue has room, and is refused
     /// otherwise.
     pub fn arrive(&mut self, tag: RequestTag, payload_kb: f64, rng: &mut DetRng) -> Admission {
+        self.arrive_at(SimTime::ZERO, tag, payload_kb, rng)
+    }
+
+    /// [`ServiceStation::arrive`] with the arrival timestamp, for tracing.
+    pub fn arrive_at(
+        &mut self,
+        now: SimTime,
+        tag: RequestTag,
+        payload_kb: f64,
+        rng: &mut DetRng,
+    ) -> Admission {
         if self.in_service < self.profile.workers {
             self.in_service += 1;
             self.started += 1;
+            self.tracer.emit(now, || TraceEvent::SvcStarted {
+                dp: self.node,
+                tag,
+            });
             Admission::Started(StartedRequest {
                 tag,
                 service_time: self.profile.service_time(payload_kb, rng),
@@ -216,9 +256,19 @@ impl ServiceStation {
         } else if self.backlog.len() < self.profile.queue_limit {
             self.backlog.push_back((tag, payload_kb));
             self.peak_backlog = self.peak_backlog.max(self.backlog.len());
+            let depth = self.backlog.len() as u32;
+            self.tracer.emit(now, || TraceEvent::SvcQueued {
+                dp: self.node,
+                tag,
+                depth,
+            });
             Admission::Queued
         } else {
             self.rejected += 1;
+            self.tracer.emit(now, || TraceEvent::SvcRejected {
+                dp: self.node,
+                tag,
+            });
             Admission::Rejected
         }
     }
@@ -227,12 +277,32 @@ impl ServiceStation {
     /// non-empty, starts the next request (returned so the caller can
     /// schedule its completion).
     pub fn finish(&mut self, rng: &mut DetRng) -> Option<StartedRequest> {
+        self.finish_at(SimTime::ZERO, rng)
+    }
+
+    /// [`ServiceStation::finish`] with the completion timestamp, for
+    /// tracing. The station does not track which tag occupies which worker,
+    /// so the `SvcCompleted` event carries the tag of the backlog request
+    /// promoted into the freed worker (or `u64::MAX` when the backlog was
+    /// empty); the protocol layer traces per-request responses itself.
+    pub fn finish_at(&mut self, now: SimTime, rng: &mut DetRng) -> Option<StartedRequest> {
         assert!(self.in_service > 0, "finish() with no request in service");
         self.in_service -= 1;
         self.completed += 1;
-        if let Some((tag, payload_kb)) = self.backlog.pop_front() {
+        let promoted = self.backlog.pop_front();
+        let depth = self.backlog.len() as u32;
+        self.tracer.emit(now, || TraceEvent::SvcCompleted {
+            dp: self.node,
+            tag: promoted.map(|(t, _)| t).unwrap_or(u64::MAX),
+            depth,
+        });
+        if let Some((tag, payload_kb)) = promoted {
             self.in_service += 1;
             self.started += 1;
+            self.tracer.emit(now, || TraceEvent::SvcStarted {
+                dp: self.node,
+                tag,
+            });
             Some(StartedRequest {
                 tag,
                 service_time: self.profile.service_time(payload_kb, rng),

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Offline CI entrypoint (documented in ROADMAP.md).
+#
+# Runs the tier-1 verify and then builds the rustdoc with warnings
+# promoted to errors. Everything runs --offline: all dependencies are
+# vendored path crates (see vendor/README.md), so no step may touch a
+# registry or the network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release (tier-1)"
+cargo build --release --offline
+
+echo "==> cargo test -q (tier-1, whole workspace)"
+cargo test -q --workspace --offline
+
+echo "==> cargo doc --no-deps (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
+
+echo "ci.sh: all green"

@@ -114,6 +114,81 @@ fn repeated_serial_sweeps_are_identical() {
     }
 }
 
+/// The sweep specs with structured tracing switched on.
+fn traced_sweep_specs() -> Vec<RunSpec> {
+    let mut specs = sweep_specs();
+    for s in &mut specs {
+        s.cfg.trace = Some(obs::TraceConfig::default());
+    }
+    specs
+}
+
+#[test]
+fn trace_jsonl_byte_identical_across_jobs() {
+    // The tracing layer must not perturb determinism: a traced spec's
+    // timeline — and its full JSONL rendering — is a pure function of the
+    // spec, independent of how many workers the sweep used.
+    let specs = traced_sweep_specs();
+    let serial = run_specs(&specs, 1);
+    let parallel = run_specs(&specs, 8);
+    for ((s, p), spec) in serial.iter().zip(&parallel).zip(&specs) {
+        let s_out = s.output.as_ref().expect("serial run failed");
+        let p_out = p.output.as_ref().expect("parallel run failed");
+        let s_tl = s_out.timeline.as_ref().expect("traced run has a timeline");
+        let p_tl = p_out.timeline.as_ref().expect("traced run has a timeline");
+        assert_eq!(s_tl, p_tl, "{:?}: timeline diverged across --jobs", spec.label);
+        let s_jsonl = s_tl.to_jsonl(&spec.label);
+        let p_jsonl = p_tl.to_jsonl(&spec.label);
+        assert!(s_jsonl == p_jsonl, "{:?}: JSONL bytes diverged", spec.label);
+        // The timeline saw real traffic, bin by bin.
+        assert!(s_tl.totals.issued > 0);
+        assert!(s_tl.sim_samples.len() > 1, "cadence bins missing");
+    }
+    // And tracing changes nothing outside the timeline field: the rest of
+    // the output matches an untraced run of the same underlying spec.
+    let untraced = run_specs(&sweep_specs()[..1], 1);
+    let base = untraced[0].output.as_ref().unwrap();
+    let traced = serial[0].output.as_ref().unwrap();
+    assert_eq!(base.report, traced.report);
+    assert_eq!(base.traces, traced.traces);
+    assert_eq!(base.events_executed, traced.events_executed);
+}
+
+#[test]
+fn trace_totals_reconcile_with_report() {
+    // The timeline's whole-run aggregates must agree exactly (±0) with the
+    // summary metrics the experiment already reports — same stream, two
+    // independent counting paths.
+    for m in run_specs(&traced_sweep_specs(), 4) {
+        let out = m.output.as_ref().expect("run failed");
+        let tl = out.timeline.as_ref().expect("timeline present");
+        let t = &tl.totals;
+        assert_eq!(t.answered as usize, out.report.answered, "{}", out.label);
+        assert_eq!(t.timed_out as usize, out.report.timed_out, "{}", out.label);
+        assert_eq!(t.denied, out.denied_requests, "{}", out.label);
+        assert_eq!(t.events_executed, out.events_executed, "{}", out.label);
+        assert_eq!(t.failures, out.dp_failures, "{}", out.label);
+        assert_eq!(t.rebinds, out.failovers, "{}", out.label);
+        // Per-DP totals roll up to the run totals…
+        assert_eq!(tl.sum_dp(|d| d.issued), t.issued);
+        assert_eq!(tl.sum_dp(|d| d.answered), t.answered);
+        assert_eq!(tl.sum_dp(|d| d.timeouts), t.timed_out);
+        assert_eq!(tl.sum_dp(|d| d.denied), t.denied);
+        // …the histogram covers exactly the answered + late responses…
+        assert_eq!(tl.response_histogram().count(), t.answered + t.late);
+        // …and the per-bin samples sum back to the per-DP totals.
+        for d in &tl.dp_totals {
+            let bins = |f: &dyn Fn(&obs::DpSample) -> u64| -> u64 {
+                tl.dp_samples.iter().filter(|s| s.dp == d.dp).map(f).sum()
+            };
+            assert_eq!(bins(&|s| s.issued), d.issued);
+            assert_eq!(bins(&|s| s.answered), d.answered);
+            assert_eq!(bins(&|s| s.timeouts), d.timeouts);
+            assert_eq!(bins(&|s| s.sum_response_ms), d.sum_response_ms);
+        }
+    }
+}
+
 #[test]
 fn snapshot_fingerprints_discriminate_specs() {
     // Different specs must not collide (fingerprints would be useless for
