@@ -7,16 +7,18 @@
 //! Ids: `fig1 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 table2 table3 all`.
 //!
 //! `--trace PATH` switches structured tracing on for every run: the
-//! per-decision-point JSONL stream (schema `digruber-trace/1`, see the
+//! per-decision-point JSONL stream (schema `digruber-trace/2`, see the
 //! `obs` crate docs) of all runs is concatenated into PATH, and each id
 //! additionally gets a human-readable timeline summary under
 //! `results/timeline_<id>.txt`. Tracing never changes the figures — the
 //! timeline rides along as an extra output of the same deterministic run.
 
+use bench::degradation::DegradationRow;
 use bench::render::{render_accuracy, render_figure, render_table_block};
 use bench::{
-    accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs, dp_scaling_spec,
-    fig1_spec, run_specs, SEED,
+    accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs,
+    degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, render_degradation,
+    run_specs, SEED,
 };
 use digruber::{ExperimentOutput, RunSpec, ServiceKind};
 use gruber_types::{SimDuration, SimTime};
@@ -36,6 +38,9 @@ static TRACE_JSONL: Mutex<String> = Mutex::new(String::new());
 
 /// Worker threads for multi-run artifacts (`--jobs N`; default all cores).
 static JOBS: OnceLock<usize> = OnceLock::new();
+
+/// Trim the degradation sweep to its axis ends (`--fast`, for CI smoke).
+static FAST: OnceLock<bool> = OnceLock::new();
 
 fn jobs() -> usize {
     *JOBS.get().expect("set in main")
@@ -118,8 +123,16 @@ fn main() {
         })
         .unwrap_or_else(default_jobs);
     JOBS.set(n_jobs).expect("set once");
+    let fast = match args.iter().position(|a| a == "--fast") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    };
+    FAST.set(fast).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|all>... [--save-traces DIR] [--jobs N] [--trace PATH]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -276,6 +289,52 @@ fn run(id: &str) {
                     println!("    {}", report.row());
                 }
             }
+        }
+        "degradation" => {
+            // The graceful-degradation study (FAULTS.md): loss, partition,
+            // and retry-policy sweeps over the scaled-down deployment.
+            // Always traced; always snapshotted into BENCH_degradation.json.
+            let fast = *FAST.get().expect("set in main");
+            let cells = degradation_cells(fast, SEED);
+            println!(
+                "[degradation] {} cells{}",
+                cells.len(),
+                if fast { " (--fast)" } else { "" }
+            );
+            let (metas, specs): (Vec<_>, Vec<_>) =
+                cells.into_iter().map(|c| (c.meta, c.spec)).unzip();
+            let outs: Vec<ExperimentOutput> = run_specs(&specs, jobs())
+                .into_iter()
+                .map(|m| m.output.expect("degradation cell failed"))
+                .collect();
+            let rows: Vec<DegradationRow> = metas
+                .iter()
+                .zip(&outs)
+                .map(|(m, o)| DegradationRow::from_output(m, o))
+                .collect();
+            let json = degradation_json(jobs(), fast, &rows);
+            std::fs::write("BENCH_degradation.json", json).expect("write BENCH_degradation.json");
+            eprintln!("degradation snapshot -> BENCH_degradation.json");
+            // Degradation cells always trace, so their timelines are an
+            // output regardless of --trace (which only adds the shared
+            // JSONL stream).
+            let mut text = String::new();
+            {
+                let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+                for out in &outs {
+                    let tl = out.timeline.as_ref().expect("degradation cells trace");
+                    if tracing_on() {
+                        jsonl.push_str(&tl.to_jsonl(&out.label));
+                    }
+                    text.push_str(&tl.render(&out.label));
+                    text.push('\n');
+                }
+            }
+            std::fs::create_dir_all("results").expect("create results/");
+            std::fs::write("results/timeline_degradation.txt", text)
+                .expect("write timeline summary");
+            eprintln!("saved timeline summary to results/timeline_degradation.txt");
+            println!("{}", render_degradation(&rows));
         }
         other => {
             eprintln!("unknown experiment id {other:?}");

@@ -21,6 +21,11 @@
 //! --selector least-used|round-robin|random|lru|usla-aware  (default least-used)
 //! --discipline fifo|backfill|fairshare                     (default fifo)
 //! --loss P              per-message loss probability       (default 0)
+//! --faults SPEC         timed fault-injection plan (see FAULTS.md), e.g.
+//!                       "partition@120..300=0|1,2; loss@0..600=0.2"
+//! --retry none|fixed|expjitter
+//!                       retransmission policy for lost queries and
+//!                       exchange floods (default none; see FAULTS.md)
 //! --departure F         departure-ramp fraction            (default 0)
 //! --max-in-flight N     queue-manager job cap per host     (default off)
 //! --monitor-secs N      answer from ground-truth monitor snapshots
@@ -34,16 +39,18 @@
 //! --bench-out PATH      perf snapshot destination          (default BENCH_sweep.json;
 //!                       "none" disables)
 //! --trace PATH          structured tracing: per-decision-point JSONL
-//!                       (schema digruber-trace/1, one run per `meta` line)
+//!                       (schema digruber-trace/2, one run per `meta` line)
 //!                       appended for every run, byte-identical for any
 //!                       --jobs value                       (default off)
 //! ```
 
 use bench::{default_jobs, run_specs, SweepSnapshot};
 use digruber::config::{DigruberConfig, DynamicConfig, FailureConfig};
+use digruber::faults::FaultPlan;
 use digruber::{RunSpec, ServiceKind, SyncTopology, WanKind};
 use gruber::SelectorKind;
 use gruber_types::SimDuration;
+use simnet::{RetryConfig, RetryPolicy};
 use workload::WorkloadSpec;
 
 struct Args(Vec<String>);
@@ -142,6 +149,20 @@ fn main() {
         cfg.selector = selector;
         cfg.site_discipline = discipline;
         cfg.message_loss = args.parsed("--loss", 0.0f64);
+        if let Some(spec) = args.value_of("--faults") {
+            cfg.fault_plan = Some(
+                FaultPlan::parse(spec).unwrap_or_else(|e| die(&format!("bad --faults: {e}"))),
+            );
+        }
+        cfg.retry = match args.value_of("--retry").unwrap_or("none") {
+            "none" => RetryConfig::NONE,
+            "fixed" => RetryConfig {
+                query: RetryPolicy::fixed_default(),
+                exchange: RetryPolicy::fixed_default(),
+            },
+            "expjitter" => RetryConfig::resilient(),
+            other => die(&format!("unknown retry policy {other:?}")),
+        };
         cfg.enforce_uslas = args.has("--enforce");
         if args.has("--lan") {
             cfg.wan = WanKind::Lan;

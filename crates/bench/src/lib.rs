@@ -8,11 +8,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod drivers;
 pub mod parallel;
 pub mod render;
 pub mod snapshot;
 
+pub use degradation::{degradation_cells, degradation_json, render_degradation, DegradationRow};
 pub use drivers::*;
 pub use parallel::{default_jobs, run_specs, RunMeasurement};
 pub use snapshot::{output_fingerprint, SweepSnapshot};

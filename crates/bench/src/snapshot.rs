@@ -203,7 +203,7 @@ pub fn output_fingerprint(out: &ExperimentOutput) -> String {
 }
 
 /// JSON string escaping (control chars, quote, backslash).
-fn json_str(s: &str) -> String {
+pub(crate) fn json_str(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -225,7 +225,7 @@ fn json_str(s: &str) -> String {
 
 /// JSON number formatting: finite floats as-is, non-finite as `null`
 /// (JSON has no NaN/Inf).
-fn json_f64(v: f64) -> String {
+pub(crate) fn json_f64(v: f64) -> String {
     if v.is_finite() {
         format!("{v}")
     } else {

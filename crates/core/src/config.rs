@@ -169,6 +169,15 @@ pub struct DigruberConfig {
     pub dynamic: Option<DynamicConfig>,
     /// Optional decision-point failure injection (reliability study).
     pub failures: Option<FailureConfig>,
+    /// Optional deterministic fault schedule: timed partitions, loss /
+    /// duplication / reorder windows, slowdowns and planned crash-restarts
+    /// (see `FAULTS.md` and [`crate::faults::FaultPlan::parse`]).
+    pub fault_plan: Option<crate::faults::FaultPlan>,
+    /// Retry/timeout/backoff policies per message class, applied to
+    /// client→DP queries and DP↔DP exchange legs. The default
+    /// ([`simnet::RetryConfig::NONE`]) reproduces the paper's
+    /// fire-and-forget behaviour.
+    pub retry: simnet::RetryConfig,
     /// Local scheduling discipline at every site.
     pub site_discipline: gridemu::SiteDiscipline,
     /// Per-message WAN loss probability (0.0 = lossless, the default).
@@ -217,6 +226,8 @@ impl DigruberConfig {
             enforce_uslas: false,
             dynamic: None,
             failures: None,
+            fault_plan: None,
+            retry: simnet::RetryConfig::NONE,
             site_discipline: gridemu::SiteDiscipline::Fifo,
             message_loss: 0.0,
             max_jobs_in_flight: None,
@@ -270,6 +281,9 @@ impl DigruberConfig {
                 ));
             }
         }
+        if let Some(plan) = &self.fault_plan {
+            plan.validate(self.n_dps)?;
+        }
         Ok(())
     }
 }
@@ -307,6 +321,15 @@ mod tests {
         assert!(c.validate().is_err());
         c.dissemination = Dissemination::NoExchange;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn fault_plan_is_validated_against_deployment_size() {
+        let mut c = DigruberConfig::paper(2, ServiceKind::Gt3, 1);
+        c.fault_plan = Some(crate::faults::FaultPlan::parse("crash@10=5+10").unwrap());
+        assert!(c.validate().is_err(), "crash dp 5 with only 2 dps");
+        c.fault_plan = Some(crate::faults::FaultPlan::parse("crash@10=1+10").unwrap());
+        c.validate().unwrap();
     }
 
     #[test]

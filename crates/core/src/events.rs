@@ -21,12 +21,15 @@
 //! burn service time on the stale request (its response is dropped),
 //! which is what makes saturation self-reinforcing.
 
+use crate::faults::LinkScope;
 use crate::world::{client_node, dp_node, RequestState, World};
 use desim::Scheduler;
 use diperf::RequestTrace;
 use gruber::DispatchRecord;
 use gruber_metrics::schedule_accuracy;
-use gruber_types::{ClientId, JobId, JobSpec, SiteId};
+use gruber_types::{ClientId, DpId, JobId, JobSpec, SiteId};
+use obs::FaultMsgClass;
+use simnet::MessageClass;
 
 /// A client joins the experiment and issues its first query.
 pub fn client_start(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
@@ -76,11 +79,72 @@ pub fn client_issue(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
     let timeout_token = s.schedule_in(w.cfg.client_timeout, move |w, s| request_timeout(w, s, tag));
     w.requests.get_mut(&tag).expect("just inserted").timeout_token = Some(timeout_token);
 
-    if w.wan.delivered(&mut w.net_rng) {
-        let lat = w.wan.sample(client_node(client), dp_node(dp), &mut w.net_rng);
-        s.schedule_in(lat, move |w, s| request_arrives(w, s, tag));
+    send_query(w, s, tag, 0);
+}
+
+/// One transmission attempt of a client→DP query (`attempt` 0 is the
+/// original send). The loss draw composes the base WAN loss with every
+/// active fault-plan window on the client↔DP leg; a lost attempt consults
+/// the query retry policy for a backoff, so under `RetryPolicy::None`
+/// (the paper's fire-and-forget default) this reduces to exactly the old
+/// single `delivered()` check — same RNG draws, same trace.
+pub fn send_query(w: &mut World, s: &mut Scheduler<World>, tag: u64, attempt: u32) {
+    let now = s.now();
+    let Some(req) = w.requests.get(&tag) else {
+        return;
+    };
+    if req.responded || req.timed_out {
+        return; // a retry outlived the request
     }
-    // A lost query is only noticed through the client's timeout.
+    let (client, dp) = (req.client, req.dp);
+    let d = w.leg_disturbance(LinkScope::ClientDp, now);
+    if d.loss == 0.0 || !w.net_rng.chance(d.loss) {
+        let mut lat = w.wan.sample(client_node(client), dp_node(dp), &mut w.net_rng);
+        if d.reorder > 0.0 && w.net_rng.chance(d.reorder) {
+            // Held back and re-jittered: this query can now arrive after
+            // ones sent later (reordering).
+            lat = lat + w.wan.sample(client_node(client), dp_node(dp), &mut w.net_rng);
+        }
+        if d.duplicate > 0.0 && w.net_rng.chance(d.duplicate) {
+            w.trace.emit(now, || obs::TraceEvent::MsgDuplicated {
+                class: FaultMsgClass::Query,
+                dp,
+            });
+            let lat2 = w.wan.sample(client_node(client), dp_node(dp), &mut w.net_rng);
+            s.schedule_in(lat2, move |w, s| request_arrives(w, s, tag));
+        }
+        s.schedule_in(lat, move |w, s| request_arrives(w, s, tag));
+        return;
+    }
+    // Lost in transit.
+    w.trace.emit(now, || obs::TraceEvent::MsgLost {
+        class: FaultMsgClass::Query,
+        dp,
+        attempt,
+    });
+    let policy = w.cfg.retry.policy(MessageClass::Query);
+    match policy.backoff(attempt, &mut w.net_rng) {
+        Some(wait) => {
+            let next = attempt + 1;
+            w.trace.emit(now, || obs::TraceEvent::RetryScheduled {
+                class: FaultMsgClass::Query,
+                dp,
+                attempt: next,
+            });
+            s.schedule_in(wait, move |w, s| send_query(w, s, tag, next));
+        }
+        None => {
+            if policy.retries() {
+                w.trace.emit(now, || obs::TraceEvent::RetryExhausted {
+                    class: FaultMsgClass::Query,
+                    dp,
+                    attempts: attempt + 1,
+                });
+            }
+            // Fire-and-forget (or budget spent): the client's timeout is
+            // the only thing that notices.
+        }
+    }
 }
 
 /// The query reaches the decision point's service container.
@@ -139,8 +203,17 @@ pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag:
     } else {
         false
     };
-    if !w.wan.delivered(&mut w.net_rng) {
-        return; // response lost; the client's timeout covers it
+    let d = w.leg_disturbance(LinkScope::ClientDp, now);
+    if d.loss > 0.0 && w.net_rng.chance(d.loss) {
+        // Response lost; the client's timeout covers it. Responses are
+        // never retried — the client cannot distinguish a lost response
+        // from a slow decision point, so the timeout is the protocol.
+        w.trace.emit(now, || obs::TraceEvent::MsgLost {
+            class: FaultMsgClass::Response,
+            dp,
+            attempt: 0,
+        });
+        return;
     }
     let free = match &w.dps[dp_idx].monitor_free {
         // Monitor mode: answer from the latest monitoring snapshot.
@@ -152,9 +225,24 @@ pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag:
     // significant state"): charge its serialization over the link.
     let payload_bytes =
         (simnet::codec::availability_payload_kb(free.len()) * 1024.0) as u64;
-    let lat = w
+    let mut lat = w
         .wan
         .transfer_time(dp_node(dp), client_node(client), payload_bytes, &mut w.net_rng);
+    if d.reorder > 0.0 && w.net_rng.chance(d.reorder) {
+        lat = lat + w.wan.sample(dp_node(dp), client_node(client), &mut w.net_rng);
+    }
+    if d.duplicate > 0.0 && w.net_rng.chance(d.duplicate) {
+        w.trace.emit(now, || obs::TraceEvent::MsgDuplicated {
+            class: FaultMsgClass::Response,
+            dp,
+        });
+        let free2 = free.clone();
+        let lat2 = w
+            .wan
+            .transfer_time(dp_node(dp), client_node(client), payload_bytes, &mut w.net_rng);
+        // The duplicate finds the request already retired and is ignored.
+        s.schedule_in(lat2, move |w, s| response_arrives(w, s, tag, free2, denied));
+    }
     s.schedule_in(lat, move |w, s| response_arrives(w, s, tag, free, denied));
 }
 
@@ -242,12 +330,19 @@ pub fn response_arrives(
     // its view and its flood log; the ack closes the query.
     let l_inform = w.wan.sample(client_node(client), dp_node(dp), &mut w.net_rng);
     let l_ack = w.wan.sample(dp_node(dp), client_node(client), &mut w.net_rng);
-    if w.wan.delivered(&mut w.net_rng) {
+    let d = w.leg_disturbance(LinkScope::ClientDp, now);
+    if d.loss == 0.0 || !w.net_rng.chance(d.loss) {
         s.schedule_in(l_inform, move |w, s| {
             let now = s.now();
             if let Some(dp_state) = w.dps.get_mut(dp.index()) {
                 dp_state.engine.record_dispatch(record, now);
             }
+        });
+    } else {
+        w.trace.emit(now, || obs::TraceEvent::MsgLost {
+            class: FaultMsgClass::Response,
+            dp,
+            attempt: 0,
         });
     }
     // A lost inform leaves the decision point blind to this dispatch; the
@@ -401,46 +496,169 @@ pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
             if log.is_empty() && usla_delta.is_empty() {
                 continue;
             }
-            let from = dp_node(gruber_types::DpId(i as u32));
             for j in sync_peers_of(w, i) {
-                if !w.wan.delivered(&mut w.net_rng) {
-                    continue; // this flood never reaches peer j
-                }
-                let flood_bytes =
-                    (simnet::codec::deltas_payload_kb(log.len()) * 1024.0) as u64;
-                let lat = w.wan.transfer_time(
-                    from,
-                    dp_node(gruber_types::DpId(j as u32)),
-                    flood_bytes,
-                    &mut w.net_rng,
-                );
-                let log = log.clone();
-                let usla_delta = usla_delta.clone();
-                let records = log.len() as u32;
-                w.trace.emit(now, || obs::TraceEvent::ExchangeSent {
-                    from: gruber_types::DpId(i as u32),
-                    to: gruber_types::DpId(j as u32),
-                    records,
-                });
-                s.schedule_in(lat, move |w: &mut World, s| {
-                    let now = s.now();
-                    if let Some(dp) = w.dps.get_mut(j) {
-                        if !dp.up {
-                            return; // flood arrived at a crashed point
-                        }
-                        if forward {
-                            dp.engine.merge_peer_records_forwarding(&log, now);
-                        } else {
-                            dp.engine.merge_peer_records(&log, now);
-                        }
-                        dp.engine.uslas_mut().merge_delta(&usla_delta);
-                    }
-                });
+                send_exchange(w, s, i, j, log.clone(), usla_delta.clone(), forward, 0);
             }
         }
     }
     if now < w.end {
         s.schedule_in(w.cfg.sync_interval.max(gruber_types::SimDuration::SECOND), sync_round);
+    }
+}
+
+/// One transmission attempt of a DP→DP exchange flood (`attempt` 0 is the
+/// round's original send). Partitions sever the leg at *both* ends: a
+/// flood blocked at send time may retry (it looks like a refused
+/// connection), and a flood already in flight when the window opens is
+/// dropped on arrival — no exchange ever crosses a partition boundary.
+/// `ExchangeSent` is emitted only for delivered sends, so the exchange
+/// counters keep their pre-fault meaning.
+#[allow(clippy::too_many_arguments)]
+pub fn send_exchange(
+    w: &mut World,
+    s: &mut Scheduler<World>,
+    i: usize,
+    j: usize,
+    log: Vec<DispatchRecord>,
+    usla_delta: Vec<usla::store::VersionedEntry>,
+    forward: bool,
+    attempt: u32,
+) {
+    let now = s.now();
+    if w.dps.get(i).is_none_or(|d| !d.up) {
+        return; // the sender crashed while this retry waited
+    }
+    let from = DpId(i as u32);
+    let to = DpId(j as u32);
+    if w.partitioned(i, j, now) {
+        w.trace
+            .emit(now, || obs::TraceEvent::ExchangeBlocked { from, to });
+        // A partition looks like a refused connection: consult the retry
+        // policy, and once the budget is out (or under fire-and-forget)
+        // put the records back on the sender's log so the next round
+        // retransmits them — a partition delays state, it must not
+        // destroy it, which is what lets views reconverge within one
+        // post-heal exchange round.
+        if !retry_exchange(w, s, i, j, log.clone(), usla_delta, forward, attempt) {
+            w.dps[i].engine.requeue_outgoing(log);
+        }
+        return;
+    }
+    let d = w.leg_disturbance(LinkScope::DpDp, now);
+    if d.loss > 0.0 && w.net_rng.chance(d.loss) {
+        w.trace.emit(now, || obs::TraceEvent::MsgLost {
+            class: FaultMsgClass::Exchange,
+            dp: to,
+            attempt,
+        });
+        retry_exchange(w, s, i, j, log, usla_delta, forward, attempt);
+        return;
+    }
+    let flood_bytes = (simnet::codec::deltas_payload_kb(log.len()) * 1024.0) as u64;
+    let mut lat = w
+        .wan
+        .transfer_time(dp_node(from), dp_node(to), flood_bytes, &mut w.net_rng);
+    if d.reorder > 0.0 && w.net_rng.chance(d.reorder) {
+        lat = lat + w.wan.sample(dp_node(from), dp_node(to), &mut w.net_rng);
+    }
+    let records = log.len() as u32;
+    w.trace
+        .emit(now, || obs::TraceEvent::ExchangeSent { from, to, records });
+    if d.duplicate > 0.0 && w.net_rng.chance(d.duplicate) {
+        w.trace.emit(now, || obs::TraceEvent::MsgDuplicated {
+            class: FaultMsgClass::Exchange,
+            dp: to,
+        });
+        let log2 = log.clone();
+        let delta2 = usla_delta.clone();
+        let lat2 = w
+            .wan
+            .transfer_time(dp_node(from), dp_node(to), flood_bytes, &mut w.net_rng);
+        // The duplicate merge is idempotent (views de-duplicate by job
+        // id); its cost is the second container-side merge.
+        s.schedule_in(lat2, move |w, s| {
+            exchange_arrives(w, s, i, j, log2, delta2, forward)
+        });
+    }
+    s.schedule_in(lat, move |w, s| {
+        exchange_arrives(w, s, i, j, log, usla_delta, forward)
+    });
+}
+
+/// A flood reaches its receiver — unless a partition window opened while
+/// it was in flight, in which case it is dropped at the boundary.
+fn exchange_arrives(
+    w: &mut World,
+    s: &mut Scheduler<World>,
+    i: usize,
+    j: usize,
+    log: Vec<DispatchRecord>,
+    usla_delta: Vec<usla::store::VersionedEntry>,
+    forward: bool,
+) {
+    let now = s.now();
+    if w.partitioned(i, j, now) {
+        w.trace.emit(now, || obs::TraceEvent::ExchangeBlocked {
+            from: DpId(i as u32),
+            to: DpId(j as u32),
+        });
+        return;
+    }
+    if let Some(dp) = w.dps.get_mut(j) {
+        if !dp.up {
+            return; // flood arrived at a crashed point
+        }
+        if forward {
+            dp.engine.merge_peer_records_forwarding(&log, now);
+        } else {
+            dp.engine.merge_peer_records(&log, now);
+        }
+        dp.engine.uslas_mut().merge_delta(&usla_delta);
+    }
+}
+
+/// Consults the exchange retry policy after a failed transmission
+/// attempt. Returns whether a retry was scheduled; on `false` the caller
+/// decides the records' fate (a lost flood stays lost — the paper's
+/// fire-and-forget staleness hit — while a partition-blocked one is
+/// requeued for the next round).
+#[allow(clippy::too_many_arguments)]
+fn retry_exchange(
+    w: &mut World,
+    s: &mut Scheduler<World>,
+    i: usize,
+    j: usize,
+    log: Vec<DispatchRecord>,
+    usla_delta: Vec<usla::store::VersionedEntry>,
+    forward: bool,
+    attempt: u32,
+) -> bool {
+    let now = s.now();
+    let to = DpId(j as u32);
+    let policy = w.cfg.retry.policy(MessageClass::Exchange);
+    match policy.backoff(attempt, &mut w.net_rng) {
+        Some(wait) => {
+            let next = attempt + 1;
+            w.trace.emit(now, || obs::TraceEvent::RetryScheduled {
+                class: FaultMsgClass::Exchange,
+                dp: to,
+                attempt: next,
+            });
+            s.schedule_in(wait, move |w, s| {
+                send_exchange(w, s, i, j, log, usla_delta, forward, next)
+            });
+            true
+        }
+        None => {
+            if policy.retries() {
+                w.trace.emit(now, || obs::TraceEvent::RetryExhausted {
+                    class: FaultMsgClass::Exchange,
+                    dp: to,
+                    attempts: attempt + 1,
+                });
+            }
+            false
+        }
     }
 }
 

@@ -1,18 +1,590 @@
-//! Decision-point failure injection and client failover.
+//! Fault injection: decision-point failures, client failover, and the
+//! deterministic [`FaultPlan`] schedule.
 //!
 //! The paper's problem statement (Section 2.2) singles out reliability:
 //! "USLA service providers are subject to high load [...] We cannot afford
 //! for this infrastructure to fail." DI-GRUBER's answer is redundancy —
 //! multiple decision points — but the paper never *measures* what happens
-//! when a point dies. This module does: decision points crash and recover
-//! on exponential clocks (losing their in-flight container state), and
-//! clients optionally re-bind to another point after a configurable number
-//! of consecutive timeouts.
+//! when a point dies or the mesh partitions. This module does, two ways:
+//!
+//! * **Stochastic failures** ([`seed_failures`]): decision points crash and
+//!   recover on exponential clocks (losing their in-flight container
+//!   state), and clients optionally re-bind to another point after a
+//!   configurable number of consecutive timeouts.
+//! * **Scheduled faults** ([`FaultPlan`] / [`seed_plan`]): a declarative,
+//!   fully deterministic schedule of network partitions between groups of
+//!   decision points, per-leg message loss / duplication / reorder
+//!   windows, per-point service slowdowns, and planned crash-restarts.
+//!   Every injected fault emits an [`obs::TraceEvent`] so the timeline can
+//!   bin it; the graceful-degradation bench (`experiments degradation`)
+//!   and the operator guide (`FAULTS.md`) are built on this.
+//!
+//! Fault plans can be constructed programmatically or parsed from the
+//! compact clause DSL accepted by the `--faults` flag ([`FaultPlan::parse`]).
 
 use crate::world::World;
 use desim::dist::Dist;
 use desim::Scheduler;
-use gruber_types::{ClientId, DpId, SimDuration, SimTime};
+use gruber_types::{ClientId, DpId, GridError, SimDuration, SimTime};
+use obs::TraceEvent;
+
+// ---------------------------------------------------------------------------
+// FaultPlan: the deterministic fault schedule
+// ---------------------------------------------------------------------------
+
+/// Which message legs a [`LinkFaultWindow`] disturbs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkScope {
+    /// Every leg: client→DP queries, DP→client responses and informs, and
+    /// DP↔DP exchange floods.
+    All,
+    /// Only the client↔DP legs (queries, responses, informs).
+    ClientDp,
+    /// Only the DP↔DP exchange legs.
+    DpDp,
+}
+
+impl LinkScope {
+    fn covers(self, leg: LinkScope) -> bool {
+        self == LinkScope::All || self == leg
+    }
+
+    /// Stable lowercase name (matches the DSL scope suffix).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkScope::All => "all",
+            LinkScope::ClientDp => "client",
+            LinkScope::DpDp => "dpdp",
+        }
+    }
+}
+
+/// The combined link disturbance in effect on one leg at one instant.
+///
+/// Produced by [`FaultPlan::disturbance`] (and composed with the base WAN
+/// loss by `World::leg_disturbance`). All three fields are probabilities.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkDisturbance {
+    /// Per-message loss probability.
+    pub loss: f64,
+    /// Probability that a delivered message arrives twice.
+    pub duplicate: f64,
+    /// Probability that a delivered message is held back and re-jittered
+    /// (arrives after messages sent later — reordering).
+    pub reorder: f64,
+}
+
+impl LinkDisturbance {
+    /// A clean link: no loss, no duplication, no reordering.
+    pub const NONE: LinkDisturbance = LinkDisturbance {
+        loss: 0.0,
+        duplicate: 0.0,
+        reorder: 0.0,
+    };
+
+    /// True when every probability is zero. This is the hot-path guard:
+    /// a clean link makes *no* RNG draw, preserving seed-for-seed draw
+    /// order with fault-free configurations.
+    pub fn is_clean(&self) -> bool {
+        self.loss == 0.0 && self.duplicate == 0.0 && self.reorder == 0.0
+    }
+
+    /// Stacks another disturbance onto this one. Probabilities compose as
+    /// independent events: `p = 1 − (1−p₁)(1−p₂)`.
+    pub fn combine(&mut self, other: &LinkDisturbance) {
+        self.loss = 1.0 - (1.0 - self.loss) * (1.0 - other.loss);
+        self.duplicate = 1.0 - (1.0 - self.duplicate) * (1.0 - other.duplicate);
+        self.reorder = 1.0 - (1.0 - self.reorder) * (1.0 - other.reorder);
+    }
+}
+
+/// A timed network partition between groups ("islands") of decision
+/// points. While active, *no exchange flood crosses an island boundary*
+/// (in either direction — floods already in flight when the window opens
+/// are dropped on arrival). Client↔DP traffic is unaffected: the paper's
+/// clients bind to one point and partitions model the *mesh* splitting.
+///
+/// Decision points not listed in any island form one implicit residual
+/// island of their own.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionWindow {
+    /// When the partition takes effect.
+    pub start: SimTime,
+    /// When the partition heals (exclusive).
+    pub end: SimTime,
+    /// Explicit islands; each inner vec lists decision-point indices.
+    pub islands: Vec<Vec<u32>>,
+}
+
+/// A timed window of link disturbance (loss, duplication, reorder) on a
+/// subset of message legs. Windows overlap freely; overlapping
+/// probabilities compose as independent events.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultWindow {
+    /// When the window opens.
+    pub start: SimTime,
+    /// When the window closes (exclusive).
+    pub end: SimTime,
+    /// Which legs it disturbs.
+    pub scope: LinkScope,
+    /// Per-message loss probability added during the window.
+    pub loss: f64,
+    /// Per-message duplication probability added during the window.
+    pub duplicate: f64,
+    /// Per-message reorder probability added during the window.
+    pub reorder: f64,
+}
+
+/// A timed service slowdown: one decision point's container serves every
+/// request `factor`× slower (degraded `ServiceProfile`), modelling an
+/// overloaded or resource-starved host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowdownWindow {
+    /// When the slowdown starts.
+    pub start: SimTime,
+    /// When the point returns to full speed.
+    pub end: SimTime,
+    /// The degraded decision point.
+    pub dp: u32,
+    /// Service-time multiplier (≥ 1).
+    pub factor: f64,
+}
+
+/// A planned crash-restart: the decision point crashes at `at` (dropping
+/// its in-flight container state, exactly like a stochastic failure) and
+/// restarts `down_for` later.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashEvent {
+    /// Crash instant.
+    pub at: SimTime,
+    /// The decision point to crash.
+    pub dp: u32,
+    /// Outage duration before the planned restart.
+    pub down_for: SimDuration,
+}
+
+/// A deterministic, declarative schedule of faults to inject into one run.
+///
+/// Same plan + same seed + same `--jobs` ⇒ byte-identical traces: the plan
+/// holds no randomness of its own; windows merely change which
+/// probabilities the (deterministic, per-component) RNG streams are asked
+/// about, and a clean leg makes no draw at all.
+///
+/// # Example
+///
+/// ```
+/// use digruber::faults::FaultPlan;
+///
+/// let plan = FaultPlan::parse(
+///     "partition@120..300=0,1|2; loss.client@60..240=0.3; \
+///      slow@100..200=1x2.5; crash@150=2+60",
+/// )?;
+/// plan.validate(3)?;
+/// assert_eq!(plan.partitions.len(), 1);
+/// assert!(plan.partitioned(0, 2, gruber_types::SimTime::from_secs(150)));
+/// assert!(!plan.partitioned(0, 1, gruber_types::SimTime::from_secs(150)));
+/// # Ok::<(), gruber_types::GridError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Timed partitions of the decision-point mesh.
+    pub partitions: Vec<PartitionWindow>,
+    /// Timed loss / duplication / reorder windows.
+    pub link_faults: Vec<LinkFaultWindow>,
+    /// Timed per-point service slowdowns.
+    pub slowdowns: Vec<SlowdownWindow>,
+    /// Planned crash-restarts.
+    pub crashes: Vec<CrashEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn empty() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.partitions.is_empty()
+            && self.link_faults.is_empty()
+            && self.slowdowns.is_empty()
+            && self.crashes.is_empty()
+    }
+
+    /// Checks internal consistency against the deployment size.
+    pub fn validate(&self, n_dps: usize) -> Result<(), GridError> {
+        let bad = |msg: String| Err(GridError::InvalidConfig(msg));
+        for (i, p) in self.partitions.iter().enumerate() {
+            if p.start >= p.end {
+                return bad(format!("partition window {i}: start must precede end"));
+            }
+            if p.islands.is_empty() {
+                return bad(format!("partition window {i}: no islands"));
+            }
+            let mut seen = vec![false; n_dps];
+            for g in &p.islands {
+                if g.is_empty() {
+                    return bad(format!("partition window {i}: empty island"));
+                }
+                for &dp in g {
+                    if dp as usize >= n_dps {
+                        return bad(format!(
+                            "partition window {i}: dp {dp} out of range (n_dps={n_dps})"
+                        ));
+                    }
+                    if seen[dp as usize] {
+                        return bad(format!("partition window {i}: dp {dp} in two islands"));
+                    }
+                    seen[dp as usize] = true;
+                }
+            }
+        }
+        for (i, lf) in self.link_faults.iter().enumerate() {
+            if lf.start >= lf.end {
+                return bad(format!("link-fault window {i}: start must precede end"));
+            }
+            for (p, what) in [
+                (lf.loss, "loss"),
+                (lf.duplicate, "duplicate"),
+                (lf.reorder, "reorder"),
+            ] {
+                if !(0.0..1.0).contains(&p) {
+                    return bad(format!(
+                        "link-fault window {i}: {what} probability {p} outside [0,1)"
+                    ));
+                }
+            }
+            if lf.loss == 0.0 && lf.duplicate == 0.0 && lf.reorder == 0.0 {
+                return bad(format!("link-fault window {i}: all probabilities zero"));
+            }
+        }
+        for (i, sl) in self.slowdowns.iter().enumerate() {
+            if sl.start >= sl.end {
+                return bad(format!("slowdown window {i}: start must precede end"));
+            }
+            if sl.dp as usize >= n_dps {
+                return bad(format!("slowdown window {i}: dp {} out of range", sl.dp));
+            }
+            if !sl.factor.is_finite() || sl.factor < 1.0 {
+                return bad(format!(
+                    "slowdown window {i}: factor {} must be ≥ 1",
+                    sl.factor
+                ));
+            }
+        }
+        for (i, c) in self.crashes.iter().enumerate() {
+            if c.dp as usize >= n_dps {
+                return bad(format!("crash event {i}: dp {} out of range", c.dp));
+            }
+            if c.down_for == SimDuration::ZERO {
+                return bad(format!("crash event {i}: zero outage duration"));
+            }
+        }
+        Ok(())
+    }
+
+    /// True when an active partition separates decision points `a` and
+    /// `b` at `now`. Unlisted points share the implicit residual island.
+    pub fn partitioned(&self, a: usize, b: usize, now: SimTime) -> bool {
+        if a == b {
+            return false;
+        }
+        self.partitions.iter().any(|p| {
+            now >= p.start && now < p.end && island_of(p, a) != island_of(p, b)
+        })
+    }
+
+    /// The combined disturbance active on one leg class at `now`. Clean
+    /// (all-zero) when no window covers the leg — callers must then make
+    /// no RNG draw beyond the base WAN loss check.
+    pub fn disturbance(&self, leg: LinkScope, now: SimTime) -> LinkDisturbance {
+        let mut d = LinkDisturbance::NONE;
+        for w in &self.link_faults {
+            if now >= w.start && now < w.end && w.scope.covers(leg) {
+                d.combine(&LinkDisturbance {
+                    loss: w.loss,
+                    duplicate: w.duplicate,
+                    reorder: w.reorder,
+                });
+            }
+        }
+        d
+    }
+
+    /// Parses the compact clause DSL accepted by the `--faults` flag.
+    ///
+    /// Clauses are `;`-separated; every time is in whole simulated
+    /// seconds; `start..end` windows are half-open:
+    ///
+    /// | clause | meaning |
+    /// |---|---|
+    /// | `partition@120..300=0,1\|2` | From t=120 s to t=300 s, DPs {0,1} and {2} cannot exchange (unlisted DPs form a third island). |
+    /// | `loss@60..240=0.3` | 30 % message loss on every leg during the window. |
+    /// | `loss.client@…=p` / `loss.dpdp@…=p` | Loss scoped to client↔DP or DP↔DP legs only. |
+    /// | `dup@60..240=0.1` | 10 % of delivered messages arrive twice (same scope suffixes). |
+    /// | `reorder@60..240=0.2` | 20 % of delivered messages are held back and re-jittered. |
+    /// | `slow@100..200=1x2.5` | DP 1 serves 2.5× slower from t=100 s to t=200 s. |
+    /// | `crash@150=2+60` | DP 2 crashes at t=150 s and restarts 60 s later. |
+    pub fn parse(spec: &str) -> Result<FaultPlan, GridError> {
+        let mut plan = FaultPlan::empty();
+        for raw in spec.split(';') {
+            let clause = raw.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            plan.parse_clause(clause)?;
+        }
+        if plan.is_empty() {
+            return Err(GridError::InvalidConfig(format!(
+                "fault plan {spec:?} contains no clauses"
+            )));
+        }
+        Ok(plan)
+    }
+
+    fn parse_clause(&mut self, clause: &str) -> Result<(), GridError> {
+        let bad = |msg: String| GridError::InvalidConfig(msg);
+        let (head, rest) = clause
+            .split_once('@')
+            .ok_or_else(|| bad(format!("clause {clause:?}: missing '@'")))?;
+        let (timespec, args) = rest
+            .split_once('=')
+            .ok_or_else(|| bad(format!("clause {clause:?}: missing '='")))?;
+        let (kind, scope) = match head.split_once('.') {
+            Some((k, s)) => (k, Some(s)),
+            None => (head, None),
+        };
+        let scope = match scope {
+            None | Some("all") => LinkScope::All,
+            Some("client") => LinkScope::ClientDp,
+            Some("dpdp") => LinkScope::DpDp,
+            Some(other) => {
+                return Err(bad(format!(
+                    "clause {clause:?}: unknown scope {other:?} (use all/client/dpdp)"
+                )))
+            }
+        };
+        match kind {
+            "partition" => {
+                let (start, end) = parse_range(timespec, clause)?;
+                let mut islands = Vec::new();
+                for group in args.split('|') {
+                    let mut g = Vec::new();
+                    for dp in group.split(',') {
+                        g.push(parse_u32(dp.trim(), clause, "dp index")?);
+                    }
+                    islands.push(g);
+                }
+                self.partitions.push(PartitionWindow { start, end, islands });
+            }
+            "loss" | "dup" | "reorder" => {
+                let (start, end) = parse_range(timespec, clause)?;
+                let p = parse_prob(args.trim(), clause)?;
+                let mut w = LinkFaultWindow {
+                    start,
+                    end,
+                    scope,
+                    loss: 0.0,
+                    duplicate: 0.0,
+                    reorder: 0.0,
+                };
+                match kind {
+                    "loss" => w.loss = p,
+                    "dup" => w.duplicate = p,
+                    _ => w.reorder = p,
+                }
+                self.link_faults.push(w);
+            }
+            "slow" => {
+                let (start, end) = parse_range(timespec, clause)?;
+                let (dp, factor) = args
+                    .split_once('x')
+                    .ok_or_else(|| bad(format!("clause {clause:?}: expected DPxFACTOR")))?;
+                self.slowdowns.push(SlowdownWindow {
+                    start,
+                    end,
+                    dp: parse_u32(dp.trim(), clause, "dp index")?,
+                    factor: factor.trim().parse().map_err(|_| {
+                        bad(format!("clause {clause:?}: bad factor {factor:?}"))
+                    })?,
+                });
+            }
+            "crash" => {
+                let at = SimTime::from_secs(parse_u64(timespec.trim(), clause, "time")?);
+                let (dp, down) = args
+                    .split_once('+')
+                    .ok_or_else(|| bad(format!("clause {clause:?}: expected DP+SECS")))?;
+                self.crashes.push(CrashEvent {
+                    at,
+                    dp: parse_u32(dp.trim(), clause, "dp index")?,
+                    down_for: SimDuration::from_secs(parse_u64(
+                        down.trim(),
+                        clause,
+                        "outage seconds",
+                    )?),
+                });
+            }
+            other => {
+                return Err(bad(format!(
+                    "clause {clause:?}: unknown kind {other:?} \
+                     (use partition/loss/dup/reorder/slow/crash)"
+                )))
+            }
+        }
+        Ok(())
+    }
+}
+
+fn island_of(p: &PartitionWindow, dp: usize) -> usize {
+    p.islands
+        .iter()
+        .position(|g| g.contains(&(dp as u32)))
+        .unwrap_or(usize::MAX)
+}
+
+fn parse_u64(s: &str, clause: &str, what: &str) -> Result<u64, GridError> {
+    s.parse()
+        .map_err(|_| GridError::InvalidConfig(format!("clause {clause:?}: bad {what} {s:?}")))
+}
+
+fn parse_u32(s: &str, clause: &str, what: &str) -> Result<u32, GridError> {
+    s.parse()
+        .map_err(|_| GridError::InvalidConfig(format!("clause {clause:?}: bad {what} {s:?}")))
+}
+
+fn parse_prob(s: &str, clause: &str) -> Result<f64, GridError> {
+    let p: f64 = s.parse().map_err(|_| {
+        GridError::InvalidConfig(format!("clause {clause:?}: bad probability {s:?}"))
+    })?;
+    if !(0.0..1.0).contains(&p) {
+        return Err(GridError::InvalidConfig(format!(
+            "clause {clause:?}: probability {p} outside [0,1)"
+        )));
+    }
+    Ok(p)
+}
+
+fn parse_range(s: &str, clause: &str) -> Result<(SimTime, SimTime), GridError> {
+    let (a, b) = s.split_once("..").ok_or_else(|| {
+        GridError::InvalidConfig(format!("clause {clause:?}: expected START..END seconds"))
+    })?;
+    Ok((
+        SimTime::from_secs(parse_u64(a.trim(), clause, "start time")?),
+        SimTime::from_secs(parse_u64(b.trim(), clause, "end time")?),
+    ))
+}
+
+/// Schedules everything in the world's [`FaultPlan`]: partition and
+/// link-window marker events (the timeline flips state on these),
+/// slowdown application/reset, and planned crash-restarts. No-op when no
+/// plan is configured.
+pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
+    let Some(plan) = w.cfg.fault_plan.clone() else {
+        return;
+    };
+    for (idx, p) in plan.partitions.iter().enumerate() {
+        let win = idx as u32;
+        let islands = p.islands.len() as u32;
+        s.schedule_at(p.start, move |w: &mut World, s: &mut Scheduler<World>| {
+            w.trace.emit(s.now(), || TraceEvent::PartitionStarted {
+                window: win,
+                islands,
+            });
+        });
+        s.schedule_at(p.end, move |w: &mut World, s: &mut Scheduler<World>| {
+            w.trace
+                .emit(s.now(), || TraceEvent::PartitionHealed { window: win });
+        });
+    }
+    for (idx, lf) in plan.link_faults.iter().enumerate() {
+        let win = idx as u32;
+        s.schedule_at(lf.start, move |w: &mut World, s: &mut Scheduler<World>| {
+            w.trace
+                .emit(s.now(), || TraceEvent::LinkFaultStarted { window: win });
+        });
+        s.schedule_at(lf.end, move |w: &mut World, s: &mut Scheduler<World>| {
+            w.trace
+                .emit(s.now(), || TraceEvent::LinkFaultEnded { window: win });
+        });
+    }
+    for sl in &plan.slowdowns {
+        let dp = sl.dp as usize;
+        let factor = sl.factor;
+        s.schedule_at(sl.start, move |w: &mut World, s: &mut Scheduler<World>| {
+            if dp < w.dps.len() {
+                w.dps[dp].station.set_slowdown(factor);
+                let permille = (factor * 1000.0).round() as u32;
+                w.trace.emit(s.now(), || TraceEvent::DpSlowdown {
+                    dp: DpId(dp as u32),
+                    permille,
+                });
+            }
+        });
+        s.schedule_at(sl.end, move |w: &mut World, s: &mut Scheduler<World>| {
+            if dp < w.dps.len() {
+                w.dps[dp].station.set_slowdown(1.0);
+                w.trace
+                    .emit(s.now(), || TraceEvent::DpSlowdownEnded { dp: DpId(dp as u32) });
+            }
+        });
+    }
+    for c in &plan.crashes {
+        let dp = c.dp as usize;
+        let down = c.down_for;
+        s.schedule_at(c.at, move |w: &mut World, s: &mut Scheduler<World>| {
+            let now = s.now();
+            if crash_dp_now(w, now, dp) {
+                // Planned restart: unlike the exponential repair clock this
+                // neither rebalances clients nor schedules a next failure.
+                s.schedule_in(down, move |w: &mut World, s: &mut Scheduler<World>| {
+                    restore_dp_now(w, s.now(), dp);
+                });
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Crash / restore primitives (shared by both fault paths)
+// ---------------------------------------------------------------------------
+
+/// Takes a decision point down right now: its container loses all
+/// in-flight requests (the station's crash emits `SvcCrashDropped` with
+/// the exact counts; `DpFailed` is the marker the timeline uses to flip
+/// the point's up/down state). Shared by the exponential failure clock
+/// and planned [`CrashEvent`]s. Returns whether the point actually
+/// crashed (it may already be down, or the run may be over).
+pub fn crash_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
+    if now >= w.end || dp_idx >= w.dps.len() || !w.dps[dp_idx].up {
+        return false;
+    }
+    w.dps[dp_idx].up = false;
+    w.dps[dp_idx].station.crash_at(now);
+    w.trace.emit(now, || TraceEvent::DpFailed {
+        dp: DpId(dp_idx as u32),
+    });
+    w.dp_failures += 1;
+    true
+}
+
+/// Brings a crashed decision point back up (fresh container, retained
+/// engine state — the engine's view persists like a service restart
+/// reading its journal; losing it too would only deepen the accuracy
+/// dip). Returns whether the point actually recovered.
+pub fn restore_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
+    if dp_idx >= w.dps.len() || w.dps[dp_idx].up {
+        return false;
+    }
+    w.dps[dp_idx].up = true;
+    w.trace.emit(now, || TraceEvent::DpRecovered {
+        dp: DpId(dp_idx as u32),
+    });
+    true
+}
+
+// ---------------------------------------------------------------------------
+// Stochastic failures (exponential clocks)
+// ---------------------------------------------------------------------------
 
 fn exp_delay(mean: SimDuration, w: &mut World) -> SimDuration {
     let d = Dist::Exponential {
@@ -33,29 +605,19 @@ pub fn seed_failures(w: &mut World, s: &mut Scheduler<World>) {
     }
 }
 
-/// A decision point crashes: its container loses all in-flight requests.
+/// A decision point crashes on its exponential clock and schedules its
+/// own repair.
 pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
     let now = s.now();
-    if now >= w.end || dp_idx >= w.dps.len() || !w.dps[dp_idx].up {
+    if !crash_dp_now(w, now, dp_idx) {
         return;
     }
-    w.dps[dp_idx].up = false;
-    // The station's crash emits `SvcCrashDropped` with the exact in-flight
-    // and queued counts; `DpFailed` is the marker the timeline uses to
-    // flip the point's up/down state.
-    w.dps[dp_idx].station.crash_at(now);
-    w.trace.emit(now, || obs::TraceEvent::DpFailed {
-        dp: DpId(dp_idx as u32),
-    });
-    w.dp_failures += 1;
     let fc = w.cfg.failures.expect("failures configured");
     let repair = exp_delay(fc.dp_repair, w);
     s.schedule_in(repair, move |w, s| dp_repair(w, s, dp_idx));
 }
 
-/// A decision point comes back (fresh container, retained engine state —
-/// the engine's view persists like a service restart reading its journal;
-/// losing it too would only deepen the accuracy dip).
+/// A decision point comes back on its repair clock.
 ///
 /// When failover is enabled, the third-party observer also *rebalances on
 /// repair*: roughly `1/n` of all clients re-bind to the recovered point,
@@ -63,13 +625,9 @@ pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
 /// a repaired point sits idle while the rest stay saturated).
 pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
     let now = s.now();
-    if dp_idx >= w.dps.len() || w.dps[dp_idx].up {
+    if !restore_dp_now(w, now, dp_idx) {
         return;
     }
-    w.dps[dp_idx].up = true;
-    w.trace.emit(now, || obs::TraceEvent::DpRecovered {
-        dp: DpId(dp_idx as u32),
-    });
     let fc = w.cfg.failures.expect("failures configured");
     if fc.failover_after > 0 {
         let n = w.dps.len();
@@ -81,7 +639,7 @@ pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
                 c.dp = DpId(dp_idx as u32);
                 c.consecutive_timeouts = 0;
                 w.failovers += 1;
-                w.trace.emit(now, || obs::TraceEvent::ClientRebound {
+                w.trace.emit(now, || TraceEvent::ClientRebound {
                     client: ClientId(ci as u32),
                     from,
                     to: DpId(dp_idx as u32),
@@ -126,7 +684,7 @@ pub fn note_client_timeout(w: &mut World, client: ClientId, now: SimTime) {
     c.dp = DpId(pick as u32);
     c.consecutive_timeouts = 0;
     w.failovers += 1;
-    w.trace.emit(now, || obs::TraceEvent::ClientRebound {
+    w.trace.emit(now, || TraceEvent::ClientRebound {
         client,
         from: old,
         to: DpId(pick as u32),
@@ -289,5 +847,159 @@ mod tests {
         // Nowhere to fail over to; the run must still complete.
         assert_eq!(out.failovers, 0);
         assert!(out.dp_failures > 0);
+    }
+
+    #[test]
+    fn partition_blocks_exchange_then_reconverges_after_heal() {
+        use crate::events::sync_round;
+        use gruber::DispatchRecord;
+        use gruber_types::{GroupId, JobId, SiteId, VoId};
+
+        fn rec(job: u32) -> DispatchRecord {
+            DispatchRecord {
+                job: JobId(job),
+                site: SiteId(0),
+                vo: VoId(0),
+                group: GroupId(0),
+                cpus: 1,
+                dispatched_at: SimTime::ZERO,
+                est_finish: SimTime::from_secs(4000),
+            }
+        }
+
+        let mut cfg = DigruberConfig::paper(2, ServiceKind::Gt3, 11);
+        cfg.grid_factor = 1;
+        cfg.trace = Some(obs::TraceConfig::default());
+        cfg.fault_plan = Some(FaultPlan::parse("partition@0..100=0|1").unwrap());
+        let mut sim = desim::Simulation::new(crate::world::World::new(cfg, wl()).unwrap());
+        let tracer = sim.world().trace.clone();
+        sim.scheduler().set_tracer(tracer);
+        sim.scheduler().schedule_at(SimTime::ZERO, seed_plan);
+        // dp0 brokers a dispatch, then the t=10 s sync round tries to flood
+        // it into an active partition.
+        sim.scheduler().schedule_at(SimTime::from_secs(5), |w, s| {
+            let now = s.now();
+            w.dps[0].engine.record_dispatch(rec(1), now);
+        });
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(10), sync_round);
+        // Mid-partition probe: nothing crossed the boundary — the views
+        // have diverged (dp1 knows nothing of job 1).
+        sim.scheduler().schedule_at(SimTime::from_secs(90), |w, _| {
+            let (_, merged) = w.dps[1].engine.counters();
+            assert_eq!(merged, 0, "exchange crossed an active partition");
+        });
+        sim.run_until(SimTime::from_secs(300));
+        let w = sim.world();
+        // The blocked flood's records were requeued, so the first post-heal
+        // round (t=190 s; heal at t=100 s) retransmits and reconverges.
+        let (_, merged) = w.dps[1].engine.counters();
+        assert_eq!(merged, 1, "views must reconverge within one post-heal round");
+        assert!(
+            w.dps[1].engine.last_merge_at().expect("merged post-heal")
+                >= SimTime::from_secs(190)
+        );
+        let tl = w.trace.finish(SimTime::from_secs(300)).unwrap();
+        assert_eq!(tl.totals.partitions_started, 1);
+        assert_eq!(tl.totals.partition_drops, 1, "the blocked send must be traced");
+    }
+
+    // -- FaultPlan ----------------------------------------------------------
+
+    #[test]
+    fn parse_round_trips_every_clause_kind() {
+        let plan = FaultPlan::parse(
+            "partition@120..300=0,1|2; loss@60..240=0.3; dup.dpdp@10..20=0.1; \
+             reorder.client@30..40=0.2; slow@100..200=1x2.5; crash@150=2+60",
+        )
+        .unwrap();
+        assert_eq!(plan.partitions.len(), 1);
+        assert_eq!(plan.partitions[0].islands, vec![vec![0, 1], vec![2]]);
+        assert_eq!(plan.link_faults.len(), 3);
+        assert_eq!(plan.link_faults[0].scope, LinkScope::All);
+        assert_eq!(plan.link_faults[0].loss, 0.3);
+        assert_eq!(plan.link_faults[1].scope, LinkScope::DpDp);
+        assert_eq!(plan.link_faults[1].duplicate, 0.1);
+        assert_eq!(plan.link_faults[2].scope, LinkScope::ClientDp);
+        assert_eq!(plan.link_faults[2].reorder, 0.2);
+        assert_eq!(plan.slowdowns.len(), 1);
+        assert_eq!(plan.slowdowns[0].dp, 1);
+        assert_eq!(plan.slowdowns[0].factor, 2.5);
+        assert_eq!(plan.crashes.len(), 1);
+        assert_eq!(plan.crashes[0].at, SimTime::from_secs(150));
+        assert_eq!(plan.crashes[0].down_for, SimDuration::from_secs(60));
+        plan.validate(3).unwrap();
+    }
+
+    #[test]
+    fn parse_rejects_malformed_clauses() {
+        for spec in [
+            "",
+            "nonsense@1..2=3",
+            "loss@60..240",      // missing '='
+            "loss.wan@1..2=0.5", // bad scope
+            "loss@1..2=1.5",     // probability out of range
+            "slow@1..2=x2.5",    // bad dp
+            "crash@10=1",        // missing '+'
+            "partition@1..2",    // missing '='
+        ] {
+            assert!(FaultPlan::parse(spec).is_err(), "{spec} should fail");
+        }
+        // Range inversion is a validate()-time error, not parse-time.
+        let plan = FaultPlan::parse("partition@5..2=0|1").unwrap();
+        assert!(plan.validate(2).is_err());
+    }
+
+    #[test]
+    fn validate_catches_out_of_range_and_overlap() {
+        let mut plan = FaultPlan::parse("partition@1..2=0,1|2").unwrap();
+        assert!(plan.validate(2).is_err(), "dp 2 out of range for n_dps=2");
+        plan.validate(3).unwrap();
+        plan.partitions[0].islands = vec![vec![0], vec![0]];
+        assert!(plan.validate(3).is_err(), "dp in two islands");
+        let plan = FaultPlan::parse("slow@1..2=0x0.5").unwrap();
+        assert!(plan.validate(1).is_err(), "factor < 1");
+        let plan = FaultPlan::parse("crash@1=5+10").unwrap();
+        assert!(plan.validate(3).is_err(), "crash dp out of range");
+    }
+
+    #[test]
+    fn partitioned_respects_islands_windows_and_residual() {
+        let plan = FaultPlan::parse("partition@100..200=0,1|2").unwrap();
+        let mid = SimTime::from_secs(150);
+        // Severed across islands, connected within one.
+        assert!(plan.partitioned(0, 2, mid));
+        assert!(plan.partitioned(1, 2, mid));
+        assert!(!plan.partitioned(0, 1, mid));
+        // Unlisted DPs share the residual island with each other but are
+        // cut off from every explicit island.
+        assert!(plan.partitioned(0, 3, mid));
+        assert!(!plan.partitioned(3, 4, mid));
+        // Outside the window nothing is severed; end is exclusive.
+        assert!(!plan.partitioned(0, 2, SimTime::from_secs(99)));
+        assert!(!plan.partitioned(0, 2, SimTime::from_secs(200)));
+        assert!(plan.partitioned(0, 2, SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn disturbance_composes_overlapping_windows() {
+        let plan = FaultPlan::parse("loss@0..100=0.5; loss.client@0..100=0.5").unwrap();
+        let now = SimTime::from_secs(50);
+        let client = plan.disturbance(LinkScope::ClientDp, now);
+        assert!((client.loss - 0.75).abs() < 1e-12, "{}", client.loss);
+        let dpdp = plan.disturbance(LinkScope::DpDp, now);
+        assert_eq!(dpdp.loss, 0.5);
+        assert!(plan
+            .disturbance(LinkScope::DpDp, SimTime::from_secs(100))
+            .is_clean());
+        let mut d = LinkDisturbance::NONE;
+        assert!(d.is_clean());
+        d.combine(&LinkDisturbance {
+            loss: 0.0,
+            duplicate: 0.2,
+            reorder: 0.0,
+        });
+        assert!(!d.is_clean());
+        assert!((d.duplicate - 0.2).abs() < 1e-12, "{}", d.duplicate);
     }
 }

@@ -80,6 +80,15 @@ pub struct ExperimentOutput {
     pub dp_failures: u64,
     /// Client failover re-bindings performed.
     pub failovers: u64,
+    /// Client-visible timeouts per decision point (indexed by `DpId`).
+    /// Under injected message loss these are the run-summary symptom of
+    /// the fault layer.
+    pub timeouts_by_dp: Vec<u64>,
+    /// Worst view staleness per decision point, in milliseconds: the
+    /// largest gap between consecutive peer merges (and the tail gap to
+    /// the end of the run). Partitions stretch this. Zero for deployments
+    /// that never exchange (single point, `NoExchange`).
+    pub max_view_staleness_ms: Vec<u64>,
     /// CPU time consumed per VO as a fraction of all consumed CPU time
     /// (indexed by VO id) — the fairness view of the run.
     pub vo_cpu_share: Vec<f64>,
@@ -130,6 +139,9 @@ pub fn run_experiment(
     sim.scheduler().schedule_at(SimTime::ZERO, events::load_sample);
     if sim.world().cfg.failures.is_some() {
         sim.scheduler().schedule_at(SimTime::ZERO, crate::faults::seed_failures);
+    }
+    if sim.world().cfg.fault_plan.is_some() {
+        sim.scheduler().schedule_at(SimTime::ZERO, crate::faults::seed_plan);
     }
     if sim.world().cfg.monitor_refresh.is_some() {
         sim.scheduler()
@@ -190,6 +202,30 @@ fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize
     }
     let capacity = AvailableCapacity::until(w.grid.total_cpus(), end);
     let table = acc.table_rows(capacity);
+    let mut timeouts_by_dp = gruber_metrics::timeouts_by_dp(
+        w.collector
+            .traces()
+            .iter()
+            .map(|t| (t.dp.index(), t.timed_out)),
+    );
+    if timeouts_by_dp.len() < w.dps.len() {
+        timeouts_by_dp.resize(w.dps.len(), 0);
+    }
+    let exchanges = w.exchanges_state() && w.dps.len() > 1;
+    let max_view_staleness_ms: Vec<u64> = w
+        .dps
+        .iter()
+        .map(|dp| {
+            if !exchanges {
+                return 0;
+            }
+            // The worst gap between merges, or the tail gap to the end of
+            // the run if that is longer (a point that never merged is
+            // stale for the whole run).
+            let tail = end.since(dp.engine.last_merge_at().unwrap_or(SimTime::ZERO));
+            dp.engine.max_merge_gap().max(tail).as_millis()
+        })
+        .collect();
     let report = w.collector.report(label, end);
     let figure_rows = w
         .collector
@@ -208,6 +244,8 @@ fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize
         denied_requests: w.denied_requests,
         dp_failures: w.dp_failures,
         failovers: w.failovers,
+        timeouts_by_dp,
+        max_view_staleness_ms,
         vo_cpu_share: {
             let total: f64 = vo_consumed.iter().sum();
             if total > 0.0 {
@@ -290,6 +328,54 @@ mod tests {
         let first = out.figure_rows[0].1;
         let last = out.figure_rows[9].1;
         assert!(last >= first);
+    }
+
+    #[test]
+    fn injected_loss_surfaces_as_per_dp_timeouts() {
+        let mut lossy = DigruberConfig::small(2, 42);
+        lossy.fault_plan =
+            Some(crate::faults::FaultPlan::parse("loss.client@0..600=0.4").unwrap());
+        let lossy_out = run_experiment(lossy, WorkloadSpec::small(), "lossy").unwrap();
+        let clean_out = small_run(2, 42);
+        assert_eq!(lossy_out.timeouts_by_dp.len(), 2);
+        let lossy_total: u64 = lossy_out.timeouts_by_dp.iter().sum();
+        let clean_total: u64 = clean_out.timeouts_by_dp.iter().sum();
+        // This is the fault layer's run-summary contract: injected message
+        // loss must be visible as client timeouts in the output, per DP.
+        assert!(lossy_total > 0, "40% loss produced no client timeouts");
+        assert!(
+            lossy_total > clean_total,
+            "lossy run ({lossy_total}) not worse than clean ({clean_total})"
+        );
+    }
+
+    #[test]
+    fn view_staleness_reported_per_dp() {
+        let multi = small_run(2, 42);
+        assert_eq!(multi.max_view_staleness_ms.len(), 2);
+        assert!(
+            multi.max_view_staleness_ms.iter().all(|&ms| ms > 0),
+            "exchanging DPs always have a non-zero merge gap: {:?}",
+            multi.max_view_staleness_ms
+        );
+        // A single DP never merges; staleness is defined as zero.
+        let single = small_run(1, 42);
+        assert_eq!(single.max_view_staleness_ms, vec![0]);
+    }
+
+    #[test]
+    fn partition_inflates_view_staleness() {
+        let mut cfg = DigruberConfig::small(2, 42);
+        cfg.fault_plan =
+            Some(crate::faults::FaultPlan::parse("partition@120..480=0|1").unwrap());
+        let part = run_experiment(cfg, WorkloadSpec::small(), "part").unwrap();
+        let clean = small_run(2, 42);
+        let worst = *part.max_view_staleness_ms.iter().max().unwrap();
+        assert!(
+            worst >= 360_000,
+            "staleness {worst} ms under a 360 s partition"
+        );
+        assert!(worst > *clean.max_view_staleness_ms.iter().max().unwrap());
     }
 
     #[test]

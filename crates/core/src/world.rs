@@ -231,6 +231,36 @@ impl World {
         self.cfg.dissemination != Dissemination::NoExchange
     }
 
+    /// The combined disturbance on one message-leg class right now: the
+    /// base WAN loss stacked with every active fault-plan window covering
+    /// the leg. Clean (zero-probability) legs must make no RNG draw —
+    /// [`crate::faults::LinkDisturbance::is_clean`] is the guard — so a
+    /// run without faults consumes exactly the RNG stream it always did.
+    pub fn leg_disturbance(
+        &self,
+        leg: crate::faults::LinkScope,
+        now: SimTime,
+    ) -> crate::faults::LinkDisturbance {
+        let mut d = crate::faults::LinkDisturbance {
+            loss: self.wan.loss(),
+            duplicate: 0.0,
+            reorder: 0.0,
+        };
+        if let Some(plan) = &self.cfg.fault_plan {
+            d.combine(&plan.disturbance(leg, now));
+        }
+        d
+    }
+
+    /// True when an active fault-plan partition separates decision points
+    /// `a` and `b` at `now`.
+    pub fn partitioned(&self, a: usize, b: usize, now: SimTime) -> bool {
+        self.cfg
+            .fault_plan
+            .as_ref()
+            .is_some_and(|p| p.partitioned(a, b, now))
+    }
+
     /// Adds a fresh decision point (dynamic reconfiguration) and rebinds
     /// roughly half of the overloaded point's clients to it. Returns the
     /// new id.

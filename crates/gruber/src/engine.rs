@@ -10,7 +10,7 @@
 //!   the believed per-VO/group usage?
 
 use crate::view::{DispatchRecord, GridView};
-use gruber_types::{DpId, JobSpec, SimTime, SiteSpec};
+use gruber_types::{DpId, JobSpec, SimDuration, SimTime, SiteSpec};
 use obs::{Recorder, TraceEvent, TraceVerdict};
 use usla::{AdmissionVerdict, EntitlementEngine, Principal, ResourceKind, UslaSet, UslaStore};
 
@@ -22,6 +22,12 @@ pub struct GruberEngine {
     outgoing: Vec<DispatchRecord>,
     dispatches_recorded: u64,
     peers_merged: u64,
+    /// When the last peer exchange was folded in (`None` until the first).
+    last_merge_at: Option<SimTime>,
+    /// Largest observed gap between consecutive merges — the engine's
+    /// worst view staleness, which partitions stretch and the
+    /// degradation study reports.
+    max_merge_gap: SimDuration,
     tracer: Recorder,
     dp: DpId,
 }
@@ -35,6 +41,8 @@ impl GruberEngine {
             outgoing: Vec::new(),
             dispatches_recorded: 0,
             peers_merged: 0,
+            last_merge_at: None,
+            max_merge_gap: SimDuration::ZERO,
             tracer: Recorder::OFF,
             dp: DpId(0),
         }
@@ -74,6 +82,7 @@ impl GruberEngine {
     /// into the view. Returns how many were new.
     pub fn merge_peer_records(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
         let new = self.view.merge(records, now);
+        self.note_merge(now);
         self.peers_merged += new as u64;
         self.tracer.emit(now, || TraceEvent::ExchangeMerged {
             dp: self.dp,
@@ -100,6 +109,7 @@ impl GruberEngine {
                 new += 1;
             }
         }
+        self.note_merge(now);
         self.peers_merged += new as u64;
         self.tracer.emit(now, || TraceEvent::ExchangeMerged {
             dp: self.dp,
@@ -112,6 +122,15 @@ impl GruberEngine {
     /// Drains the outgoing dispatch log (called once per sync round).
     pub fn drain_log(&mut self) -> Vec<DispatchRecord> {
         std::mem::take(&mut self.outgoing)
+    }
+
+    /// Puts undeliverable records back on the outgoing log so the next
+    /// exchange round retransmits them. Used when a network partition
+    /// blocks a flood: a partition delays state, it must not destroy it.
+    /// (Receivers de-duplicate by job id, so peers that already hold a
+    /// record pay only the merge cost of seeing it again.)
+    pub fn requeue_outgoing(&mut self, records: Vec<DispatchRecord>) {
+        self.outgoing.extend(records);
     }
 
     /// Size of the pending outgoing log.
@@ -167,6 +186,26 @@ impl GruberEngine {
     pub fn counters(&self) -> (u64, u64) {
         (self.dispatches_recorded, self.peers_merged)
     }
+
+    fn note_merge(&mut self, now: SimTime) {
+        let prev = self.last_merge_at.unwrap_or(SimTime::ZERO);
+        self.max_merge_gap = self.max_merge_gap.max(now.since(prev));
+        self.last_merge_at = Some(now);
+    }
+
+    /// When the last peer exchange was folded in (`None` before the
+    /// first merge — e.g. a single-point deployment never merges).
+    pub fn last_merge_at(&self) -> Option<SimTime> {
+        self.last_merge_at
+    }
+
+    /// The largest gap between consecutive peer merges seen so far — the
+    /// engine's worst view staleness. Partitions stretch this: while
+    /// severed, nothing merges, so the gap grows until one post-heal
+    /// exchange round closes it.
+    pub fn max_merge_gap(&self) -> SimDuration {
+        self.max_merge_gap
+    }
 }
 
 #[cfg(test)]
@@ -184,6 +223,23 @@ mod tests {
 
     fn engine() -> GruberEngine {
         GruberEngine::new(&sites(), &equal_shares(2, 2).unwrap())
+    }
+
+    #[test]
+    fn merge_gap_tracks_worst_staleness() {
+        let mut e = engine();
+        assert_eq!(e.last_merge_at(), None);
+        assert_eq!(e.max_merge_gap(), SimDuration::ZERO);
+        e.merge_peer_records(&[], SimTime::from_secs(10));
+        assert_eq!(e.last_merge_at(), Some(SimTime::from_secs(10)));
+        assert_eq!(e.max_merge_gap(), SimDuration::from_secs(10));
+        // A long quiet spell (a partition, say) stretches the gap…
+        e.merge_peer_records(&[], SimTime::from_secs(400));
+        assert_eq!(e.max_merge_gap(), SimDuration::from_secs(390));
+        // …and prompt merges afterwards never shrink the high-water mark.
+        e.merge_peer_records(&[], SimTime::from_secs(401));
+        assert_eq!(e.max_merge_gap(), SimDuration::from_secs(390));
+        assert_eq!(e.last_merge_at(), Some(SimTime::from_secs(401)));
     }
 
     fn rec(job: u32, site: u32, cpus: u32, end_s: u64) -> DispatchRecord {

@@ -42,4 +42,4 @@ pub mod summary;
 pub use accuracy::schedule_accuracy;
 pub use jobs::{JobAggregate, JobMetricsAccumulator};
 pub use series::TimeSeries;
-pub use summary::SummaryStats;
+pub use summary::{timeouts_by_dp, SummaryStats};

@@ -31,6 +31,31 @@ impl TraceVerdict {
     }
 }
 
+/// Message class of a fault-injected or retried transmission — a
+/// dependency-free mirror of `simnet::retry::MessageClass` (obs sits below
+/// the network stack).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMsgClass {
+    /// A client → decision-point availability query.
+    Query,
+    /// A decision-point → decision-point exchange flood message.
+    Exchange,
+    /// A decision-point → client leg (availability response, dispatch
+    /// inform). Never retried — the client timeout covers it.
+    Response,
+}
+
+impl FaultMsgClass {
+    /// Stable lowercase name (used by the JSONL export).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultMsgClass::Query => "query",
+            FaultMsgClass::Exchange => "exchange",
+            FaultMsgClass::Response => "response",
+        }
+    }
+}
+
 /// One structured event on a hot path of the simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
@@ -194,6 +219,86 @@ pub enum TraceEvent {
         /// The retired decision point.
         dp: DpId,
     },
+    /// `simnet`/`digruber`: a transmission was dropped by injected or
+    /// ambient message loss.
+    MsgLost {
+        /// Which leg lost the message.
+        class: FaultMsgClass,
+        /// Destination decision point (for queries: the queried DP; for
+        /// exchanges: the intended receiver).
+        dp: DpId,
+        /// Transmission attempt that was lost (0 = original send).
+        attempt: u32,
+    },
+    /// `digruber::faults`: fault injection delivered an extra copy of a
+    /// message (duplication window).
+    MsgDuplicated {
+        /// Which leg was duplicated.
+        class: FaultMsgClass,
+        /// Destination decision point.
+        dp: DpId,
+    },
+    /// `simnet::retry`: a lost transmission was scheduled for retransmit.
+    RetryScheduled {
+        /// Which leg is retrying.
+        class: FaultMsgClass,
+        /// Destination decision point.
+        dp: DpId,
+        /// The upcoming attempt number (1 = first retransmission).
+        attempt: u32,
+    },
+    /// `simnet::retry`: the retry budget ran out — the loss is permanent.
+    RetryExhausted {
+        /// Which leg gave up.
+        class: FaultMsgClass,
+        /// Destination decision point.
+        dp: DpId,
+        /// Total transmissions made (original + retries).
+        attempts: u32,
+    },
+    /// `digruber::faults`: a scheduled network partition came into effect.
+    PartitionStarted {
+        /// Index of the partition window in the fault plan.
+        window: u32,
+        /// Number of islands the decision points are split into.
+        islands: u32,
+    },
+    /// `digruber::faults`: a network partition healed.
+    PartitionHealed {
+        /// Index of the partition window in the fault plan.
+        window: u32,
+    },
+    /// `digruber`: an exchange flood was dropped at a partition boundary.
+    ExchangeBlocked {
+        /// Sending decision point.
+        from: DpId,
+        /// Intended receiver, on the far side of the partition.
+        to: DpId,
+    },
+    /// `digruber::faults`: a link-fault window (loss / duplication /
+    /// reorder) opened.
+    LinkFaultStarted {
+        /// Index of the window in the fault plan.
+        window: u32,
+    },
+    /// `digruber::faults`: a link-fault window closed.
+    LinkFaultEnded {
+        /// Index of the window in the fault plan.
+        window: u32,
+    },
+    /// `digruber::faults`: a decision point entered a service slowdown
+    /// (degraded container profile).
+    DpSlowdown {
+        /// The degraded decision point.
+        dp: DpId,
+        /// Service-time multiplier in permille (2500 = 2.5× slower).
+        permille: u32,
+    },
+    /// `digruber::faults`: a decision point's slowdown window ended.
+    DpSlowdownEnded {
+        /// The recovered decision point.
+        dp: DpId,
+    },
     /// `grubsim`: a replay interval's backlog exceeded the burst allowance.
     ReplayOverload {
         /// Replay interval index.
@@ -236,6 +341,17 @@ impl TraceEvent {
             TraceEvent::ClientRebound { .. } => "client_rebound",
             TraceEvent::DpProvisioned { .. } => "dp_provisioned",
             TraceEvent::DpRetired { .. } => "dp_retired",
+            TraceEvent::MsgLost { .. } => "msg_lost",
+            TraceEvent::MsgDuplicated { .. } => "msg_duplicated",
+            TraceEvent::RetryScheduled { .. } => "retry_scheduled",
+            TraceEvent::RetryExhausted { .. } => "retry_exhausted",
+            TraceEvent::PartitionStarted { .. } => "partition_started",
+            TraceEvent::PartitionHealed { .. } => "partition_healed",
+            TraceEvent::ExchangeBlocked { .. } => "exchange_blocked",
+            TraceEvent::LinkFaultStarted { .. } => "link_fault_started",
+            TraceEvent::LinkFaultEnded { .. } => "link_fault_ended",
+            TraceEvent::DpSlowdown { .. } => "dp_slowdown",
+            TraceEvent::DpSlowdownEnded { .. } => "dp_slowdown_ended",
             TraceEvent::ReplayOverload { .. } => "replay_overload",
             TraceEvent::ReplayDpAdded { .. } => "replay_dp_added",
         }

@@ -6,7 +6,12 @@
 //! byte-stable — the trace-determinism test compares the full JSONL output
 //! of `--jobs 1` and `--jobs 8` runs byte for byte.
 //!
-//! ## JSONL schema (`digruber-trace/1`)
+//! ## JSONL schema (`digruber-trace/2`)
+//!
+//! (v2 added the fault-injection counters: per-bin and per-DP `lost` /
+//! `retries`, per-DP `retries_exhausted` / `duplicated` /
+//! `partition_drops`, and the run-total loss/retry/partition/slowdown
+//! fields.)
 //!
 //! One JSON object per line, discriminated by `"type"`:
 //!
@@ -63,7 +68,7 @@ fn dp_sample_line(run: &str, s: &DpSample, out: &mut String) {
         "{{\"type\":\"dp\",\"run\":\"{run}\",\"t_ms\":{},\"dp\":{},\"up\":{},\
          \"issued\":{},\"started\":{},\"queued\":{},\"rejected\":{},\
          \"completed\":{},\"answered\":{},\"late\":{},\"timeouts\":{},\
-         \"denied\":{},\"queue_depth\":{},\"staleness_ms\":",
+         \"denied\":{},\"lost\":{},\"retries\":{},\"queue_depth\":{},\"staleness_ms\":",
         s.t_ms,
         s.dp.index(),
         s.up,
@@ -76,6 +81,8 @@ fn dp_sample_line(run: &str, s: &DpSample, out: &mut String) {
         s.late,
         s.timeouts,
         s.denied,
+        s.lost,
+        s.retries,
         s.queue_depth,
     );
     match s.staleness_ms {
@@ -101,6 +108,8 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
          \"exchange_records_in\":{},\"exchanges_out\":{},\
          \"exchange_records_out\":{},\"failures\":{},\"recoveries\":{},\
          \"dropped_requests\":{},\"rebinds_gained\":{},\"rebinds_lost\":{},\
+         \"lost\":{},\"retries\":{},\"retries_exhausted\":{},\
+         \"duplicated\":{},\"partition_drops\":{},\
          \"sum_response_ms\":{},\"max_response_ms\":{},\"hist_log2_ms\":{}}}",
         t.dp.index(),
         t.issued,
@@ -123,6 +132,11 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
         t.dropped_requests,
         t.rebinds_gained,
         t.rebinds_lost,
+        t.lost,
+        t.retries,
+        t.retries_exhausted,
+        t.duplicated,
+        t.partition_drops,
         t.sum_response_ms,
         t.max_response_ms,
         hist_json(&t.hist),
@@ -130,14 +144,14 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
 }
 
 impl RunTimeline {
-    /// Renders the timeline as JSONL (schema `digruber-trace/1`); `run`
+    /// Renders the timeline as JSONL (schema `digruber-trace/2`); `run`
     /// labels every line so multiple runs can append to one file.
     pub fn to_jsonl(&self, run: &str) -> String {
         let run = json_escape(run);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/1\",\"run\":\"{run}\",\
+            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/2\",\"run\":\"{run}\",\
              \"cadence_ms\":{},\"end_ms\":{},\"dps\":{},\"raw_ring\":{},\
              \"dropped_raw\":{}}}",
             self.cadence_ms,
@@ -172,7 +186,10 @@ impl RunTimeline {
              \"accepted\":{},\"duplicates\":{},\"events_executed\":{},\
              \"cancellations\":{},\"failures\":{},\"recoveries\":{},\
              \"dropped_requests\":{},\"rebinds\":{},\"replay_overloads\":{},\
-             \"replay_dps_added\":{}}}",
+             \"replay_dps_added\":{},\"msgs_lost\":{},\"retries\":{},\
+             \"retries_exhausted\":{},\"msgs_duplicated\":{},\
+             \"partition_drops\":{},\"partitions_started\":{},\
+             \"partitions_healed\":{},\"link_windows\":{},\"slowdowns\":{}}}",
             r.issued,
             r.answered,
             r.late,
@@ -188,6 +205,15 @@ impl RunTimeline {
             r.rebinds,
             r.replay_overloads,
             r.replay_dps_added,
+            r.msgs_lost,
+            r.retries,
+            r.retries_exhausted,
+            r.msgs_duplicated,
+            r.partition_drops,
+            r.partitions_started,
+            r.partitions_healed,
+            r.link_windows,
+            r.slowdowns,
         );
         out
     }
@@ -217,6 +243,21 @@ impl RunTimeline {
                 out,
                 "  faults: {} dp failures, {} recoveries, {} requests dropped, {} client re-binds",
                 r.failures, r.recoveries, r.dropped_requests, r.rebinds
+            );
+        }
+        if r.msgs_lost + r.retries + r.msgs_duplicated + r.partition_drops > 0 {
+            let _ = writeln!(
+                out,
+                "  network: {} messages lost, {} retries ({} exhausted), \
+                 {} duplicated, {} partition drops",
+                r.msgs_lost, r.retries, r.retries_exhausted, r.msgs_duplicated, r.partition_drops
+            );
+        }
+        if r.partitions_started + r.link_windows + r.slowdowns > 0 {
+            let _ = writeln!(
+                out,
+                "  fault plan: {} partitions ({} healed), {} link-fault windows, {} slowdowns",
+                r.partitions_started, r.partitions_healed, r.link_windows, r.slowdowns
             );
         }
         if r.replay_overloads + r.replay_dps_added > 0 {
@@ -334,7 +375,7 @@ mod tests {
         let jsonl = tl.to_jsonl("test-run");
         let lines: Vec<&str> = jsonl.lines().collect();
         assert!(lines[0].contains("\"type\":\"meta\""));
-        assert!(lines[0].contains("\"schema\":\"digruber-trace/1\""));
+        assert!(lines[0].contains("\"schema\":\"digruber-trace/2\""));
         assert!(lines.last().unwrap().contains("\"type\":\"run_total\""));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");

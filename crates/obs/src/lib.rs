@@ -45,6 +45,6 @@ pub mod export;
 pub mod sink;
 pub mod timeline;
 
-pub use event::{TraceEvent, TraceVerdict};
+pub use event::{FaultMsgClass, TraceEvent, TraceVerdict};
 pub use sink::{Recorder, TraceConfig};
 pub use timeline::{DpSample, DpTotals, ResponseHistogram, RunTimeline, RunTotals, SimSample};

@@ -76,6 +76,8 @@ struct BinCounters {
     late: u64,
     timeouts: u64,
     denied: u64,
+    lost: u64,
+    retries: u64,
     sum_response_ms: u64,
     max_response_ms: u64,
 }
@@ -107,6 +109,10 @@ pub struct DpSample {
     pub timeouts: u64,
     /// USLA-denied placements.
     pub denied: u64,
+    /// Transmissions to this point dropped by message loss in the bin.
+    pub lost: u64,
+    /// Retransmissions scheduled toward this point in the bin.
+    pub retries: u64,
     /// Container backlog depth at the bin boundary (gauge).
     pub queue_depth: u32,
     /// Time since the last merged peer exchange at the bin boundary;
@@ -174,6 +180,16 @@ pub struct DpTotals {
     pub rebinds_gained: u64,
     /// Clients that re-bound *away from* this point.
     pub rebinds_lost: u64,
+    /// Transmissions to this point dropped by message loss.
+    pub lost: u64,
+    /// Retransmissions scheduled toward this point.
+    pub retries: u64,
+    /// Messages to this point whose retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Injected duplicate deliveries to this point.
+    pub duplicated: u64,
+    /// Exchange floods to this point dropped at a partition boundary.
+    pub partition_drops: u64,
     /// Sum of all response times, ms.
     pub sum_response_ms: u64,
     /// Largest response time, ms.
@@ -206,6 +222,11 @@ impl Default for DpTotals {
             dropped_requests: 0,
             rebinds_gained: 0,
             rebinds_lost: 0,
+            lost: 0,
+            retries: 0,
+            retries_exhausted: 0,
+            duplicated: 0,
+            partition_drops: 0,
             sum_response_ms: 0,
             max_response_ms: 0,
             hist: ResponseHistogram {
@@ -248,6 +269,24 @@ pub struct RunTotals {
     pub replay_overloads: u64,
     /// GRUB-SIM replay decision points added.
     pub replay_dps_added: u64,
+    /// Transmissions dropped by message loss (any class).
+    pub msgs_lost: u64,
+    /// Retransmissions scheduled by retry policies.
+    pub retries: u64,
+    /// Messages whose retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Injected duplicate deliveries.
+    pub msgs_duplicated: u64,
+    /// Exchange floods dropped at partition boundaries.
+    pub partition_drops: u64,
+    /// Partition windows that came into effect.
+    pub partitions_started: u64,
+    /// Partition windows that healed.
+    pub partitions_healed: u64,
+    /// Link-fault windows that opened.
+    pub link_windows: u64,
+    /// Decision-point slowdown windows that started.
+    pub slowdowns: u64,
 }
 
 /// Per-point rolling state inside the builder.
@@ -337,6 +376,8 @@ impl TimelineBuilder {
                 late: b.late,
                 timeouts: b.timeouts,
                 denied: b.denied,
+                lost: b.lost,
+                retries: b.retries,
                 queue_depth: st.queue_depth,
                 staleness_ms: st.last_exchange_ms.map(|t| bin_end.saturating_sub(t)),
                 sum_response_ms: b.sum_response_ms,
@@ -484,6 +525,44 @@ impl TimelineBuilder {
             TraceEvent::DpRetired { dp } => {
                 self.dp(dp).up = false;
             }
+            TraceEvent::MsgLost { dp, .. } => {
+                let st = self.dp(dp);
+                st.bin.lost += 1;
+                st.tot.lost += 1;
+                self.totals.msgs_lost += 1;
+            }
+            TraceEvent::MsgDuplicated { dp, .. } => {
+                self.dp(dp).tot.duplicated += 1;
+                self.totals.msgs_duplicated += 1;
+            }
+            TraceEvent::RetryScheduled { dp, .. } => {
+                let st = self.dp(dp);
+                st.bin.retries += 1;
+                st.tot.retries += 1;
+                self.totals.retries += 1;
+            }
+            TraceEvent::RetryExhausted { dp, .. } => {
+                self.dp(dp).tot.retries_exhausted += 1;
+                self.totals.retries_exhausted += 1;
+            }
+            TraceEvent::PartitionStarted { .. } => {
+                self.totals.partitions_started += 1;
+            }
+            TraceEvent::PartitionHealed { .. } => {
+                self.totals.partitions_healed += 1;
+            }
+            TraceEvent::ExchangeBlocked { to, .. } => {
+                self.dp(to).tot.partition_drops += 1;
+                self.totals.partition_drops += 1;
+            }
+            TraceEvent::LinkFaultStarted { .. } => {
+                self.totals.link_windows += 1;
+            }
+            TraceEvent::LinkFaultEnded { .. } => {}
+            TraceEvent::DpSlowdown { .. } => {
+                self.totals.slowdowns += 1;
+            }
+            TraceEvent::DpSlowdownEnded { .. } => {}
             TraceEvent::ReplayOverload { .. } => {
                 self.totals.replay_overloads += 1;
             }

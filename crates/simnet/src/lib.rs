@@ -40,7 +40,9 @@
 
 pub mod codec;
 pub mod latency;
+pub mod retry;
 pub mod service;
 
 pub use latency::{LatencyModel, WanTopology};
+pub use retry::{MessageClass, RetryConfig, RetryPolicy};
 pub use service::{ServiceProfile, ServiceStation};

@@ -139,6 +139,10 @@ pub struct ServiceStation {
     /// Bumped on every crash; completions scheduled before a crash carry
     /// the old generation and must be discarded by the caller.
     generation: u64,
+    /// Service-time multiplier (1.0 = nominal). Fault injection degrades a
+    /// station by raising this; requests already in service keep the
+    /// completion time they were issued.
+    slowdown: f64,
     /// Trace sink ([`Recorder::OFF`] unless installed) and the decision
     /// point this station belongs to, for event attribution.
     tracer: Recorder,
@@ -157,6 +161,7 @@ impl ServiceStation {
             peak_backlog: 0,
             rejected: 0,
             generation: 0,
+            slowdown: 1.0,
             tracer: Recorder::OFF,
             node: DpId(0),
         }
@@ -205,6 +210,34 @@ impl ServiceStation {
         self.generation
     }
 
+    /// Current service-time multiplier (1.0 = nominal).
+    pub fn slowdown(&self) -> f64 {
+        self.slowdown
+    }
+
+    /// Degrades (factor > 1) or restores (factor = 1) the station: every
+    /// request *admitted from now on* serves `factor`× slower. Requests
+    /// already in service keep their issued completion time.
+    pub fn set_slowdown(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 1.0,
+            "slowdown factor out of range"
+        );
+        self.slowdown = factor;
+    }
+
+    /// One service-time draw under the current slowdown. The multiplier is
+    /// applied outside the draw so a degraded station consumes exactly the
+    /// same RNG stream as a nominal one (determinism across fault plans).
+    fn draw_service_time(&self, payload_kb: f64, rng: &mut DetRng) -> SimDuration {
+        let t = self.profile.service_time(payload_kb, rng);
+        if self.slowdown == 1.0 {
+            t
+        } else {
+            SimDuration::from_secs_f64(t.as_secs_f64() * self.slowdown)
+        }
+    }
+
     /// The container crashes: every in-service and queued request is lost
     /// and the generation counter bumps so stale completion events can be
     /// recognized. Returns how many requests were dropped.
@@ -251,7 +284,7 @@ impl ServiceStation {
             });
             Admission::Started(StartedRequest {
                 tag,
-                service_time: self.profile.service_time(payload_kb, rng),
+                service_time: self.draw_service_time(payload_kb, rng),
             })
         } else if self.backlog.len() < self.profile.queue_limit {
             self.backlog.push_back((tag, payload_kb));
@@ -305,7 +338,7 @@ impl ServiceStation {
             });
             Some(StartedRequest {
                 tag,
-                service_time: self.profile.service_time(payload_kb, rng),
+                service_time: self.draw_service_time(payload_kb, rng),
             })
         } else {
             None
@@ -394,6 +427,35 @@ mod tests {
             / 200.0;
         assert!(small > 0.0);
         assert!(big > small + 1.0, "marshalling cost invisible: {small} vs {big}");
+    }
+
+    #[test]
+    fn slowdown_scales_service_time_without_extra_draws() {
+        let p = ServiceProfile::gt3();
+        let mut a = ServiceStation::new(p.clone());
+        let mut b = ServiceStation::new(p);
+        b.set_slowdown(2.5);
+        let mut ra = rng();
+        let mut rb = rng();
+        let Admission::Started(sa) = a.arrive(0, 5.0, &mut ra) else {
+            panic!("worker free")
+        };
+        let Admission::Started(sb) = b.arrive(0, 5.0, &mut rb) else {
+            panic!("worker free")
+        };
+        let ratio = sb.service_time.as_secs_f64() / sa.service_time.as_secs_f64();
+        assert!((ratio - 2.5).abs() < 0.01, "ratio {ratio}");
+        // The multiplier must not perturb the RNG stream: the next draw
+        // from both stations' rngs agrees.
+        assert_eq!(ra.next_u64(), rb.next_u64());
+        b.set_slowdown(1.0);
+        assert_eq!(b.slowdown(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slowdown_below_one_is_rejected() {
+        ServiceStation::new(ServiceProfile::gt3()).set_slowdown(0.5);
     }
 
     #[test]

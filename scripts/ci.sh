@@ -17,4 +17,23 @@ cargo test -q --workspace --offline
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
+echo "==> experiments degradation --fast (fault-injection smoke)"
+./target/release/experiments degradation --fast > /dev/null
+test -s BENCH_degradation.json || { echo "ci.sh: BENCH_degradation.json missing"; exit 1; }
+test -s results/timeline_degradation.txt || { echo "ci.sh: degradation timelines missing"; exit 1; }
+
+echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS exists)"
+missing=0
+for doc in README.md ARCHITECTURE.md FAULTS.md; do
+  # Markdown link targets that look like local paths (skip URLs and anchors).
+  for target in $(grep -o '](\([^)#]*\))' "$doc" | sed 's/](\(.*\))/\1/' \
+                  | grep -v '^[a-z][a-z0-9+.-]*:' | sort -u); do
+    if [ ! -e "$target" ]; then
+      echo "ci.sh: $doc links to missing file: $target"
+      missing=1
+    fi
+  done
+done
+[ "$missing" -eq 0 ] || exit 1
+
 echo "ci.sh: all green"

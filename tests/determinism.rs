@@ -209,3 +209,74 @@ fn snapshot_fingerprints_discriminate_specs() {
         output_fingerprint(again[0].output.as_ref().unwrap())
     );
 }
+
+/// Fault-injection specs: every fault clause kind and both retrying
+/// policies in play, tracing on (the fault layer only narrates through
+/// the trace), three decision points.
+fn fault_plan_specs() -> Vec<RunSpec> {
+    use digruber::faults::FaultPlan;
+    use simnet::{RetryConfig, RetryPolicy};
+    let fixed = RetryConfig {
+        query: RetryPolicy::fixed_default(),
+        exchange: RetryPolicy::fixed_default(),
+    };
+    let plans: [(&str, &str, RetryConfig); 3] = [
+        ("partition", "partition@120..300=0,1|2", RetryConfig::NONE),
+        ("loss+expjitter", "loss@0..720=0.25", RetryConfig::resilient()),
+        (
+            "kitchen-sink+fixed",
+            "loss.client@60..600=0.15; dup.dpdp@0..720=0.35; reorder@100..500=0.2; \
+             slow@120..360=1x2.5; crash@200=2+90",
+            fixed,
+        ),
+    ];
+    plans
+        .into_iter()
+        .map(|(name, plan, retry)| {
+            let mut spec = reduced_paper_spec(ServiceKind::Gt3, 3, 2005);
+            spec.label = format!("faults: {name}");
+            spec.cfg.trace = Some(obs::TraceConfig::default());
+            spec.cfg.fault_plan = Some(FaultPlan::parse(plan).expect("test plan"));
+            spec.cfg.retry = retry;
+            spec
+        })
+        .collect()
+}
+
+#[test]
+fn fault_plans_stay_deterministic_across_jobs() {
+    // Injected faults and retries draw from the same seeded RNG streams
+    // as everything else, so a faulted run — trace bytes included — must
+    // still be a pure function of its spec, not of the worker count.
+    let specs = fault_plan_specs();
+    let serial = run_specs(&specs, 1);
+    let parallel = run_specs(&specs, 4);
+    for ((s, p), spec) in serial.iter().zip(&parallel).zip(&specs) {
+        let s_out = s.output.as_ref().expect("serial run failed");
+        let p_out = p.output.as_ref().expect("parallel run failed");
+        assert_eq!(s_out, p_out, "{:?} diverged across --jobs", spec.label);
+        assert_eq!(output_fingerprint(s_out), output_fingerprint(p_out));
+        let s_tl = s_out.timeline.as_ref().expect("traced");
+        let p_tl = p_out.timeline.as_ref().expect("traced");
+        assert!(
+            s_tl.to_jsonl(&spec.label) == p_tl.to_jsonl(&spec.label),
+            "{:?}: trace bytes diverged across --jobs",
+            spec.label
+        );
+    }
+    // The plans actually bit: each spec's signature fault shows in its
+    // trace totals (a plan that never fires pins nothing).
+    let totals: Vec<_> = serial
+        .iter()
+        .map(|m| m.output.as_ref().unwrap().timeline.as_ref().unwrap().totals.clone())
+        .collect();
+    assert_eq!(totals[0].partitions_started, 1);
+    assert_eq!(totals[0].partitions_healed, 1);
+    assert!(totals[0].partition_drops > 0, "no flood hit the partition");
+    assert!(totals[1].msgs_lost > 0, "25% loss dropped nothing");
+    assert!(totals[1].retries > 0, "expjitter never retried");
+    assert!(totals[2].msgs_duplicated > 0, "duplication never fired");
+    assert_eq!(totals[2].slowdowns, 1);
+    assert_eq!(totals[2].failures, 1, "planned crash missing");
+    assert_eq!(totals[2].recoveries, 1, "planned restart missing");
+}
