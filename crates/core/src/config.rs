@@ -46,41 +46,12 @@ impl WanKind {
     }
 }
 
-/// Information-dissemination strategy between decision points
-/// (paper Section 3.5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Dissemination {
-    /// First approach: exchange both resource-usage info and USLAs.
-    UsageAndUslas,
-    /// Second approach (the paper's experiments): exchange only usage.
-    UsageOnly,
-    /// Third approach: no exchange; each decision point relies on its own
-    /// observations.
-    NoExchange,
-}
-
-/// Exchange topology between decision points.
-///
-/// The paper's experiments connect the points "in a mesh, a simple
-/// configuration that is adopted to simplify analysis"; its related-work
-/// discussion frames the deployment as a two-layer P2P network, and its
-/// future work calls out "different methods of information dissemination".
-/// The non-mesh topologies forward third-party records transitively
-/// (records are de-duplicated by job id, so forwarding loops terminate).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum SyncTopology {
-    /// Every decision point floods every peer directly (the paper).
-    FullMesh,
-    /// Each point sends only to its successor; records travel the ring.
-    Ring,
-    /// Decision point 0 acts as a hub: leaves exchange through it.
-    Star,
-    /// Each point sends to `fanout` random peers per round.
-    Gossip {
-        /// Peers contacted per round.
-        fanout: usize,
-    },
-}
+// The dissemination strategy and exchange topology are protocol-level
+// concepts and live in the sans-IO protocol core, shared by every runtime;
+// re-exported here so `digruber::SyncTopology` / `digruber::Dissemination`
+// keep working.
+pub use dpnode::Dissemination;
+pub use dpnode::Topology as SyncTopology;
 
 /// Decision-point failure injection (paper Section 2.2: "another problem
 /// often encountered in large distributed environments concerns service

@@ -54,7 +54,7 @@ pub fn monitor_tick(w: &mut World, s: &mut Scheduler<World>) {
     let mut all_idle = true;
     for i in 0..w.dps.len() {
         let smp = sample(w, DpId(i as u32), cfg.overload_backlog);
-        if w.dps[i].up && w.dps[i].station.load() > 0 {
+        if w.dps[i].up() && w.dps[i].station.load() > 0 {
             all_idle = false;
         }
         if smp.saturated {
@@ -74,7 +74,7 @@ pub fn monitor_tick(w: &mut World, s: &mut Scheduler<World>) {
         } else {
             w.idle_strikes = 0;
         }
-        let live = w.dps.iter().filter(|d| d.up).count();
+        let live = w.dps.iter().filter(|d| d.up()).count();
         if w.idle_strikes >= cfg.idle_strikes_to_retire && live > cfg.min_dps.max(w.cfg.n_dps)
         {
             if let Some(retired) = w.retire_decision_point(now) {
@@ -198,12 +198,12 @@ mod tests {
         sim.run_until(SimTime::from_secs(600));
         let w = sim.world();
         assert_eq!(w.retire_log.len(), 1, "idle added point never retired");
-        assert!(!w.dps[1].up, "retired point still up");
-        assert!(w.dps[0].up, "initial point must never be retired");
-        let live = w.dps.iter().filter(|d| d.up).count();
+        assert!(!w.dps[1].up(), "retired point still up");
+        assert!(w.dps[0].up(), "initial point must never be retired");
+        let live = w.dps.iter().filter(|d| d.up()).count();
         assert_eq!(live, 1);
         // Clients all point at live decision points.
-        assert!(w.clients.iter().all(|c| w.dps[c.dp.index()].up));
+        assert!(w.clients.iter().all(|c| w.dps[c.dp.index()].up()));
     }
 
     #[test]

@@ -20,11 +20,19 @@
 //! without considering USLAs" and moves on; the decision point may still
 //! burn service time on the stale request (its response is dropped),
 //! which is what makes saturation self-reinforcing.
+//!
+//! Since the sans-IO refactor the protocol itself lives in
+//! [`dpnode::DpNode`]; the handlers below are the *driver*: they map desim
+//! events to node inputs and node effects back to scheduled events, and
+//! own everything about delivery — WAN latency, loss/duplication/reorder,
+//! retry/backoff ([`simnet::retry`]) and partition checks
+//! ([`crate::faults`]).
 
 use crate::faults::LinkScope;
 use crate::world::{client_node, dp_node, RequestState, World};
 use desim::Scheduler;
 use diperf::RequestTrace;
+use dpnode::{Effect, FloodPayload, Input};
 use gruber::DispatchRecord;
 use gruber_metrics::schedule_accuracy;
 use gruber_types::{ClientId, DpId, JobId, JobSpec, SiteId};
@@ -153,7 +161,7 @@ pub fn request_arrives(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
         return;
     };
     let dp_idx = req.dp.index();
-    if !w.dps[dp_idx].up {
+    if !w.dps[dp_idx].up() {
         // The decision point is down: the connection fails silently and
         // the client only learns of it through its timeout.
         return;
@@ -197,11 +205,17 @@ pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag:
     };
     let client = req.client;
     let dp = req.dp;
-    let denied = if w.cfg.enforce_uslas {
-        let job = req.job.clone();
-        !w.dps[dp_idx].engine.admission(&job, now).admitted()
+    let admission = if w.cfg.enforce_uslas {
+        Some(req.job.clone())
     } else {
-        false
+        None
+    };
+    let mut fx = Vec::new();
+    w.dps[dp_idx]
+        .node
+        .handle(now, Input::QueryArrived { admission }, &mut fx);
+    let Some(Effect::Reply { free, denied }) = fx.pop() else {
+        return; // the point went down; the client's timeout covers it
     };
     let d = w.leg_disturbance(LinkScope::ClientDp, now);
     if d.loss > 0.0 && w.net_rng.chance(d.loss) {
@@ -215,12 +229,6 @@ pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag:
         });
         return;
     }
-    let free = match &w.dps[dp_idx].monitor_free {
-        // Monitor mode: answer from the latest monitoring snapshot.
-        Some(snapshot) => snapshot.clone(),
-        // Paper mode: answer from dispatch tracking.
-        None => w.dps[dp_idx].engine.availability(now),
-    };
     // The availability response is the big payload ("the transport of
     // significant state"): charge its serialization over the link.
     let payload_bytes =
@@ -335,7 +343,10 @@ pub fn response_arrives(
         s.schedule_in(l_inform, move |w, s| {
             let now = s.now();
             if let Some(dp_state) = w.dps.get_mut(dp.index()) {
-                dp_state.engine.record_dispatch(record, now);
+                // An inform reaching a crashed point is lost with it (the
+                // node drops inputs while down); the client never knows.
+                let mut fx = Vec::new();
+                dp_state.node.handle(now, Input::Inform(record), &mut fx);
             }
         });
     } else {
@@ -443,61 +454,32 @@ pub fn job_complete(w: &mut World, s: &mut Scheduler<World>, job: JobId) {
     }
 }
 
-/// The peers decision point `i` contacts in one round, per topology.
-pub fn sync_peers_of(w: &mut World, i: usize) -> Vec<usize> {
-    use crate::config::SyncTopology;
-    let n = w.dps.len();
-    if n <= 1 {
-        return Vec::new();
-    }
-    match w.cfg.topology {
-        SyncTopology::FullMesh => (0..n).filter(|&j| j != i).collect(),
-        SyncTopology::Ring => vec![(i + 1) % n],
-        SyncTopology::Star => {
-            if i == 0 {
-                (1..n).collect()
-            } else {
-                vec![0]
-            }
-        }
-        SyncTopology::Gossip { fanout } => {
-            let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
-            w.misc_rng.shuffle(&mut others);
-            others.truncate(fanout.min(n - 1));
-            others
-        }
-    }
-}
-
 /// One exchange round: every decision point sends its dispatch log (and,
 /// in `UsageAndUslas` mode, its USLA deltas) to its topology peers.
+///
+/// Peer selection and payload assembly live in the node
+/// ([`dpnode::sync_peers_of`] — shared with the live and replay
+/// runtimes); this event only turns each [`Effect::FloodTo`] into
+/// per-peer transmissions. A crashed point neither floods nor drains its
+/// log (the node checks its own liveness); what it brokered before the
+/// crash goes out when it recovers and rejoins the next round.
 ///
 /// Under the paper's full mesh, receivers merge without re-flooding; under
 /// ring/star/gossip they forward transitively so records still reach every
 /// point within a few rounds.
 pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
-    use crate::config::{Dissemination, SyncTopology};
     let now = s.now();
     if w.exchanges_state() {
-        let forward = w.cfg.topology != SyncTopology::FullMesh;
-        for i in 0..w.dps.len() {
-            if !w.dps[i].up {
-                // A crashed point neither floods nor drains its log; what
-                // it brokered before the crash goes out when it recovers
-                // and rejoins the next round.
-                continue;
-            }
-            let log = w.dps[i].engine.drain_log();
-            let usla_delta = if w.cfg.dissemination == Dissemination::UsageAndUslas {
-                w.dps[i].engine.uslas().delta_since(0)
-            } else {
-                Vec::new()
-            };
-            if log.is_empty() && usla_delta.is_empty() {
-                continue;
-            }
-            for j in sync_peers_of(w, i) {
-                send_exchange(w, s, i, j, log.clone(), usla_delta.clone(), forward, 0);
+        let n_dps = w.dps.len();
+        let mut fx = Vec::new();
+        for i in 0..n_dps {
+            w.dps[i].node.handle(now, Input::SyncTick { n_dps }, &mut fx);
+            for effect in fx.drain(..) {
+                if let Effect::FloodTo { peers, payload } = effect {
+                    for j in peers {
+                        send_exchange(w, s, i, j, payload.clone(), 0);
+                    }
+                }
             }
         }
     }
@@ -513,19 +495,16 @@ pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
 /// dropped on arrival — no exchange ever crosses a partition boundary.
 /// `ExchangeSent` is emitted only for delivered sends, so the exchange
 /// counters keep their pre-fault meaning.
-#[allow(clippy::too_many_arguments)]
 pub fn send_exchange(
     w: &mut World,
     s: &mut Scheduler<World>,
     i: usize,
     j: usize,
-    log: Vec<DispatchRecord>,
-    usla_delta: Vec<usla::store::VersionedEntry>,
-    forward: bool,
+    payload: FloodPayload,
     attempt: u32,
 ) {
     let now = s.now();
-    if w.dps.get(i).is_none_or(|d| !d.up) {
+    if w.dps.get(i).is_none_or(|d| !d.up()) {
         return; // the sender crashed while this retry waited
     }
     let from = DpId(i as u32);
@@ -539,8 +518,8 @@ pub fn send_exchange(
         // retransmits them — a partition delays state, it must not
         // destroy it, which is what lets views reconverge within one
         // post-heal exchange round.
-        if !retry_exchange(w, s, i, j, log.clone(), usla_delta, forward, attempt) {
-            w.dps[i].engine.requeue_outgoing(log);
+        if !retry_exchange(w, s, i, j, payload.clone(), attempt) {
+            w.dps[i].node.requeue(&payload);
         }
         return;
     }
@@ -551,17 +530,18 @@ pub fn send_exchange(
             dp: to,
             attempt,
         });
-        retry_exchange(w, s, i, j, log, usla_delta, forward, attempt);
+        retry_exchange(w, s, i, j, payload, attempt);
         return;
     }
-    let flood_bytes = (simnet::codec::deltas_payload_kb(log.len()) * 1024.0) as u64;
+    let flood_bytes =
+        (simnet::codec::deltas_payload_kb(payload.n_records as usize) * 1024.0) as u64;
     let mut lat = w
         .wan
         .transfer_time(dp_node(from), dp_node(to), flood_bytes, &mut w.net_rng);
     if d.reorder > 0.0 && w.net_rng.chance(d.reorder) {
         lat = lat + w.wan.sample(dp_node(from), dp_node(to), &mut w.net_rng);
     }
-    let records = log.len() as u32;
+    let records = payload.n_records;
     w.trace
         .emit(now, || obs::TraceEvent::ExchangeSent { from, to, records });
     if d.duplicate > 0.0 && w.net_rng.chance(d.duplicate) {
@@ -569,32 +549,27 @@ pub fn send_exchange(
             class: FaultMsgClass::Exchange,
             dp: to,
         });
-        let log2 = log.clone();
-        let delta2 = usla_delta.clone();
+        let payload2 = payload.clone();
         let lat2 = w
             .wan
             .transfer_time(dp_node(from), dp_node(to), flood_bytes, &mut w.net_rng);
         // The duplicate merge is idempotent (views de-duplicate by job
         // id); its cost is the second container-side merge.
-        s.schedule_in(lat2, move |w, s| {
-            exchange_arrives(w, s, i, j, log2, delta2, forward)
-        });
+        s.schedule_in(lat2, move |w, s| exchange_arrives(w, s, i, j, payload2));
     }
-    s.schedule_in(lat, move |w, s| {
-        exchange_arrives(w, s, i, j, log, usla_delta, forward)
-    });
+    s.schedule_in(lat, move |w, s| exchange_arrives(w, s, i, j, payload));
 }
 
 /// A flood reaches its receiver — unless a partition window opened while
-/// it was in flight, in which case it is dropped at the boundary.
+/// it was in flight, in which case it is dropped at the boundary. The
+/// receiving node owns the rest (liveness check, decode, merge,
+/// transitive forwarding under non-mesh topologies).
 fn exchange_arrives(
     w: &mut World,
     s: &mut Scheduler<World>,
     i: usize,
     j: usize,
-    log: Vec<DispatchRecord>,
-    usla_delta: Vec<usla::store::VersionedEntry>,
-    forward: bool,
+    payload: FloodPayload,
 ) {
     let now = s.now();
     if w.partitioned(i, j, now) {
@@ -605,32 +580,22 @@ fn exchange_arrives(
         return;
     }
     if let Some(dp) = w.dps.get_mut(j) {
-        if !dp.up {
-            return; // flood arrived at a crashed point
-        }
-        if forward {
-            dp.engine.merge_peer_records_forwarding(&log, now);
-        } else {
-            dp.engine.merge_peer_records(&log, now);
-        }
-        dp.engine.uslas_mut().merge_delta(&usla_delta);
+        let mut fx = Vec::new();
+        dp.node.handle(now, Input::PeerRecords(payload), &mut fx);
     }
 }
 
 /// Consults the exchange retry policy after a failed transmission
 /// attempt. Returns whether a retry was scheduled; on `false` the caller
-/// decides the records' fate (a lost flood stays lost — the paper's
+/// decides the payload's fate (a lost flood stays lost — the paper's
 /// fire-and-forget staleness hit — while a partition-blocked one is
 /// requeued for the next round).
-#[allow(clippy::too_many_arguments)]
 fn retry_exchange(
     w: &mut World,
     s: &mut Scheduler<World>,
     i: usize,
     j: usize,
-    log: Vec<DispatchRecord>,
-    usla_delta: Vec<usla::store::VersionedEntry>,
-    forward: bool,
+    payload: FloodPayload,
     attempt: u32,
 ) -> bool {
     let now = s.now();
@@ -644,9 +609,7 @@ fn retry_exchange(
                 dp: to,
                 attempt: next,
             });
-            s.schedule_in(wait, move |w, s| {
-                send_exchange(w, s, i, j, log, usla_delta, forward, next)
-            });
+            s.schedule_in(wait, move |w, s| send_exchange(w, s, i, j, payload, next));
             true
         }
         None => {
@@ -673,7 +636,7 @@ pub fn monitor_refresh(w: &mut World, s: &mut Scheduler<World>) {
     let now = s.now();
     let snapshot = w.grid.free_cpus_per_site();
     for dp in &mut w.dps {
-        dp.monitor_free = Some(snapshot.clone());
+        dp.node.set_monitor_snapshot(snapshot.clone());
     }
     if now < w.end {
         s.schedule_in(interval.max(gruber_types::SimDuration::SECOND), monitor_refresh);
@@ -732,7 +695,7 @@ mod tests {
 
         // The decision point learned about each dispatch via the inform leg
         // (the last inform may still be in flight when the clock stops).
-        let (own, merged) = w.dps[0].engine.counters();
+        let (own, merged) = w.dps[0].node.engine().counters();
         assert!(own >= traces.len() as u64 - 1, "{own} informs for {} traces", traces.len());
         assert_eq!(merged, 0);
         // Accuracy was recorded for every handled placement.
@@ -742,7 +705,7 @@ mod tests {
     #[test]
     fn dead_decision_point_forces_timeout_and_random_placement() {
         let mut sim = Simulation::new(tiny_world(1));
-        sim.world_mut().dps[0].up = false;
+        sim.world_mut().dps[0].node.set_up(false);
         sim.scheduler()
             .schedule_at(SimTime::ZERO, |w: &mut World, s| client_start(w, s, ClientId(0)));
         // Run past the 30 s timeout.
@@ -785,38 +748,15 @@ mod tests {
         let w = sim.world();
         let bound = w.clients[0].dp.index();
         let other = 1 - bound;
-        let (own_b, merged_b) = w.dps[bound].engine.counters();
-        let (own_o, merged_o) = w.dps[other].engine.counters();
+        let (own_b, merged_b) = w.dps[bound].node.engine().counters();
+        let (own_o, merged_o) = w.dps[other].node.engine().counters();
         assert!(own_b >= 1);
         assert_eq!(own_o, 0);
         assert!(merged_o >= 1, "peer never learned of the dispatch");
         assert_eq!(merged_b, 0);
     }
 
-    #[test]
-    fn sync_peers_reflect_topology() {
-        use crate::config::SyncTopology;
-        // 4 decision points for the topology checks.
-        let wl = WorkloadSpec {
-            n_clients: 1,
-            duration: SimDuration::from_mins(5),
-            ..WorkloadSpec::small()
-        };
-        let mut w = World::new(DigruberConfig::small(4, 3), wl).unwrap();
-
-        w.cfg.topology = SyncTopology::FullMesh;
-        assert_eq!(sync_peers_of(&mut w, 1), vec![0, 2, 3]);
-
-        w.cfg.topology = SyncTopology::Ring;
-        assert_eq!(sync_peers_of(&mut w, 3), vec![0]);
-
-        w.cfg.topology = SyncTopology::Star;
-        assert_eq!(sync_peers_of(&mut w, 0), vec![1, 2, 3]);
-        assert_eq!(sync_peers_of(&mut w, 2), vec![0]);
-
-        w.cfg.topology = SyncTopology::Gossip { fanout: 2 };
-        let peers = sync_peers_of(&mut w, 1);
-        assert_eq!(peers.len(), 2);
-        assert!(!peers.contains(&1));
-    }
+    // Peer selection moved into the shared protocol core with the sans-IO
+    // refactor; `dpnode::topology` carries the per-topology unit tests
+    // (including the gossip fanout clamp and single-point edge cases).
 }

@@ -555,10 +555,10 @@ pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
 /// and planned [`CrashEvent`]s. Returns whether the point actually
 /// crashed (it may already be down, or the run may be over).
 pub fn crash_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
-    if now >= w.end || dp_idx >= w.dps.len() || !w.dps[dp_idx].up {
+    if now >= w.end || dp_idx >= w.dps.len() || !w.dps[dp_idx].up() {
         return false;
     }
-    w.dps[dp_idx].up = false;
+    w.dps[dp_idx].node.set_up(false);
     w.dps[dp_idx].station.crash_at(now);
     w.trace.emit(now, || TraceEvent::DpFailed {
         dp: DpId(dp_idx as u32),
@@ -572,10 +572,10 @@ pub fn crash_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
 /// reading its journal; losing it too would only deepen the accuracy
 /// dip). Returns whether the point actually recovered.
 pub fn restore_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
-    if dp_idx >= w.dps.len() || w.dps[dp_idx].up {
+    if dp_idx >= w.dps.len() || w.dps[dp_idx].up() {
         return false;
     }
-    w.dps[dp_idx].up = true;
+    w.dps[dp_idx].node.set_up(true);
     w.trace.emit(now, || TraceEvent::DpRecovered {
         dp: DpId(dp_idx as u32),
     });
@@ -672,7 +672,7 @@ pub fn note_client_timeout(w: &mut World, client: ClientId, now: SimTime) {
     let n = w.dps.len();
     // Pick a different decision point, preferring ones currently up.
     let candidates: Vec<usize> = (0..n)
-        .filter(|&j| j != old.index() && w.dps[j].up)
+        .filter(|&j| j != old.index() && w.dps[j].up())
         .collect();
     let c = &mut w.clients[client.index()];
     let pick = if candidates.is_empty() {
@@ -767,7 +767,7 @@ mod tests {
         sim.run_until(SimTime::from_secs(2));
         let w = sim.world();
         assert_eq!(w.dps[0].station.load(), 0);
-        assert!(!w.dps[0].up);
+        assert!(!w.dps[0].up());
         let tl = w.trace.finish(SimTime::from_secs(2)).unwrap();
         assert_eq!(tl.totals.failures, 1);
         assert_eq!(tl.totals.dropped_requests, 7);
@@ -811,7 +811,7 @@ mod tests {
         // flood's WAN delivery), so the in-flight exchange is lost.
         sim.scheduler().schedule_at(SimTime::from_secs(5), |w, s| {
             let now = s.now();
-            w.dps[0].engine.record_dispatch(rec(1), now);
+            w.dps[0].node.engine_mut().record_dispatch(rec(1), now);
         });
         sim.scheduler()
             .schedule_at(SimTime::from_secs(10), sync_round);
@@ -822,14 +822,14 @@ mod tests {
             .schedule_at(SimTime::from_secs(60), |w, s| dp_repair(w, s, 1));
         sim.scheduler().schedule_at(SimTime::from_secs(100), |w, s| {
             let now = s.now();
-            w.dps[0].engine.record_dispatch(rec(2), now);
+            w.dps[0].node.engine_mut().record_dispatch(rec(2), now);
         });
         sim.run_until(SimTime::from_secs(200));
         let w = sim.world();
-        assert!(w.dps[1].up);
+        assert!(w.dps[1].up());
         // The crashed round's record never arrived; the post-recovery round
         // did. Exactly one merged record, and it is job 2's.
-        let (_, merged) = w.dps[1].engine.counters();
+        let (_, merged) = w.dps[1].node.engine().counters();
         assert_eq!(merged, 1, "recovered DP must rejoin the next round");
         let tl = w.trace.finish(SimTime::from_secs(200)).unwrap();
         let t1 = tl.dp_totals.iter().find(|t| t.dp == DpId(1)).unwrap();
@@ -879,24 +879,24 @@ mod tests {
         // it into an active partition.
         sim.scheduler().schedule_at(SimTime::from_secs(5), |w, s| {
             let now = s.now();
-            w.dps[0].engine.record_dispatch(rec(1), now);
+            w.dps[0].node.engine_mut().record_dispatch(rec(1), now);
         });
         sim.scheduler()
             .schedule_at(SimTime::from_secs(10), sync_round);
         // Mid-partition probe: nothing crossed the boundary — the views
         // have diverged (dp1 knows nothing of job 1).
         sim.scheduler().schedule_at(SimTime::from_secs(90), |w, _| {
-            let (_, merged) = w.dps[1].engine.counters();
+            let (_, merged) = w.dps[1].node.engine().counters();
             assert_eq!(merged, 0, "exchange crossed an active partition");
         });
         sim.run_until(SimTime::from_secs(300));
         let w = sim.world();
         // The blocked flood's records were requeued, so the first post-heal
         // round (t=190 s; heal at t=100 s) retransmits and reconverges.
-        let (_, merged) = w.dps[1].engine.counters();
+        let (_, merged) = w.dps[1].node.engine().counters();
         assert_eq!(merged, 1, "views must reconverge within one post-heal round");
         assert!(
-            w.dps[1].engine.last_merge_at().expect("merged post-heal")
+            w.dps[1].node.engine().last_merge_at().expect("merged post-heal")
                 >= SimTime::from_secs(190)
         );
         let tl = w.trace.finish(SimTime::from_secs(300)).unwrap();

@@ -1,43 +1,62 @@
 //! Live mode: the decision-point protocol on real OS threads.
 //!
 //! The discrete-event simulator proves the *scaling* claims; this module
-//! proves the protocol logic is transport-agnostic by running each decision
-//! point on its own thread, exchanging the exact wire payloads
-//! (`simnet::codec`) over crossbeam channels. Queries block the caller with
-//! a real timeout (`recv_timeout`), mirroring the paper's client behaviour.
+//! proves the protocol logic is transport-agnostic by running **the same
+//! [`dpnode::DpNode`] state machine the simulator drives** on one thread
+//! per decision point, exchanging the exact wire payloads
+//! (`simnet::codec`) over crossbeam channels. Queries block the caller
+//! with a real timeout (`recv_timeout`), mirroring the paper's client
+//! behaviour.
+//!
+//! The thread body is pure driver glue: it maps channel messages to node
+//! inputs and node effects back to channel sends — every protocol
+//! decision (what to flood, to whom, what merges, liveness) happens
+//! inside the node, so sim and live behaviour are structurally identical
+//! (see `tests/sim_live_equivalence.rs` for the proof obligation).
 //!
 //! This is deliberately a small deployment harness, not a second
 //! simulator: no grid emulation, no workload loop — integration tests and
 //! the `live_cluster` example drive it directly.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use gruber::{DispatchRecord, GruberEngine};
+use dpnode::{
+    delta_to_record, record_to_delta, Dissemination, DpNode, Effect, FloodPayload, Input,
+    NodeConfig, Topology,
+};
+use gruber::DispatchRecord;
 use gruber_types::{DpId, SimTime, SiteSpec};
 use parking_lot::Mutex;
-use simnet::codec::{decode_deltas, encode_deltas, DispatchDelta};
+use simnet::codec::{decode_inform, encode_inform};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use usla::UslaSet;
 
-/// Messages a decision-point thread consumes.
+/// Messages a decision-point thread consumes. These are the channel
+/// envelopes only — protocol handling lives in [`DpNode`]; payload-bearing
+/// variants carry the exact `simnet::codec` wire bytes.
 enum LiveMsg {
     /// Availability query; reply with believed free CPUs per site.
     Query {
         reply: Sender<Vec<u32>>,
     },
-    /// A client informs the point of its dispatch decision.
-    Inform(DispatchRecord),
+    /// A client informs the point of its dispatch decision
+    /// ([`simnet::codec::encode_inform`] bytes).
+    Inform(bytes::Bytes),
     /// Flood the pending dispatch log to all peers (sent by the ticker).
     SyncTick,
-    /// Encoded peer dispatch records.
+    /// A peer's encoded dispatch records
+    /// ([`simnet::codec::encode_deltas`] bytes).
     PeerRecords(bytes::Bytes),
     /// Terminate the thread.
     Shutdown,
 }
 
-/// Statistics a decision-point thread reports at shutdown.
+/// Statistics a decision-point thread reports at shutdown — the node's
+/// own protocol counters ([`dpnode::DpNodeStats`]), so live runs
+/// reconcile against the sim's obs timeline totals (`floods_sent` ≙
+/// `exchanges_out`, `records_merged` ≙ fresh `exchange_records_in`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LiveDpStats {
     /// The decision point.
@@ -46,10 +65,16 @@ pub struct LiveDpStats {
     pub queries: u64,
     /// Informs folded in.
     pub informs: u64,
-    /// Peer records merged.
-    pub peer_records: u64,
-    /// Sync floods sent.
-    pub floods: u64,
+    /// Peer records merged that were new to this point's view.
+    pub records_merged: u64,
+    /// Per-peer flood sends (one sync round to two peers counts two).
+    pub floods_sent: u64,
+    /// Sync rounds that produced a flood (empty-log ticks are silent).
+    pub sync_rounds: u64,
+    /// FNV-1a 64 over the wire bytes of every flood payload this point
+    /// produced, in order (byte-identity probe for the sim/live
+    /// equivalence test).
+    pub flood_hash: u64,
 }
 
 struct DpThread {
@@ -80,7 +105,8 @@ impl LiveCluster {
         let epoch = Instant::now();
 
         // Create all channels first so every thread can hold every peer's
-        // sender.
+        // sender (indexed by decision-point id, as `Effect::FloodTo`
+        // names peers by index).
         let channels: Vec<(Sender<LiveMsg>, Receiver<LiveMsg>)> =
             (0..n_dps).map(|_| unbounded()).collect();
         let senders: Vec<Sender<LiveMsg>> = channels.iter().map(|(s, _)| s.clone()).collect();
@@ -89,16 +115,23 @@ impl LiveCluster {
             .into_iter()
             .enumerate()
             .map(|(i, (sender, receiver))| {
-                let peers: Vec<Sender<LiveMsg>> = senders
-                    .iter()
-                    .enumerate()
-                    .filter(|&(j, _)| j != i)
-                    .map(|(_, s)| s.clone())
-                    .collect();
-                let engine = GruberEngine::new(&sites, uslas);
+                let node = DpNode::new(
+                    NodeConfig {
+                        id: DpId(i as u32),
+                        // Live mode reproduces the paper's deployment: full
+                        // mesh, usage-only dissemination, ticker-clocked.
+                        topology: Topology::FullMesh,
+                        dissemination: Dissemination::UsageOnly,
+                        sync_every: None,
+                        gossip_seed: 0,
+                    },
+                    &sites,
+                    uslas,
+                );
+                let peers = senders.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("dp-{i}"))
-                    .spawn(move || dp_main(DpId(i as u32), engine, receiver, peers, epoch))
+                    .spawn(move || dp_main(node, receiver, peers, epoch))
                     .expect("spawn dp thread");
                 DpThread { sender, handle }
             })
@@ -164,9 +197,12 @@ impl LiveCluster {
         reply_rx.recv_timeout(timeout).ok()
     }
 
-    /// Informs a decision point of a dispatch decision.
+    /// Informs a decision point of a dispatch decision. The record
+    /// crosses the channel in its wire form
+    /// ([`simnet::codec::encode_inform`]).
     pub fn inform(&self, dp: DpId, record: DispatchRecord) {
-        let _ = self.dps[dp.index()].sender.send(LiveMsg::Inform(record));
+        let bytes = encode_inform(&record_to_delta(&record));
+        let _ = self.dps[dp.index()].sender.send(LiveMsg::Inform(bytes));
     }
 
     /// Forces an immediate sync round (useful in tests instead of waiting
@@ -297,81 +333,56 @@ pub fn drive_workload(
     totals.into_inner()
 }
 
+/// The thread body: driver glue only. Channel messages become node
+/// inputs; node effects become replies and peer sends. Any protocol
+/// change made in [`DpNode`] is picked up here with zero code changes.
 fn dp_main(
-    id: DpId,
-    engine: GruberEngine,
+    mut node: DpNode,
     receiver: Receiver<LiveMsg>,
     peers: Vec<Sender<LiveMsg>>,
     epoch: Instant,
 ) -> LiveDpStats {
-    // Mutex is unnecessary for single-thread access but keeps the engine
-    // shareable if a container ever serves queries from a pool; parking_lot
-    // keeps it cheap.
-    let engine = Mutex::new(engine);
-    let mut stats = LiveDpStats {
-        dp: id,
-        queries: 0,
-        informs: 0,
-        peer_records: 0,
-        floods: 0,
-    };
+    let n_dps = peers.len();
     let now = || SimTime(epoch.elapsed().as_millis() as u64);
+    let mut fx: Vec<Effect> = Vec::new();
     for msg in receiver.iter() {
-        match msg {
+        let input = match msg {
             LiveMsg::Query { reply } => {
-                stats.queries += 1;
-                let free = engine.lock().availability(now());
-                let _ = reply.send(free);
-            }
-            LiveMsg::Inform(rec) => {
-                stats.informs += 1;
-                engine.lock().record_dispatch(rec, now());
-            }
-            LiveMsg::SyncTick => {
-                let log = engine.lock().drain_log();
-                if log.is_empty() {
-                    continue;
+                node.handle(now(), Input::QueryArrived { admission: None }, &mut fx);
+                for effect in fx.drain(..) {
+                    if let Effect::Reply { free, .. } = effect {
+                        let _ = reply.send(free);
+                    }
                 }
-                stats.floods += 1;
-                let wire: Vec<DispatchDelta> = log
-                    .iter()
-                    .map(|r| DispatchDelta {
-                        job: r.job,
-                        site: r.site,
-                        vo: r.vo,
-                        group: r.group,
-                        cpus: r.cpus,
-                        dispatched_at: r.dispatched_at,
-                        est_finish: r.est_finish,
-                    })
-                    .collect();
-                let bytes = encode_deltas(&wire);
-                for p in &peers {
-                    let _ = p.send(LiveMsg::PeerRecords(bytes.clone()));
-                }
+                continue;
             }
-            LiveMsg::PeerRecords(bytes) => {
-                if let Ok(wire) = decode_deltas(bytes) {
-                    let records: Vec<DispatchRecord> = wire
-                        .iter()
-                        .map(|d| DispatchRecord {
-                            job: d.job,
-                            site: d.site,
-                            vo: d.vo,
-                            group: d.group,
-                            cpus: d.cpus,
-                            dispatched_at: d.dispatched_at,
-                            est_finish: d.est_finish,
-                        })
-                        .collect();
-                    stats.peer_records +=
-                        engine.lock().merge_peer_records(&records, now()) as u64;
-                }
-            }
+            LiveMsg::Inform(bytes) => match decode_inform(bytes) {
+                Ok(delta) => Input::Inform(delta_to_record(&delta)),
+                Err(_) => continue, // malformed inform: dropped whole
+            },
+            LiveMsg::SyncTick => Input::SyncTick { n_dps },
+            LiveMsg::PeerRecords(bytes) => Input::PeerRecords(FloodPayload::from_wire(bytes)),
             LiveMsg::Shutdown => break,
+        };
+        node.handle(now(), input, &mut fx);
+        for effect in fx.drain(..) {
+            if let Effect::FloodTo { peers: to, payload } = effect {
+                for j in to {
+                    let _ = peers[j].send(LiveMsg::PeerRecords(payload.records.clone()));
+                }
+            }
         }
     }
-    stats
+    let s = node.stats();
+    LiveDpStats {
+        dp: node.id(),
+        queries: s.queries,
+        informs: s.informs,
+        records_merged: s.records_merged,
+        floods_sent: s.floods_sent,
+        sync_rounds: s.sync_rounds,
+        flood_hash: s.flood_hash,
+    }
 }
 
 #[cfg(test)]
@@ -452,8 +463,15 @@ mod tests {
         let stats = cluster.shutdown();
         let dp0 = &stats[0];
         assert_eq!(dp0.informs, 1);
-        assert!(dp0.floods >= 1);
-        assert_eq!(stats[1].peer_records, 1);
+        assert_eq!(dp0.sync_rounds, 1, "one non-empty flood round");
+        assert_eq!(dp0.floods_sent, 1, "one peer in a 2-point mesh");
+        assert_ne!(
+            dp0.flood_hash,
+            dpnode::DpNodeStats::default().flood_hash,
+            "flood hash must cover the sent payload"
+        );
+        assert_eq!(stats[1].records_merged, 1);
+        assert_eq!(stats[1].sync_rounds, 0, "nothing to flood from DP 1");
     }
 
     #[test]
@@ -475,7 +493,11 @@ mod tests {
             assert!(Instant::now() < deadline, "ticker sync never converged");
             std::thread::sleep(Duration::from_millis(10));
         }
-        cluster.shutdown();
+        let stats = cluster.shutdown();
+        // Both peers merged DP 2's single record, surfaced per point.
+        assert_eq!(stats[0].records_merged, 1);
+        assert_eq!(stats[1].records_merged, 1);
+        assert_eq!(stats[2].floods_sent, 2, "one flood to each mesh peer");
     }
 
     #[test]

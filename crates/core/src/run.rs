@@ -222,8 +222,8 @@ fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize
             // The worst gap between merges, or the tail gap to the end of
             // the run if that is longer (a point that never merged is
             // stale for the whole run).
-            let tail = end.since(dp.engine.last_merge_at().unwrap_or(SimTime::ZERO));
-            dp.engine.max_merge_gap().max(tail).as_millis()
+            let tail = end.since(dp.node.engine().last_merge_at().unwrap_or(SimTime::ZERO));
+            dp.node.engine().max_merge_gap().max(tail).as_millis()
         })
         .collect();
     let report = w.collector.report(label, end);

@@ -3,8 +3,9 @@
 use crate::config::{DigruberConfig, Dissemination};
 use desim::DetRng;
 use diperf::{Collector, RampSchedule};
+use dpnode::{DpNode, NodeConfig};
 use gridemu::{grid3_times, Grid, SitePolicy};
-use gruber::{GruberEngine, SiteSelector};
+use gruber::SiteSelector;
 use gruber_types::{
     ClientId, DpId, GridResult, JobId, JobSpec, SimTime, SiteSpec,
 };
@@ -14,19 +15,25 @@ use std::collections::HashMap;
 use usla::UslaSet;
 use workload::{uslas::equal_shares, JobFactory, WorkloadSpec};
 
-/// One decision point: a GRUBER engine behind a web-service station.
+/// One decision point: the shared protocol state machine behind a
+/// web-service station. The simulation drives [`DpNode`] exactly like the
+/// live and replay runtimes do; only delivery (latency, loss, retries,
+/// partitions) is simulated out here in the driver.
 pub struct DecisionPoint {
     /// The decision point's id.
     pub id: DpId,
-    /// Brokering core (view + USLA store + dispatch log).
-    pub engine: GruberEngine,
+    /// The sans-IO protocol core (engine + topology + flood log +
+    /// liveness).
+    pub node: DpNode,
     /// The GT service container in front of it.
     pub station: ServiceStation,
+}
+
+impl DecisionPoint {
     /// Whether the point is currently alive (failure injection).
-    pub up: bool,
-    /// Latest site-monitor snapshot (free CPUs per site), when the
-    /// deployment runs in monitor mode.
-    pub monitor_free: Option<Vec<u32>>,
+    pub fn up(&self) -> bool {
+        self.node.up()
+    }
 }
 
 /// One submission host / tester client.
@@ -161,17 +168,23 @@ impl World {
         let dps: Vec<DecisionPoint> = (0..cfg.n_dps)
             .map(|i| {
                 let id = DpId(i as u32);
-                let mut engine = GruberEngine::new(&site_specs, &uslas);
+                let mut node = DpNode::new(
+                    NodeConfig {
+                        id,
+                        topology: cfg.topology,
+                        dissemination: cfg.dissemination,
+                        // The sim clocks exchanges itself (the `sync_round`
+                        // event), so nodes never request timers.
+                        sync_every: None,
+                        gossip_seed: cfg.seed,
+                    },
+                    &site_specs,
+                    &uslas,
+                );
                 let mut station = ServiceStation::new(cfg.service.profile());
-                engine.set_tracer(trace.clone(), id);
+                node.set_tracer(trace.clone());
                 station.set_tracer(trace.clone(), id);
-                DecisionPoint {
-                    id,
-                    engine,
-                    station,
-                    up: true,
-                    monitor_free: None,
-                }
+                DecisionPoint { id, node, station }
             })
             .collect();
         let mut misc_rng = DetRng::new(cfg.seed, 0xB1AD);
@@ -266,9 +279,19 @@ impl World {
     /// new id.
     pub fn add_decision_point(&mut self, now: SimTime, overloaded: DpId) -> DpId {
         let new_id = DpId(self.dps.len() as u32);
-        let mut engine = GruberEngine::new(&self.site_specs, &self.uslas);
+        let mut node = DpNode::new(
+            NodeConfig {
+                id: new_id,
+                topology: self.cfg.topology,
+                dissemination: self.cfg.dissemination,
+                sync_every: None,
+                gossip_seed: self.cfg.seed,
+            },
+            &self.site_specs,
+            &self.uslas,
+        );
         let mut station = ServiceStation::new(self.cfg.service.profile());
-        engine.set_tracer(self.trace.clone(), new_id);
+        node.set_tracer(self.trace.clone());
         station.set_tracer(self.trace.clone(), new_id);
         self.trace.emit(now, || obs::TraceEvent::DpProvisioned {
             dp: new_id,
@@ -276,10 +299,8 @@ impl World {
         });
         self.dps.push(DecisionPoint {
             id: new_id,
-            engine,
+            node,
             station,
-            up: true,
-            monitor_free: None,
         });
         self.dp_strikes.push(0);
         let mut moved = false;
@@ -306,16 +327,16 @@ impl World {
     /// (marked down, never again addressed) so ids remain stable.
     pub fn retire_decision_point(&mut self, now: SimTime) -> Option<DpId> {
         let last = self.dps.len() - 1;
-        if last < self.cfg.n_dps || !self.dps[last].up {
+        if last < self.cfg.n_dps || !self.dps[last].up() {
             return None;
         }
-        self.dps[last].up = false;
+        self.dps[last].node.set_up(false);
         self.dps[last].station.crash_at(now);
         let retired = DpId(last as u32);
         self.trace
             .emit(now, || obs::TraceEvent::DpRetired { dp: retired });
         let targets: Vec<u32> = (0..last as u32)
-            .filter(|&j| self.dps[j as usize].up)
+            .filter(|&j| self.dps[j as usize].up())
             .collect();
         if !targets.is_empty() {
             for c in &mut self.clients {

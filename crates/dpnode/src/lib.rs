@@ -1,0 +1,49 @@
+//! The decision-point protocol, as a pure state machine.
+//!
+//! The paper's central claim is that DI-GRUBER's *protocol* — query →
+//! availability → dispatch → inform, plus the periodic peer flooding of
+//! recent dispatch records — is what scales, independent of the GT3/GT4
+//! transport it rides on. This crate is that protocol with the transport
+//! removed: a [`DpNode`] consumes typed [`Input`]s and returns typed
+//! [`Effect`]s, and owns **no** clock, channel, scheduler or socket. The
+//! caller supplies `now` with every input and executes the effects however
+//! it likes (sans-IO).
+//!
+//! Three runtimes drive the same node:
+//!
+//! ```text
+//!                      ┌───────────────────────────┐
+//!   desim events ────▶ │                           │ ────▶ scheduled events
+//!   (digruber::events) │                           │       (retry/faults in driver)
+//!                      │   DpNode::handle(now,     │
+//!   crossbeam msgs ──▶ │        Input) -> Effects  │ ────▶ channel sends
+//!   (digruber::live)   │                           │
+//!                      │  (engine + topology +     │
+//!   trace records ───▶ │   flood log + stats)      │ ────▶ replay report
+//!   (grubsim::protocol)└───────────────────────────┘
+//! ```
+//!
+//! What stays *outside* the node, by design:
+//!
+//! * **Time** — every [`DpNode::handle`] call takes `now: SimTime`.
+//! * **Delivery** — [`Effect::FloodTo`] names peer indices; the driver
+//!   decides latency, loss, retry/backoff, partitions ([`simnet::retry`]
+//!   and `digruber::faults` live at the driver layer).
+//! * **Timers** — the node *requests* re-arming via [`Effect::SetTimer`];
+//!   drivers with their own cadence (the sim's `sync_round` event, live
+//!   mode's ticker thread) simply feed [`Input::SyncTick`] instead.
+//!
+//! Peer selection ([`sync_peers_of`]) lives here too, so FullMesh / Ring /
+//! Star / Gossip behave identically in every runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod node;
+mod topology;
+
+pub use node::{
+    delta_to_record, record_to_delta, DpNode, DpNodeStats, Effect, FloodPayload, Input,
+    NodeConfig, NodeEvent,
+};
+pub use topology::{sync_peers_of, Dissemination, Topology};

@@ -1,0 +1,719 @@
+//! The [`DpNode`] state machine: inputs in, effects out, no IO.
+
+use crate::topology::{sync_peers_of, Dissemination, Topology};
+use bytes::Bytes;
+use desim::DetRng;
+use gruber::{DispatchRecord, GruberEngine};
+use gruber_types::{DpId, JobSpec, SimDuration, SimTime, SiteSpec};
+use simnet::codec::{decode_deltas, encode_deltas, DispatchDelta};
+use usla::store::VersionedEntry;
+use usla::UslaSet;
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Converts an in-memory dispatch record to its wire form.
+pub fn record_to_delta(r: &DispatchRecord) -> DispatchDelta {
+    DispatchDelta {
+        job: r.job,
+        site: r.site,
+        vo: r.vo,
+        group: r.group,
+        cpus: r.cpus,
+        dispatched_at: r.dispatched_at,
+        est_finish: r.est_finish,
+    }
+}
+
+/// Converts a wire dispatch delta back to the in-memory record.
+pub fn delta_to_record(d: &DispatchDelta) -> DispatchRecord {
+    DispatchRecord {
+        job: d.job,
+        site: d.site,
+        vo: d.vo,
+        group: d.group,
+        cpus: d.cpus,
+        dispatched_at: d.dispatched_at,
+        est_finish: d.est_finish,
+    }
+}
+
+/// One exchange flood, as it leaves a node: the dispatch records already
+/// in wire form (every runtime ships these exact bytes), plus the typed
+/// USLA deltas of `UsageAndUslas` dissemination.
+#[derive(Debug, Clone)]
+pub struct FloodPayload {
+    /// Wire-encoded dispatch records ([`simnet::codec::encode_deltas`]).
+    pub records: Bytes,
+    /// Record count, read from the payload's length header.
+    pub n_records: u32,
+    /// USLA deltas riding along (empty under `UsageOnly`/`NoExchange`).
+    pub uslas: Vec<VersionedEntry>,
+}
+
+impl FloodPayload {
+    /// Wraps raw wire bytes received from a peer (no USLA deltas). The
+    /// count header is read opportunistically for accounting; a malformed
+    /// payload still fails properly at decode time.
+    pub fn from_wire(records: Bytes) -> Self {
+        let head = records.as_ref();
+        let n_records = if head.len() >= 4 {
+            u32::from_le_bytes([head[0], head[1], head[2], head[3]])
+        } else {
+            0
+        };
+        FloodPayload {
+            records,
+            n_records,
+            uslas: Vec::new(),
+        }
+    }
+
+    /// Decodes the dispatch records. Truncated or malformed payloads
+    /// error; they never half-merge.
+    pub fn decode(&self) -> Result<Vec<DispatchRecord>, gruber_types::GridError> {
+        let deltas = decode_deltas(self.records.clone())?;
+        Ok(deltas.iter().map(delta_to_record).collect())
+    }
+}
+
+/// Everything that can happen *to* a decision point.
+///
+/// The driver is responsible for delivery semantics (latency, loss,
+/// retries, partitions); by the time an input reaches the node, it has
+/// arrived.
+#[derive(Debug, Clone)]
+pub enum Input {
+    /// An availability query reached the container and was served.
+    /// `admission` carries the job when the deployment enforces USLAs
+    /// (`None` reproduces the paper's recommender-only mode).
+    QueryArrived {
+        /// Job to run the USLA admission check against, if enforcing.
+        admission: Option<JobSpec>,
+    },
+    /// A client informs the point of the dispatch it just performed.
+    Inform(DispatchRecord),
+    /// An externally-clocked exchange round fired (the sim's `sync_round`
+    /// event, live mode's ticker thread).
+    SyncTick {
+        /// Current deployment size (dynamic mode grows it at runtime).
+        n_dps: usize,
+    },
+    /// A node-requested timer (armed via [`Effect::SetTimer`]) fired.
+    /// Floods like [`Input::SyncTick`], then requests re-arming.
+    TimerFired {
+        /// Current deployment size.
+        n_dps: usize,
+    },
+    /// A peer's exchange flood arrived.
+    PeerRecords(FloodPayload),
+    /// The point crashed (`up: false`) or restarted (`up: true`). Engine
+    /// state persists across a crash — what the point brokered before
+    /// going down floods out when it rejoins the next round.
+    CrashRestart {
+        /// New liveness state.
+        up: bool,
+    },
+}
+
+/// Everything a decision point asks its driver to do.
+#[derive(Debug, Clone)]
+pub enum Effect {
+    /// Ship the availability response back to the querying client.
+    Reply {
+        /// Believed free CPUs per site.
+        free: Vec<u32>,
+        /// USLA admission denied the job (enforcing deployments only).
+        denied: bool,
+    },
+    /// Send one flood to each listed peer. The driver owns latency, loss,
+    /// retry and partition checks per leg.
+    FloodTo {
+        /// Peer indices chosen by [`sync_peers_of`].
+        peers: Vec<usize>,
+        /// The payload every peer receives (identical bytes).
+        payload: FloodPayload,
+    },
+    /// Arm a timer that feeds back [`Input::TimerFired`] after `after`.
+    /// Only requested when the node is configured to self-clock
+    /// ([`NodeConfig::sync_every`]); externally-clocked drivers never see
+    /// it.
+    SetTimer {
+        /// Delay until the timer fires.
+        after: SimDuration,
+    },
+    /// A node-level observation for drivers that want it (the engine's
+    /// own `obs` events are emitted directly through its tracer).
+    TraceEmit(NodeEvent),
+}
+
+/// Node-level observations surfaced via [`Effect::TraceEmit`]. Drivers may
+/// ignore these; the engine's structured `obs` events are unaffected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// A sync round drained a non-empty log into a flood.
+    FloodPrepared {
+        /// Dispatch records in the flood.
+        records: u32,
+    },
+    /// An incoming peer payload failed to decode and was dropped whole.
+    PayloadRejected,
+}
+
+/// Protocol counters a node keeps about itself, identical across
+/// runtimes — the basis of the sim/live equivalence test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DpNodeStats {
+    /// Availability queries served.
+    pub queries: u64,
+    /// Client informs folded into the view.
+    pub informs: u64,
+    /// Sync rounds that actually produced a flood payload (empty-log
+    /// rounds are silent).
+    pub sync_rounds: u64,
+    /// Per-peer flood sends requested (one `FloodTo` to three peers
+    /// counts three).
+    pub floods_sent: u64,
+    /// Dispatch records shipped in flood payloads (per payload, not per
+    /// peer copy).
+    pub records_flooded: u64,
+    /// Peer floods merged.
+    pub floods_merged: u64,
+    /// Peer records that were new to this node's view when merged.
+    pub records_merged: u64,
+    /// Incoming payloads dropped because they failed to decode.
+    pub decode_failures: u64,
+    /// Crash transitions observed.
+    pub crashes: u64,
+    /// FNV-1a 64 over the wire bytes of every flood payload this node
+    /// produced, in order — byte-identical protocol behaviour across
+    /// runtimes shows up as equal hashes.
+    pub flood_hash: u64,
+}
+
+impl Default for DpNodeStats {
+    fn default() -> Self {
+        DpNodeStats {
+            queries: 0,
+            informs: 0,
+            sync_rounds: 0,
+            floods_sent: 0,
+            records_flooded: 0,
+            floods_merged: 0,
+            records_merged: 0,
+            decode_failures: 0,
+            crashes: 0,
+            flood_hash: FNV_OFFSET,
+        }
+    }
+}
+
+/// Static configuration of one [`DpNode`].
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// The decision point's identity (also its peer index).
+    pub id: DpId,
+    /// Exchange topology this node selects peers under.
+    pub topology: Topology,
+    /// What the node disseminates each round.
+    pub dissemination: Dissemination,
+    /// When `Some`, the node self-clocks: its first
+    /// [`Input::TimerFired`] must be scheduled by the driver, after which
+    /// every flood round requests the next via [`Effect::SetTimer`].
+    /// `None` for externally-clocked drivers feeding [`Input::SyncTick`].
+    pub sync_every: Option<SimDuration>,
+    /// Seed for the gossip peer-selection stream (only drawn from under
+    /// `Topology::Gossip` with a sub-mesh fanout).
+    pub gossip_seed: u64,
+}
+
+/// One decision point's protocol state machine: the GRUBER engine (view +
+/// USLA store + outgoing flood log) plus topology, liveness and counters.
+/// Pure sans-IO — see the crate docs for the driver contract.
+#[derive(Debug)]
+pub struct DpNode {
+    id: DpId,
+    engine: GruberEngine,
+    topology: Topology,
+    dissemination: Dissemination,
+    sync_every: Option<SimDuration>,
+    gossip_rng: DetRng,
+    monitor_free: Option<Vec<u32>>,
+    up: bool,
+    stats: DpNodeStats,
+}
+
+impl DpNode {
+    /// Builds a node over full static site knowledge and a USLA set.
+    pub fn new(cfg: NodeConfig, sites: &[SiteSpec], uslas: &UslaSet) -> Self {
+        DpNode {
+            id: cfg.id,
+            engine: GruberEngine::new(sites, uslas),
+            topology: cfg.topology,
+            dissemination: cfg.dissemination,
+            sync_every: cfg.sync_every,
+            gossip_rng: DetRng::new(cfg.gossip_seed, 0xD15C ^ u64::from(cfg.id.0)),
+            monitor_free: None,
+            up: true,
+            stats: DpNodeStats::default(),
+        }
+    }
+
+    /// The node's identity.
+    pub fn id(&self) -> DpId {
+        self.id
+    }
+
+    /// Whether the point is currently alive.
+    pub fn up(&self) -> bool {
+        self.up
+    }
+
+    /// Driver-side liveness toggle — equivalent to feeding
+    /// [`Input::CrashRestart`].
+    pub fn set_up(&mut self, up: bool) {
+        if self.up && !up {
+            self.stats.crashes += 1;
+        }
+        self.up = up;
+    }
+
+    /// Protocol counters so far.
+    pub fn stats(&self) -> DpNodeStats {
+        self.stats
+    }
+
+    /// Read access to the brokering engine (counters, staleness probes).
+    pub fn engine(&self) -> &GruberEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the brokering engine. Driver glue and tests
+    /// only — protocol steps must go through [`DpNode::handle`].
+    pub fn engine_mut(&mut self) -> &mut GruberEngine {
+        &mut self.engine
+    }
+
+    /// Installs a trace recorder on the engine, attributed to this node.
+    pub fn set_tracer(&mut self, tracer: obs::Recorder) {
+        self.engine.set_tracer(tracer, self.id);
+    }
+
+    /// Installs a fresh site-monitor snapshot; subsequent queries answer
+    /// from it instead of from dispatch tracking (monitor-mode
+    /// deployments).
+    pub fn set_monitor_snapshot(&mut self, free: Vec<u32>) {
+        self.monitor_free = Some(free);
+    }
+
+    /// Puts an undeliverable flood back on the outgoing log so the next
+    /// round retransmits it (the driver calls this when its delivery of a
+    /// [`Effect::FloodTo`] was blocked by a partition and the retry
+    /// budget ran out — a partition delays state, it must not destroy
+    /// it).
+    pub fn requeue(&mut self, payload: &FloodPayload) {
+        if let Ok(records) = payload.decode() {
+            self.engine.requeue_outgoing(records);
+        }
+    }
+
+    /// Feeds one input at time `now`; effects are appended to `out`.
+    ///
+    /// A down node consumes nothing except [`Input::CrashRestart`] (and a
+    /// [`Input::TimerFired`] still re-arms, so a self-clocked node
+    /// resumes flooding after a restart).
+    pub fn handle(&mut self, now: SimTime, input: Input, out: &mut Vec<Effect>) {
+        match input {
+            Input::CrashRestart { up } => self.set_up(up),
+            Input::QueryArrived { admission } => {
+                if !self.up {
+                    return;
+                }
+                self.stats.queries += 1;
+                let denied = match admission {
+                    Some(job) => !self.engine.admission(&job, now).admitted(),
+                    None => false,
+                };
+                let free = match &self.monitor_free {
+                    // Monitor mode: answer from the latest snapshot.
+                    Some(snapshot) => snapshot.clone(),
+                    // Paper mode: answer from dispatch tracking.
+                    None => self.engine.availability(now),
+                };
+                out.push(Effect::Reply { free, denied });
+            }
+            Input::Inform(record) => {
+                if !self.up {
+                    return; // an inform reaching a crashed point is lost
+                }
+                self.stats.informs += 1;
+                self.engine.record_dispatch(record, now);
+            }
+            Input::SyncTick { n_dps } => self.flood(now, n_dps, out),
+            Input::TimerFired { n_dps } => {
+                self.flood(now, n_dps, out);
+                if let Some(every) = self.sync_every {
+                    out.push(Effect::SetTimer { after: every });
+                }
+            }
+            Input::PeerRecords(payload) => {
+                if !self.up {
+                    return; // flood arrived at a crashed point
+                }
+                let records = match payload.decode() {
+                    Ok(records) => records,
+                    Err(_) => {
+                        self.stats.decode_failures += 1;
+                        out.push(Effect::TraceEmit(NodeEvent::PayloadRejected));
+                        return;
+                    }
+                };
+                // Non-mesh topologies forward transitively: records new to
+                // this node re-enter its own outgoing log (de-duplication
+                // by job id terminates forwarding loops).
+                let fresh = if self.topology == Topology::FullMesh {
+                    self.engine.merge_peer_records(&records, now)
+                } else {
+                    self.engine.merge_peer_records_forwarding(&records, now)
+                };
+                self.stats.floods_merged += 1;
+                self.stats.records_merged += fresh as u64;
+                self.engine.uslas_mut().merge_delta(&payload.uslas);
+            }
+        }
+    }
+
+    /// One exchange round: drain the log (and, under `UsageAndUslas`, the
+    /// USLA deltas), pick peers, emit a single [`Effect::FloodTo`] with
+    /// the wire payload every peer receives. Silent when there is nothing
+    /// to send; records are discarded when there are no peers to send to
+    /// (a single-point deployment floods into the void).
+    fn flood(&mut self, _now: SimTime, n_dps: usize, out: &mut Vec<Effect>) {
+        if !self.up || self.dissemination == Dissemination::NoExchange {
+            // A crashed point neither floods nor drains its log; what it
+            // brokered before the crash goes out when it rejoins.
+            return;
+        }
+        let log = self.engine.drain_log();
+        let uslas = if self.dissemination == Dissemination::UsageAndUslas {
+            self.engine.uslas().delta_since(0)
+        } else {
+            Vec::new()
+        };
+        if log.is_empty() && uslas.is_empty() {
+            return;
+        }
+        let deltas: Vec<DispatchDelta> = log.iter().map(record_to_delta).collect();
+        let records = encode_deltas(&deltas);
+        self.stats.sync_rounds += 1;
+        self.stats.records_flooded += log.len() as u64;
+        self.stats.flood_hash = fnv1a(self.stats.flood_hash, records.as_ref());
+        out.push(Effect::TraceEmit(NodeEvent::FloodPrepared {
+            records: log.len() as u32,
+        }));
+        let peers = sync_peers_of(self.topology, self.id.index(), n_dps, &mut self.gossip_rng);
+        if peers.is_empty() {
+            return;
+        }
+        self.stats.floods_sent += peers.len() as u64;
+        out.push(Effect::FloodTo {
+            peers,
+            payload: FloodPayload {
+                n_records: log.len() as u32,
+                records,
+                uslas,
+            },
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::{GroupId, JobId, SiteId, VoId};
+    use workload::uslas::equal_shares;
+
+    fn sites() -> Vec<SiteSpec> {
+        (0..4)
+            .map(|i| SiteSpec::single_cluster(SiteId(i), 16))
+            .collect()
+    }
+
+    fn node(id: u32) -> DpNode {
+        DpNode::new(
+            NodeConfig {
+                id: DpId(id),
+                topology: Topology::FullMesh,
+                dissemination: Dissemination::UsageOnly,
+                sync_every: None,
+                gossip_seed: 7,
+            },
+            &sites(),
+            &equal_shares(2, 2).unwrap(),
+        )
+    }
+
+    fn rec(job: u32, site: u32, cpus: u32) -> DispatchRecord {
+        DispatchRecord {
+            job: JobId(job),
+            site: SiteId(site),
+            vo: VoId(0),
+            group: GroupId(0),
+            cpus,
+            dispatched_at: SimTime::ZERO,
+            est_finish: SimTime::from_secs(3600),
+        }
+    }
+
+    fn drive(n: &mut DpNode, input: Input) -> Vec<Effect> {
+        let mut out = Vec::new();
+        n.handle(SimTime::from_secs(1), input, &mut out);
+        out
+    }
+
+    #[test]
+    fn query_replies_with_availability() {
+        let mut n = node(0);
+        drive(&mut n, Input::Inform(rec(1, 0, 8)));
+        let fx = drive(&mut n, Input::QueryArrived { admission: None });
+        match &fx[..] {
+            [Effect::Reply { free, denied }] => {
+                assert_eq!(free, &vec![8, 16, 16, 16]);
+                assert!(!denied);
+            }
+            other => panic!("expected one Reply, got {other:?}"),
+        }
+        assert_eq!(n.stats().queries, 1);
+        assert_eq!(n.stats().informs, 1);
+    }
+
+    #[test]
+    fn monitor_snapshot_overrides_dispatch_tracking() {
+        let mut n = node(0);
+        drive(&mut n, Input::Inform(rec(1, 0, 8)));
+        n.set_monitor_snapshot(vec![5, 5, 5, 5]);
+        let fx = drive(&mut n, Input::QueryArrived { admission: None });
+        match &fx[..] {
+            [Effect::Reply { free, .. }] => assert_eq!(free, &vec![5, 5, 5, 5]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sync_tick_floods_drained_log_to_mesh_peers() {
+        let mut n = node(0);
+        drive(&mut n, Input::Inform(rec(1, 0, 2)));
+        drive(&mut n, Input::Inform(rec(2, 1, 3)));
+        let fx = drive(&mut n, Input::SyncTick { n_dps: 3 });
+        let flood = fx.iter().find_map(|e| match e {
+            Effect::FloodTo { peers, payload } => Some((peers.clone(), payload.clone())),
+            _ => None,
+        });
+        let (peers, payload) = flood.expect("no FloodTo");
+        assert_eq!(peers, vec![1, 2]);
+        assert_eq!(payload.n_records, 2);
+        assert_eq!(payload.decode().unwrap(), vec![rec(1, 0, 2), rec(2, 1, 3)]);
+        assert_eq!(n.stats().sync_rounds, 1);
+        assert_eq!(n.stats().floods_sent, 2);
+        assert_eq!(n.stats().records_flooded, 2);
+        // Empty log: the next tick is silent.
+        assert!(drive(&mut n, Input::SyncTick { n_dps: 3 }).is_empty());
+    }
+
+    #[test]
+    fn single_node_discards_flood_into_the_void() {
+        let mut n = node(0);
+        drive(&mut n, Input::Inform(rec(1, 0, 2)));
+        let fx = drive(&mut n, Input::SyncTick { n_dps: 1 });
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::FloodTo { .. })),
+            "{fx:?}"
+        );
+        // The log was drained anyway: next round has nothing to send.
+        assert!(drive(&mut n, Input::SyncTick { n_dps: 1 }).is_empty());
+    }
+
+    #[test]
+    fn peer_records_merge_without_reflooding_under_mesh() {
+        let mut a = node(0);
+        let mut b = node(1);
+        drive(&mut a, Input::Inform(rec(1, 0, 4)));
+        let fx = drive(&mut a, Input::SyncTick { n_dps: 2 });
+        let payload = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::FloodTo { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive(&mut b, Input::PeerRecords(payload));
+        assert_eq!(b.stats().floods_merged, 1);
+        assert_eq!(b.stats().records_merged, 1);
+        // b must NOT re-flood what it merged from a.
+        assert!(drive(&mut b, Input::SyncTick { n_dps: 2 }).is_empty());
+    }
+
+    #[test]
+    fn non_mesh_topologies_forward_fresh_records() {
+        let mk = |id| {
+            DpNode::new(
+                NodeConfig {
+                    id: DpId(id),
+                    topology: Topology::Ring,
+                    dissemination: Dissemination::UsageOnly,
+                    sync_every: None,
+                    gossip_seed: 7,
+                },
+                &sites(),
+                &equal_shares(2, 2).unwrap(),
+            )
+        };
+        let mut a = mk(0);
+        let mut b = mk(1);
+        drive(&mut a, Input::Inform(rec(1, 0, 4)));
+        let fx = drive(&mut a, Input::SyncTick { n_dps: 3 });
+        let payload = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::FloodTo { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive(&mut b, Input::PeerRecords(payload));
+        // Under ring, b forwards a's record onward next round.
+        let fx = drive(&mut b, Input::SyncTick { n_dps: 3 });
+        let flood = fx.iter().find_map(|e| match e {
+            Effect::FloodTo { peers, payload } => Some((peers.clone(), payload.n_records)),
+            _ => None,
+        });
+        assert_eq!(flood, Some((vec![2], 1)));
+    }
+
+    #[test]
+    fn truncated_payload_is_rejected_whole() {
+        let mut n = node(0);
+        let bad = FloodPayload::from_wire(Bytes::from_static(b"\x02\x00\x00\x00"));
+        let fx = drive(&mut n, Input::PeerRecords(bad));
+        assert!(matches!(
+            fx[..],
+            [Effect::TraceEmit(NodeEvent::PayloadRejected)]
+        ));
+        assert_eq!(n.stats().decode_failures, 1);
+        assert_eq!(n.stats().records_merged, 0);
+    }
+
+    #[test]
+    fn down_node_consumes_nothing_but_restart() {
+        let mut n = node(0);
+        drive(&mut n, Input::Inform(rec(1, 0, 4)));
+        drive(&mut n, Input::CrashRestart { up: false });
+        assert!(!n.up());
+        assert_eq!(n.stats().crashes, 1);
+        assert!(drive(&mut n, Input::QueryArrived { admission: None }).is_empty());
+        assert!(drive(&mut n, Input::SyncTick { n_dps: 2 }).is_empty());
+        drive(&mut n, Input::Inform(rec(2, 1, 4)));
+        assert_eq!(n.stats().informs, 1, "inform to a crashed point is lost");
+        // Engine state persists across the crash: the pre-crash record
+        // floods out after the restart.
+        drive(&mut n, Input::CrashRestart { up: true });
+        let fx = drive(&mut n, Input::SyncTick { n_dps: 2 });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::FloodTo { payload, .. } if payload.n_records == 1
+        )));
+    }
+
+    #[test]
+    fn timer_fired_rearms_when_self_clocked() {
+        let mut n = DpNode::new(
+            NodeConfig {
+                id: DpId(0),
+                topology: Topology::FullMesh,
+                dissemination: Dissemination::UsageOnly,
+                sync_every: Some(SimDuration::from_secs(180)),
+                gossip_seed: 7,
+            },
+            &sites(),
+            &equal_shares(2, 2).unwrap(),
+        );
+        let fx = drive(&mut n, Input::TimerFired { n_dps: 2 });
+        assert!(matches!(
+            fx[..],
+            [Effect::SetTimer { after }] if after == SimDuration::from_secs(180)
+        ));
+        // Externally-clocked ticks never re-arm.
+        assert!(drive(&mut n, Input::SyncTick { n_dps: 2 }).is_empty());
+    }
+
+    #[test]
+    fn requeue_retransmits_next_round() {
+        let mut n = node(0);
+        drive(&mut n, Input::Inform(rec(1, 0, 4)));
+        let fx = drive(&mut n, Input::SyncTick { n_dps: 2 });
+        let payload = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::FloodTo { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .unwrap();
+        n.requeue(&payload);
+        let fx = drive(&mut n, Input::SyncTick { n_dps: 2 });
+        assert!(fx.iter().any(|e| matches!(
+            e,
+            Effect::FloodTo { payload, .. } if payload.n_records == 1
+        )));
+    }
+
+    #[test]
+    fn flood_hash_tracks_payload_bytes() {
+        let mut a = node(0);
+        let mut b = node(0);
+        for n in [&mut a, &mut b] {
+            drive(n, Input::Inform(rec(1, 0, 4)));
+            drive(n, Input::SyncTick { n_dps: 2 });
+        }
+        assert_eq!(a.stats().flood_hash, b.stats().flood_hash);
+        assert_ne!(a.stats().flood_hash, DpNodeStats::default().flood_hash);
+        // A different payload diverges the hash.
+        let mut c = node(0);
+        drive(&mut c, Input::Inform(rec(2, 1, 4)));
+        drive(&mut c, Input::SyncTick { n_dps: 2 });
+        assert_ne!(c.stats().flood_hash, a.stats().flood_hash);
+    }
+
+    #[test]
+    fn usage_and_uslas_rides_usla_deltas_on_the_flood() {
+        let mut n = DpNode::new(
+            NodeConfig {
+                id: DpId(0),
+                topology: Topology::FullMesh,
+                dissemination: Dissemination::UsageAndUslas,
+                sync_every: None,
+                gossip_seed: 7,
+            },
+            &sites(),
+            &equal_shares(2, 2).unwrap(),
+        );
+        let fx = drive(&mut n, Input::SyncTick { n_dps: 2 });
+        let payload = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::FloodTo { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .expect("USLA-only flood still goes out");
+        assert_eq!(payload.n_records, 0);
+        assert!(!payload.uslas.is_empty());
+    }
+}

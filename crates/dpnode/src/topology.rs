@@ -1,0 +1,152 @@
+//! Exchange topology and peer selection, shared by every runtime.
+
+use desim::DetRng;
+
+/// Information-dissemination strategy between decision points
+/// (paper Section 3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dissemination {
+    /// First approach: exchange both resource-usage info and USLAs.
+    UsageAndUslas,
+    /// Second approach (the paper's experiments): exchange only usage.
+    UsageOnly,
+    /// Third approach: no exchange; each decision point relies on its own
+    /// observations.
+    NoExchange,
+}
+
+/// Exchange topology between decision points.
+///
+/// The paper's experiments connect the points "in a mesh, a simple
+/// configuration that is adopted to simplify analysis"; its related-work
+/// discussion frames the deployment as a two-layer P2P network, and its
+/// future work calls out "different methods of information dissemination".
+/// The non-mesh topologies forward third-party records transitively
+/// (records are de-duplicated by job id, so forwarding loops terminate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// Every decision point floods every peer directly (the paper).
+    FullMesh,
+    /// Each point sends only to its successor; records travel the ring.
+    Ring,
+    /// Decision point 0 acts as a hub: leaves exchange through it.
+    Star,
+    /// Each point sends to `fanout` random peers per round.
+    Gossip {
+        /// Peers contacted per round.
+        fanout: usize,
+    },
+}
+
+/// The peers decision point `i` contacts in one exchange round, out of
+/// `n` points total, under `topology`.
+///
+/// `rng` is only consulted for `Gossip` — and only when `fanout < n - 1`;
+/// a fanout of `n - 1` or more degenerates to the full mesh and returns
+/// every other point in index order, with no duplicates and no RNG draw.
+/// A single-point deployment (`n <= 1`) has no peers under any topology.
+pub fn sync_peers_of(topology: Topology, i: usize, n: usize, rng: &mut DetRng) -> Vec<usize> {
+    if n <= 1 || i >= n {
+        return Vec::new();
+    }
+    match topology {
+        Topology::FullMesh => (0..n).filter(|&j| j != i).collect(),
+        Topology::Ring => vec![(i + 1) % n],
+        Topology::Star => {
+            if i == 0 {
+                (1..n).collect()
+            } else {
+                vec![0]
+            }
+        }
+        Topology::Gossip { fanout } => {
+            let mut others: Vec<usize> = (0..n).filter(|&j| j != i).collect();
+            if fanout < others.len() {
+                rng.shuffle(&mut others);
+                others.truncate(fanout);
+            }
+            others
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(7, 0xD15C)
+    }
+
+    #[test]
+    fn full_mesh_is_everyone_else() {
+        assert_eq!(sync_peers_of(Topology::FullMesh, 1, 4, &mut rng()), vec![0, 2, 3]);
+        assert_eq!(sync_peers_of(Topology::FullMesh, 0, 2, &mut rng()), vec![1]);
+    }
+
+    #[test]
+    fn ring_is_the_successor() {
+        assert_eq!(sync_peers_of(Topology::Ring, 3, 4, &mut rng()), vec![0]);
+        assert_eq!(sync_peers_of(Topology::Ring, 0, 4, &mut rng()), vec![1]);
+    }
+
+    #[test]
+    fn star_routes_through_the_hub() {
+        assert_eq!(sync_peers_of(Topology::Star, 0, 4, &mut rng()), vec![1, 2, 3]);
+        assert_eq!(sync_peers_of(Topology::Star, 2, 4, &mut rng()), vec![0]);
+    }
+
+    #[test]
+    fn gossip_picks_fanout_distinct_peers() {
+        let peers = sync_peers_of(Topology::Gossip { fanout: 2 }, 1, 5, &mut rng());
+        assert_eq!(peers.len(), 2);
+        assert!(!peers.contains(&1));
+        let mut dedup = peers.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 2, "duplicate gossip peers in {peers:?}");
+    }
+
+    #[test]
+    fn gossip_fanout_at_or_above_n_minus_one_clamps_to_full_mesh() {
+        // The edge case this module pins: an over-sized fanout must be the
+        // full mesh — every other point exactly once, no duplicates — and
+        // must not consume an RNG draw.
+        for fanout in [3, 4, 100, usize::MAX] {
+            let mut r = rng();
+            let peers = sync_peers_of(Topology::Gossip { fanout }, 1, 4, &mut r);
+            assert_eq!(peers, vec![0, 2, 3], "fanout {fanout}");
+            assert_eq!(
+                r.next_u64(),
+                rng().next_u64(),
+                "fanout {fanout} consumed an RNG draw"
+            );
+        }
+    }
+
+    #[test]
+    fn single_point_has_no_peers_in_any_topology() {
+        for topo in [
+            Topology::FullMesh,
+            Topology::Ring,
+            Topology::Star,
+            Topology::Gossip { fanout: 1 },
+            Topology::Gossip { fanout: 0 },
+        ] {
+            assert!(sync_peers_of(topo, 0, 1, &mut rng()).is_empty(), "{topo:?}");
+            assert!(sync_peers_of(topo, 0, 0, &mut rng()).is_empty(), "{topo:?}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_index_has_no_peers() {
+        assert!(sync_peers_of(Topology::FullMesh, 9, 4, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn gossip_is_deterministic_per_rng_stream() {
+        let a = sync_peers_of(Topology::Gossip { fanout: 3 }, 0, 8, &mut rng());
+        let b = sync_peers_of(Topology::Gossip { fanout: 3 }, 0, 8, &mut rng());
+        assert_eq!(a, b);
+    }
+}

@@ -37,9 +37,11 @@
 #![warn(missing_docs)]
 
 pub mod capacity;
+pub mod protocol;
 pub mod rebalance;
 pub mod replay;
 
 pub use capacity::CapacityModel;
+pub use protocol::{replay_protocol, ProtocolReplayConfig, ProtocolReplayReport};
 pub use rebalance::{simulate_rebalancing, RebalanceReport};
 pub use replay::{simulate_required_dps, simulate_required_dps_traced, GrubSimReport};

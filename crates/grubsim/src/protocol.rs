@@ -1,0 +1,348 @@
+//! Protocol replay: the third runtime over the shared decision-point core.
+//!
+//! [`super::replay`] answers the capacity question ("how many decision
+//! points?") with a fluid model. This module answers the *state* question:
+//! replay a DiPerF request trace through real [`dpnode::DpNode`] state
+//! machines — the exact code the discrete-event simulator and the live
+//! thread cluster drive — and report what each point believed at the end.
+//!
+//! The driver here is the simplest of the three: a single binary-heap
+//! time loop, zero-latency flood delivery, no loss/partitions/retries.
+//! Every answered request becomes a query to its bound decision point
+//! plus a synthetic dispatch inform (the client told the point where the
+//! job landed); sync rounds are self-clocked by the node's
+//! `SetTimer` effect. After the trace horizon the driver runs `n_dps`
+//! barrier sync rounds so sparse topologies (ring, star) finish
+//! propagating transitively-forwarded records, then compares the final
+//! availability views for convergence.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use diperf::RequestTrace;
+use dpnode::{Dissemination, DpNode, DpNodeStats, Effect, FloodPayload, Input, NodeConfig, Topology};
+use gruber::DispatchRecord;
+use gruber_types::{DpId, GroupId, JobId, SimDuration, SimTime, SiteId, SiteSpec, VoId};
+use usla::UslaSet;
+
+/// How to replay a trace through the protocol core.
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolReplayConfig {
+    /// Decision points to instantiate. Trace entries bound to points at
+    /// or beyond this count are redirected modulo `n_dps`.
+    pub n_dps: usize,
+    /// Exchange topology between the points.
+    pub topology: Topology,
+    /// Sync-round period (each node self-clocks via its timer effect).
+    pub sync_interval: SimDuration,
+    /// Runtime assumed for every synthetic dispatched job.
+    pub job_runtime: SimDuration,
+    /// Seed for gossip peer selection (unused by deterministic topologies).
+    pub seed: u64,
+}
+
+/// What the protocol replay concluded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolReplayReport {
+    /// Per-point protocol counters, indexed by decision point.
+    pub per_dp: Vec<DpNodeStats>,
+    /// Each point's final believed free CPUs per site.
+    pub final_views: Vec<Vec<u32>>,
+    /// Whether every point ended with the identical view.
+    pub converged: bool,
+    /// Queries replayed (every trace entry).
+    pub queries_replayed: u64,
+    /// Synthetic informs replayed (answered entries only).
+    pub informs_replayed: u64,
+}
+
+/// One scheduled driver event. Ordering is `(at, seq)` so ties resolve in
+/// insertion order and the replay is deterministic.
+struct HeapEv {
+    at: SimTime,
+    seq: u64,
+    ev: Ev,
+}
+
+enum Ev {
+    Query { dp: usize },
+    Inform { dp: usize, record: DispatchRecord },
+    Timer { dp: usize },
+}
+
+impl PartialEq for HeapEv {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for HeapEv {}
+impl PartialOrd for HeapEv {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEv {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want earliest-first.
+        other.at.cmp(&self.at).then(other.seq.cmp(&self.seq))
+    }
+}
+
+/// Replays a DiPerF trace through `n_dps` real decision-point state
+/// machines and reports their final statistics and views.
+pub fn replay_protocol(
+    traces: &[RequestTrace],
+    sites: &[SiteSpec],
+    uslas: &UslaSet,
+    cfg: ProtocolReplayConfig,
+) -> ProtocolReplayReport {
+    assert!(cfg.n_dps > 0, "protocol replay needs at least one point");
+    assert!(!cfg.sync_interval.is_zero(), "zero sync interval");
+    let n_dps = cfg.n_dps;
+    let n_sites = sites.len().max(1);
+
+    let mut nodes: Vec<DpNode> = (0..n_dps)
+        .map(|i| {
+            DpNode::new(
+                NodeConfig {
+                    id: DpId(i as u32),
+                    topology: cfg.topology,
+                    dissemination: Dissemination::UsageOnly,
+                    sync_every: Some(cfg.sync_interval),
+                    gossip_seed: cfg.seed,
+                },
+                sites,
+                uslas,
+            )
+        })
+        .collect();
+
+    let mut heap = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<HeapEv>, seq: &mut u64, at: SimTime, ev: Ev| {
+        *seq += 1;
+        heap.push(HeapEv { at, seq: *seq, ev });
+    };
+
+    // Trace entries become queries; answered ones also become synthetic
+    // informs at completion time (job id = entry index, round-robin site).
+    let mut queries = 0u64;
+    let mut informs = 0u64;
+    let mut last_event = SimTime(0);
+    for (i, t) in traces.iter().enumerate() {
+        let dp = t.dp.index() % n_dps;
+        push(&mut heap, &mut seq, t.sent_at, Ev::Query { dp });
+        last_event = last_event.max(t.sent_at);
+        if !t.handled() {
+            continue;
+        }
+        let at = t.completed_at().unwrap_or(t.sent_at);
+        last_event = last_event.max(at);
+        let record = DispatchRecord {
+            job: JobId(i as u32),
+            site: SiteId((i % n_sites) as u32),
+            vo: VoId((i % 2) as u32),
+            group: GroupId(0),
+            cpus: 1,
+            dispatched_at: at,
+            est_finish: at + cfg.job_runtime,
+        };
+        push(&mut heap, &mut seq, at, Ev::Inform { dp, record });
+    }
+
+    // Each node self-clocks after the first driver-seeded timer; timers
+    // stop re-arming past the horizon so the loop terminates.
+    let horizon = last_event + cfg.sync_interval + cfg.sync_interval;
+    for dp in 0..n_dps {
+        push(&mut heap, &mut seq, SimTime(0) + cfg.sync_interval, Ev::Timer { dp });
+    }
+
+    let mut fx: Vec<Effect> = Vec::new();
+    while let Some(HeapEv { at, ev, .. }) = heap.pop() {
+        match ev {
+            Ev::Query { dp } => {
+                queries += 1;
+                nodes[dp].handle(at, Input::QueryArrived { admission: None }, &mut fx);
+                fx.clear(); // the reply has no consumer in a trace replay
+            }
+            Ev::Inform { dp, record } => {
+                informs += 1;
+                nodes[dp].handle(at, Input::Inform(record), &mut fx);
+                fx.clear();
+            }
+            Ev::Timer { dp } => {
+                nodes[dp].handle(at, Input::TimerFired { n_dps }, &mut fx);
+                let effects: Vec<Effect> = fx.drain(..).collect();
+                for effect in effects {
+                    match effect {
+                        Effect::FloodTo { peers, payload } => {
+                            deliver(&mut nodes, at, &peers, &payload);
+                        }
+                        Effect::SetTimer { after } => {
+                            let next = at + after;
+                            if next <= horizon {
+                                push(&mut heap, &mut seq, next, Ev::Timer { dp });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    // Barrier rounds: in a ring, a record crosses one hop per sync round,
+    // so n_dps extra rounds flush anything still in flight.
+    let mut t = horizon;
+    for _ in 0..n_dps {
+        t = t + cfg.sync_interval;
+        for dp in 0..n_dps {
+            nodes[dp].handle(t, Input::SyncTick { n_dps }, &mut fx);
+            let effects: Vec<Effect> = fx.drain(..).collect();
+            for effect in effects {
+                if let Effect::FloodTo { peers, payload } = effect {
+                    deliver(&mut nodes, t, &peers, &payload);
+                }
+            }
+        }
+    }
+
+    let final_views: Vec<Vec<u32>> = nodes
+        .iter_mut()
+        .map(|n| n.engine_mut().availability(t))
+        .collect();
+    let converged = final_views.windows(2).all(|w| w[0] == w[1]);
+    ProtocolReplayReport {
+        per_dp: nodes.iter().map(|n| n.stats()).collect(),
+        final_views,
+        converged,
+        queries_replayed: queries,
+        informs_replayed: informs,
+    }
+}
+
+/// Zero-latency flood delivery: hand the payload to each peer in place.
+/// `PeerRecords` never emits floods itself (forwarded records wait for the
+/// peer's own next sync round), so no recursion is needed.
+fn deliver(nodes: &mut [DpNode], at: SimTime, peers: &[usize], payload: &FloodPayload) {
+    let mut fx = Vec::new();
+    for &j in peers {
+        nodes[j].handle(at, Input::PeerRecords(payload.clone()), &mut fx);
+        fx.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gruber_types::ClientId;
+    use workload::uslas::equal_shares;
+
+    fn sites(n: u32, cpus: u32) -> Vec<SiteSpec> {
+        (0..n).map(|i| SiteSpec::single_cluster(SiteId(i), cpus)).collect()
+    }
+
+    fn cfg(n_dps: usize, topology: Topology) -> ProtocolReplayConfig {
+        ProtocolReplayConfig {
+            n_dps,
+            topology,
+            sync_interval: SimDuration::from_secs(10),
+            job_runtime: SimDuration::from_secs(100_000),
+            seed: 7,
+        }
+    }
+
+    /// `n` answered requests, one per second, round-robin over `n_dps`.
+    fn answered_trace(n: u32, n_dps: u32) -> Vec<RequestTrace> {
+        (0..n)
+            .map(|i| {
+                RequestTrace::answered(
+                    ClientId(i % 50),
+                    DpId(i % n_dps),
+                    SimTime::from_secs(u64::from(i)),
+                    SimDuration::from_secs(1),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_trace_is_harmless_and_converged() {
+        let r = replay_protocol(&[], &sites(4, 16), &equal_shares(2, 2).unwrap(), cfg(3, Topology::FullMesh));
+        assert_eq!(r.queries_replayed, 0);
+        assert_eq!(r.informs_replayed, 0);
+        assert!(r.converged);
+        assert_eq!(r.final_views[0], vec![16, 16, 16, 16]);
+    }
+
+    #[test]
+    fn full_mesh_replay_converges_to_identical_views() {
+        let r = replay_protocol(
+            &answered_trace(30, 3),
+            &sites(4, 64),
+            &equal_shares(2, 2).unwrap(),
+            cfg(3, Topology::FullMesh),
+        );
+        assert!(r.converged, "views diverged: {:?}", r.final_views);
+        assert_eq!(r.queries_replayed, 30);
+        assert_eq!(r.informs_replayed, 30);
+        // All 30 informs applied everywhere: 30 cpus consumed over 4 sites.
+        let consumed: u32 = r.final_views[0].iter().map(|f| 64 - f).sum();
+        assert_eq!(consumed, 30);
+        // Each point merged everything the other two dispatched.
+        for s in &r.per_dp {
+            assert_eq!(s.records_merged, 20, "{s:?}");
+            assert!(s.sync_rounds >= 1);
+        }
+    }
+
+    #[test]
+    fn ring_replay_converges_after_barrier_rounds() {
+        let r = replay_protocol(
+            &answered_trace(24, 4),
+            &sites(4, 64),
+            &equal_shares(2, 2).unwrap(),
+            cfg(4, Topology::Ring),
+        );
+        assert!(r.converged, "ring never converged: {:?}", r.final_views);
+        let consumed: u32 = r.final_views[0].iter().map(|f| 64 - f).sum();
+        assert_eq!(consumed, 24);
+    }
+
+    #[test]
+    fn timed_out_requests_query_but_never_inform() {
+        let traces: Vec<RequestTrace> = (0..10)
+            .map(|i| RequestTrace::timed_out(ClientId(i), DpId(0), SimTime::from_secs(u64::from(i))))
+            .collect();
+        let r = replay_protocol(&traces, &sites(2, 8), &equal_shares(2, 2).unwrap(), cfg(2, Topology::FullMesh));
+        assert_eq!(r.queries_replayed, 10);
+        assert_eq!(r.informs_replayed, 0);
+        assert_eq!(r.per_dp[0].queries, 10);
+        assert_eq!(r.per_dp[0].informs, 0);
+        assert!(r.converged);
+    }
+
+    #[test]
+    fn out_of_range_dp_binding_wraps() {
+        let traces = vec![RequestTrace::answered(
+            ClientId(0),
+            DpId(9),
+            SimTime::from_secs(1),
+            SimDuration::from_secs(1),
+        )];
+        let r = replay_protocol(&traces, &sites(2, 8), &equal_shares(2, 2).unwrap(), cfg(2, Topology::FullMesh));
+        // DpId(9) % 2 == point 1.
+        assert_eq!(r.per_dp[1].queries, 1);
+        assert_eq!(r.per_dp[1].informs, 1);
+    }
+
+    #[test]
+    fn replay_is_deterministic() {
+        let traces = answered_trace(40, 3);
+        let s = sites(4, 64);
+        let u = equal_shares(2, 2).unwrap();
+        let a = replay_protocol(&traces, &s, &u, cfg(3, Topology::Gossip { fanout: 1 }));
+        let b = replay_protocol(&traces, &s, &u, cfg(3, Topology::Gossip { fanout: 1 }));
+        assert_eq!(a, b);
+    }
+}

@@ -14,7 +14,7 @@
 //! bloat when converting to marshalling cost.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gruber_types::{GridError, GroupId, JobId, SimTime, SiteId, VoId};
+use gruber_types::{ClientId, GridError, GroupId, JobId, SimTime, SiteId, VoId};
 use serde::{Deserialize, Serialize};
 
 /// XML/SOAP inflates payloads ~8× over our binary framing; marshalling cost
@@ -138,6 +138,76 @@ pub fn decode_deltas(mut buf: Bytes) -> Result<Vec<DispatchDelta>, GridError> {
     Ok(out)
 }
 
+/// The availability-query request a client sends a decision point: who is
+/// asking, for which job, and how many CPUs it wants. Small and
+/// fixed-size — the *response* is the heavy payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryRequest {
+    /// The querying client.
+    pub client: ClientId,
+    /// The job awaiting placement.
+    pub job: JobId,
+    /// CPUs the job occupies.
+    pub cpus: u32,
+}
+
+/// Encodes a query request (12 bytes, little-endian).
+pub fn encode_query(q: &QueryRequest) -> Bytes {
+    let mut buf = BytesMut::with_capacity(12);
+    buf.put_u32_le(q.client.0);
+    buf.put_u32_le(q.job.0);
+    buf.put_u32_le(q.cpus);
+    buf.freeze()
+}
+
+/// Decodes a query request. Truncated payloads error.
+pub fn decode_query(mut buf: Bytes) -> Result<QueryRequest, GridError> {
+    if buf.remaining() < 12 {
+        return Err(GridError::InvalidConfig(format!(
+            "query: want 12 bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(QueryRequest {
+        client: ClientId(buf.get_u32_le()),
+        job: JobId(buf.get_u32_le()),
+        cpus: buf.get_u32_le(),
+    })
+}
+
+/// Encodes an inform payload — the single dispatch record a client
+/// reports back after placing its job (36 bytes, no count header).
+pub fn encode_inform(d: &DispatchDelta) -> Bytes {
+    let mut buf = BytesMut::with_capacity(36);
+    buf.put_u32_le(d.job.0);
+    buf.put_u32_le(d.site.0);
+    buf.put_u32_le(d.vo.0);
+    buf.put_u32_le(d.group.0);
+    buf.put_u32_le(d.cpus);
+    buf.put_u64_le(d.dispatched_at.as_millis());
+    buf.put_u64_le(d.est_finish.as_millis());
+    buf.freeze()
+}
+
+/// Decodes an inform payload. Truncated payloads error.
+pub fn decode_inform(mut buf: Bytes) -> Result<DispatchDelta, GridError> {
+    if buf.remaining() < 36 {
+        return Err(GridError::InvalidConfig(format!(
+            "inform: want 36 bytes, have {}",
+            buf.remaining()
+        )));
+    }
+    Ok(DispatchDelta {
+        job: JobId(buf.get_u32_le()),
+        site: SiteId(buf.get_u32_le()),
+        vo: VoId(buf.get_u32_le()),
+        group: GroupId(buf.get_u32_le()),
+        cpus: buf.get_u32_le(),
+        dispatched_at: SimTime(buf.get_u64_le()),
+        est_finish: SimTime(buf.get_u64_le()),
+    })
+}
+
 /// The on-the-wire size, in KB, of an availability response for `n_sites`
 /// sites, after SOAP inflation — the number fed to the marshalling model.
 pub fn availability_payload_kb(n_sites: usize) -> f64 {
@@ -257,6 +327,90 @@ mod tests {
                 .collect();
             let decoded = decode_deltas(encode_deltas(&deltas)).unwrap();
             prop_assert_eq!(decoded, deltas);
+        }
+
+        #[test]
+        fn queries_roundtrip_any(client in 0u32..1_000_000, job in 0u32..u32::MAX, cpus in 0u32..100_000) {
+            let q = QueryRequest {
+                client: ClientId(client),
+                job: JobId(job),
+                cpus,
+            };
+            prop_assert_eq!(decode_query(encode_query(&q)).unwrap(), q);
+        }
+
+        #[test]
+        fn informs_roundtrip_any(
+            (job, site, vo, group, cpus) in (0u32..u32::MAX, 0u32..10_000, 0u32..100, 0u32..100, 1u32..64),
+            t in 0u64..10_000_000,
+        ) {
+            let d = DispatchDelta {
+                job: JobId(job),
+                site: SiteId(site),
+                vo: VoId(vo),
+                group: GroupId(group),
+                cpus,
+                dispatched_at: SimTime(t),
+                est_finish: SimTime(t + 60_000),
+            };
+            prop_assert_eq!(decode_inform(encode_inform(&d)).unwrap(), d);
+        }
+
+        // Reject-on-truncation, pinned for every payload kind: ANY strict
+        // prefix of a valid encoding must error — never decode to a
+        // short/garbled value. (The length header makes every cut either
+        // header-short or body-short.)
+        #[test]
+        fn truncated_deltas_never_decode(n in 1usize..20, cut_frac in 0.0f64..1.0) {
+            let deltas: Vec<DispatchDelta> = (0..n as u32)
+                .map(|i| DispatchDelta {
+                    job: JobId(i),
+                    site: SiteId(i),
+                    vo: VoId(0),
+                    group: GroupId(0),
+                    cpus: 1,
+                    dispatched_at: SimTime(u64::from(i)),
+                    est_finish: SimTime(u64::from(i) + 1),
+                })
+                .collect();
+            let full = encode_deltas(&deltas);
+            let cut = ((full.len() as f64 - 1.0) * cut_frac) as usize;
+            prop_assert!(decode_deltas(full.slice(0..cut)).is_err(), "cut {} of {}", cut, full.len());
+        }
+
+        #[test]
+        fn truncated_availability_never_decodes(n in 1usize..20, cut_frac in 0.0f64..1.0) {
+            let entries: Vec<SiteLoadEntry> = (0..n as u32)
+                .map(|i| SiteLoadEntry {
+                    site: SiteId(i),
+                    total_cpus: 16,
+                    busy_cpus: i,
+                    queued_jobs: 0,
+                })
+                .collect();
+            let full = encode_availability(&entries);
+            let cut = ((full.len() as f64 - 1.0) * cut_frac) as usize;
+            prop_assert!(decode_availability(full.slice(0..cut)).is_err(), "cut {} of {}", cut, full.len());
+        }
+
+        #[test]
+        fn truncated_query_and_inform_never_decode(cut_q in 0usize..12, cut_i in 0usize..36) {
+            let q = encode_query(&QueryRequest {
+                client: ClientId(1),
+                job: JobId(2),
+                cpus: 3,
+            });
+            prop_assert!(decode_query(q.slice(0..cut_q)).is_err());
+            let d = encode_inform(&DispatchDelta {
+                job: JobId(1),
+                site: SiteId(2),
+                vo: VoId(0),
+                group: GroupId(0),
+                cpus: 1,
+                dispatched_at: SimTime(5),
+                est_finish: SimTime(6),
+            });
+            prop_assert!(decode_inform(d.slice(0..cut_i)).is_err());
         }
     }
 }

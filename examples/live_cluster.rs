@@ -55,10 +55,10 @@ fn main() {
     println!("\nper-decision-point statistics:");
     for s in &stats {
         println!(
-            "  {}: {} queries, {} informs, {} peer records merged, {} floods sent",
-            s.dp, s.queries, s.informs, s.peer_records, s.floods
+            "  {}: {} queries, {} informs, {} peer records merged, {} floods sent ({} sync rounds)",
+            s.dp, s.queries, s.informs, s.records_merged, s.floods_sent, s.sync_rounds
         );
     }
-    let total_merged: u64 = stats.iter().map(|s| s.peer_records).sum();
+    let total_merged: u64 = stats.iter().map(|s| s.records_merged).sum();
     println!("\ntotal peer records merged across the mesh: {total_merged} (expect 48 = 24 informs x 2 peers)");
 }

@@ -14,8 +14,14 @@ cargo build --release --offline
 echo "==> cargo test -q (tier-1, whole workspace)"
 cargo test -q --workspace --offline
 
+echo "==> sim/live equivalence (same script, byte-identical floods)"
+cargo test -q --offline --test sim_live_equivalence
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
+
+echo "==> cargo doc -p dpnode (protocol core docs stay warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p dpnode
 
 echo "==> experiments degradation --fast (fault-injection smoke)"
 ./target/release/experiments degradation --fast > /dev/null

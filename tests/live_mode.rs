@@ -61,7 +61,7 @@ fn views_converge_across_the_mesh() {
     let stats = cluster.shutdown();
     // Each point merged the 9 records the other three produced.
     for s in &stats {
-        assert_eq!(s.peer_records, 9, "{s:?}");
+        assert_eq!(s.records_merged, 9, "{s:?}");
     }
 }
 
@@ -87,7 +87,7 @@ fn duplicate_floods_are_idempotent() {
     });
     assert!(ok, "peer never saw the record exactly once");
     let stats = cluster.shutdown();
-    assert_eq!(stats[1].peer_records, 1);
+    assert_eq!(stats[1].records_merged, 1);
 }
 
 #[test]

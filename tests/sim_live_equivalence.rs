@@ -1,0 +1,254 @@
+//! Sim/live equivalence: one protocol state machine, two drivers.
+//!
+//! The same input script — dispatch informs with *fixed* timestamps, two
+//! sync rounds, and availability queries — runs through (a) the
+//! discrete-event driver (`desim` scheduler delivering effects at
+//! simulated times) and (b) the live thread cluster (`digruber::live`,
+//! real OS threads + crossbeam channels). Because both drivers host the
+//! identical [`dpnode::DpNode`] state machine and ship the identical
+//! `simnet::codec` wire bytes, every protocol-visible observable must
+//! match exactly:
+//!
+//! - per-point flood hashes (FNV-1a over each flood payload's wire bytes,
+//!   in order) — proves the *bytes on the wire* are identical,
+//! - per-point protocol counters (informs, sync rounds, per-peer sends,
+//!   fresh records merged),
+//! - the final availability views each point reports to a query.
+//!
+//! Query counts are deliberately excluded: the live side polls with real
+//! queries to await convergence, so its count is timing-dependent.
+
+use std::time::{Duration, Instant};
+
+use desim::Simulation;
+use dpnode::{Dissemination, DpNode, DpNodeStats, Effect, Input, NodeConfig, Topology};
+use gruber::DispatchRecord;
+use gruber_types::{DpId, GroupId, JobId, SimDuration, SimTime, SiteId, SiteSpec, VoId};
+use workload::uslas::equal_shares;
+
+const N_DPS: usize = 3;
+
+fn sites() -> Vec<SiteSpec> {
+    (0..4)
+        .map(|i| SiteSpec::single_cluster(SiteId(i), 16))
+        .collect()
+}
+
+/// A dispatch record with fixed timestamps: both drivers must feed the
+/// node byte-identical records or the flood hashes cannot match.
+fn record(job: u32, site: u32, cpus: u32) -> DispatchRecord {
+    let at = SimTime::from_secs(u64::from(job));
+    DispatchRecord {
+        job: JobId(job),
+        site: SiteId(site),
+        vo: VoId(job % 2),
+        group: GroupId(0),
+        cpus,
+        dispatched_at: at,
+        est_finish: at + SimDuration::from_secs(1_000_000),
+    }
+}
+
+/// The shared script. Two rounds: jobs 1–3 land before the first sync,
+/// job 4 between the first and second.
+fn round1_informs() -> Vec<(usize, DispatchRecord)> {
+    vec![
+        (0, record(1, 0, 4)),
+        (0, record(2, 1, 2)),
+        (1, record(3, 2, 8)),
+    ]
+}
+
+fn round2_informs() -> Vec<(usize, DispatchRecord)> {
+    vec![(2, record(4, 3, 1))]
+}
+
+/// Everything the script observes from one decision point.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    informs: u64,
+    sync_rounds: u64,
+    floods_sent: u64,
+    records_merged: u64,
+    flood_hash: u64,
+    final_view: Vec<u32>,
+}
+
+/// Drives one zero-latency sync round across all nodes: every node gets a
+/// `SyncTick`, and each `FloodTo` payload is handed to its peers in place
+/// (flood payloads carry only the sender's own drained log, so delivery
+/// order between peers cannot change what anyone sends).
+fn sim_sync_round(nodes: &mut [DpNode], now: SimTime) {
+    let n_dps = nodes.len();
+    let mut fx = Vec::new();
+    for i in 0..n_dps {
+        nodes[i].handle(now, Input::SyncTick { n_dps }, &mut fx);
+        let effects: Vec<Effect> = fx.drain(..).collect();
+        for effect in effects {
+            if let Effect::FloodTo { peers, payload } = effect {
+                let mut fx2 = Vec::new();
+                for j in peers {
+                    nodes[j].handle(now, Input::PeerRecords(payload.clone()), &mut fx2);
+                    fx2.clear();
+                }
+            }
+        }
+    }
+}
+
+/// Runs the script under the discrete-event driver.
+fn run_sim_side() -> Vec<Observed> {
+    let uslas = equal_shares(2, 2).unwrap();
+    let nodes: Vec<DpNode> = (0..N_DPS)
+        .map(|i| {
+            DpNode::new(
+                NodeConfig {
+                    id: DpId(i as u32),
+                    topology: Topology::FullMesh,
+                    dissemination: Dissemination::UsageOnly,
+                    sync_every: None,
+                    gossip_seed: 0,
+                },
+                &sites(),
+                &uslas,
+            )
+        })
+        .collect();
+
+    let mut sim = Simulation::new(nodes);
+    for (dp, rec) in round1_informs() {
+        let at = rec.dispatched_at;
+        sim.scheduler().schedule_at(at, move |nodes: &mut Vec<DpNode>, _| {
+            let mut fx = Vec::new();
+            nodes[dp].handle(at, Input::Inform(rec), &mut fx);
+        });
+    }
+    sim.scheduler()
+        .schedule_at(SimTime::from_secs(10), |nodes: &mut Vec<DpNode>, _| {
+            sim_sync_round(nodes, SimTime::from_secs(10));
+        });
+    for (dp, rec) in round2_informs() {
+        let at = SimTime::from_secs(15);
+        sim.scheduler().schedule_at(at, move |nodes: &mut Vec<DpNode>, _| {
+            let mut fx = Vec::new();
+            nodes[dp].handle(at, Input::Inform(rec), &mut fx);
+        });
+    }
+    sim.scheduler()
+        .schedule_at(SimTime::from_secs(20), |nodes: &mut Vec<DpNode>, _| {
+            sim_sync_round(nodes, SimTime::from_secs(20));
+        });
+    sim.run_to_completion(1_000);
+
+    let t_end = SimTime::from_secs(21);
+    let mut nodes = sim.into_world();
+    let mut out = Vec::new();
+    for node in &mut nodes {
+        // Observe the final view the way a client would: with a query.
+        let mut fx = Vec::new();
+        node.handle(t_end, Input::QueryArrived { admission: None }, &mut fx);
+        let Some(Effect::Reply { free, .. }) = fx.pop() else {
+            panic!("query produced no reply");
+        };
+        let s: DpNodeStats = node.stats();
+        out.push(Observed {
+            informs: s.informs,
+            sync_rounds: s.sync_rounds,
+            floods_sent: s.floods_sent,
+            records_merged: s.records_merged,
+            flood_hash: s.flood_hash,
+            final_view: free,
+        });
+    }
+    out
+}
+
+/// Runs the identical script under the live thread driver. Per-point
+/// ordering (informs before the sync tick) is guaranteed by channel FIFO;
+/// cross-point convergence is awaited by polling real queries.
+fn run_live_side() -> Vec<Observed> {
+    use digruber::live::LiveCluster;
+
+    let uslas = equal_shares(2, 2).unwrap();
+    // Ticker interval is effectively infinite: the script forces both
+    // sync rounds explicitly, like the sim side's scheduled ticks.
+    let cluster = LiveCluster::start(N_DPS, sites(), &uslas, Duration::from_secs(3600));
+
+    let await_views = |expect: &[Vec<u32>]| -> Vec<Vec<u32>> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let views: Vec<Vec<u32>> = (0..N_DPS)
+                .map(|i| {
+                    cluster
+                        .query(DpId(i as u32), Duration::from_secs(5))
+                        .expect("live query timed out")
+                })
+                .collect();
+            if views == expect {
+                return views;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "live cluster never reached {expect:?}, last saw {views:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    for (dp, rec) in round1_informs() {
+        cluster.inform(DpId(dp as u32), rec);
+    }
+    // FIFO puts the tick behind the informs on every point's channel.
+    cluster.force_sync();
+    await_views(&vec![vec![12, 14, 8, 16]; N_DPS]);
+
+    for (dp, rec) in round2_informs() {
+        cluster.inform(DpId(dp as u32), rec);
+    }
+    cluster.force_sync();
+    let final_views = await_views(&vec![vec![12, 14, 8, 15]; N_DPS]);
+
+    let stats = cluster.shutdown();
+    stats
+        .into_iter()
+        .zip(final_views)
+        .map(|(s, final_view)| Observed {
+            informs: s.informs,
+            sync_rounds: s.sync_rounds,
+            floods_sent: s.floods_sent,
+            records_merged: s.records_merged,
+            flood_hash: s.flood_hash,
+            final_view,
+        })
+        .collect()
+}
+
+#[test]
+fn same_script_same_observables_across_drivers() {
+    let sim = run_sim_side();
+    let live = run_live_side();
+    assert_eq!(
+        sim, live,
+        "sim and live drivers diverged over the identical input script"
+    );
+
+    // Pin the expected values so a symmetric bug in both runtimes cannot
+    // hide behind the equality check.
+    let expect_hash_default = DpNodeStats::default().flood_hash;
+    for (i, o) in sim.iter().enumerate() {
+        assert_eq!(o.sync_rounds, 1, "dp{i}: one payload-producing round");
+        assert_eq!(o.floods_sent, 2, "dp{i}: two mesh peers");
+        assert_ne!(o.flood_hash, expect_hash_default, "dp{i}: hash untouched");
+    }
+    assert_eq!(sim[0].informs, 2);
+    assert_eq!(sim[1].informs, 1);
+    assert_eq!(sim[2].informs, 1);
+    assert_eq!(sim[0].records_merged, 2, "dp0 merges jobs 3 and 4");
+    assert_eq!(sim[1].records_merged, 3, "dp1 merges jobs 1, 2, 4");
+    assert_eq!(sim[2].records_merged, 3, "dp2 merges jobs 1, 2, 3");
+    assert_eq!(sim[0].final_view, vec![12, 14, 8, 15]);
+
+    // Distinct points flooded distinct payloads.
+    assert_ne!(sim[0].flood_hash, sim[1].flood_hash);
+    assert_ne!(sim[1].flood_hash, sim[2].flood_hash);
+}
