@@ -7,18 +7,19 @@
 //! Ids: `fig1 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 table2 table3 all`.
 //!
 //! `--trace PATH` switches structured tracing on for every run: the
-//! per-decision-point JSONL stream (schema `digruber-trace/2`, see the
+//! per-decision-point JSONL stream (schema `digruber-trace/3`, see the
 //! `obs` crate docs) of all runs is concatenated into PATH, and each id
 //! additionally gets a human-readable timeline summary under
 //! `results/timeline_<id>.txt`. Tracing never changes the figures — the
 //! timeline rides along as an extra output of the same deterministic run.
 
 use bench::degradation::DegradationRow;
+use bench::recovery::RecoveryRow;
 use bench::render::{render_accuracy, render_figure, render_table_block};
 use bench::{
     accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs,
-    degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, render_degradation,
-    run_specs, SEED,
+    degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, recovery_cells,
+    recovery_json, render_degradation, render_recovery, run_specs, SEED,
 };
 use digruber::{ExperimentOutput, RunSpec, ServiceKind};
 use gruber_types::{SimDuration, SimTime};
@@ -132,7 +133,7 @@ fn main() {
     };
     FAST.set(fast).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -335,6 +336,50 @@ fn run(id: &str) {
                 .expect("write timeline summary");
             eprintln!("saved timeline summary to results/timeline_degradation.txt");
             println!("{}", render_degradation(&rows));
+        }
+        "recovery" => {
+            // The crash-recovery study (FAULTS.md § Crash recovery):
+            // empty-rejoin vs. dpstore persistence across snapshot
+            // intervals. Always traced; snapshotted into
+            // BENCH_recovery.json.
+            let fast = *FAST.get().expect("set in main");
+            let cells = recovery_cells(fast, SEED);
+            println!(
+                "[recovery] {} cells{}",
+                cells.len(),
+                if fast { " (--fast)" } else { "" }
+            );
+            let (metas, specs): (Vec<_>, Vec<_>) =
+                cells.into_iter().map(|c| (c.meta, c.spec)).unzip();
+            let outs: Vec<ExperimentOutput> = run_specs(&specs, jobs())
+                .into_iter()
+                .map(|m| m.output.expect("recovery cell failed"))
+                .collect();
+            let rows: Vec<RecoveryRow> = metas
+                .iter()
+                .zip(&outs)
+                .map(|(m, o)| RecoveryRow::from_output(m, o))
+                .collect();
+            let json = recovery_json(jobs(), fast, &rows);
+            std::fs::write("BENCH_recovery.json", json).expect("write BENCH_recovery.json");
+            eprintln!("recovery snapshot -> BENCH_recovery.json");
+            let mut text = String::new();
+            {
+                let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+                for out in &outs {
+                    let tl = out.timeline.as_ref().expect("recovery cells trace");
+                    if tracing_on() {
+                        jsonl.push_str(&tl.to_jsonl(&out.label));
+                    }
+                    text.push_str(&tl.render(&out.label));
+                    text.push('\n');
+                }
+            }
+            std::fs::create_dir_all("results").expect("create results/");
+            std::fs::write("results/timeline_recovery.txt", text)
+                .expect("write timeline summary");
+            eprintln!("saved timeline summary to results/timeline_recovery.txt");
+            println!("{}", render_recovery(&rows));
         }
         other => {
             eprintln!("unknown experiment id {other:?}");

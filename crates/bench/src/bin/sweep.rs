@@ -39,7 +39,7 @@
 //! --bench-out PATH      perf snapshot destination          (default BENCH_sweep.json;
 //!                       "none" disables)
 //! --trace PATH          structured tracing: per-decision-point JSONL
-//!                       (schema digruber-trace/2, one run per `meta` line)
+//!                       (schema digruber-trace/3, one run per `meta` line)
 //!                       appended for every run, byte-identical for any
 //!                       --jobs value                       (default off)
 //! ```

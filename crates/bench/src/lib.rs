@@ -11,10 +11,12 @@
 pub mod degradation;
 pub mod drivers;
 pub mod parallel;
+pub mod recovery;
 pub mod render;
 pub mod snapshot;
 
 pub use degradation::{degradation_cells, degradation_json, render_degradation, DegradationRow};
+pub use recovery::{recovery_cells, recovery_json, render_recovery, RecoveryRow};
 pub use drivers::*;
 pub use parallel::{default_jobs, run_specs, RunMeasurement};
 pub use snapshot::{output_fingerprint, SweepSnapshot};

@@ -41,6 +41,12 @@ pub fn render_figure(out: &ExperimentOutput) -> String {
     s.push_str(&format!("  load       {}\n", sparkline(&loads)));
     s.push_str(&format!("  response   {}\n", sparkline(&resps)));
     s.push_str(&format!("  throughput {}\n", sparkline(&thrs)));
+    if out.recoveries > 0 {
+        s.push_str(&format!(
+            "  recovery   {} restart(s), {} WAL record(s) replayed, max {} ms\n",
+            out.recoveries, out.wal_records_replayed, out.max_recovery_ms
+        ));
+    }
     s
 }
 

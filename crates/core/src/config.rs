@@ -79,6 +79,47 @@ impl Default for FailureConfig {
     }
 }
 
+/// What a crashed decision point does with its state when it restarts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryMode {
+    /// The restarted point keeps its in-memory state (the pre-PR-5
+    /// behaviour and the default): a crash pauses the point but loses
+    /// nothing. Zero-cost — runs are byte-identical to builds without
+    /// persistence.
+    Retain,
+    /// The restarted point comes back empty and rejoins the mesh with a
+    /// fresh view (the PR 3 graceful-degradation baseline).
+    EmptyRejoin,
+    /// The point journals every applied record to a write-ahead log and
+    /// snapshots per [`PersistenceConfig::policy`]; on restart it replays
+    /// snapshot + log (charging the modeled IO cost to the clock) instead
+    /// of rejoining empty.
+    Persist,
+}
+
+/// Durability configuration for decision-point state (the `dpstore` WAL +
+/// snapshot subsystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PersistenceConfig {
+    /// What restarted decision points recover from.
+    pub mode: RecoveryMode,
+    /// When to fold the WAL into a snapshot (ignored unless
+    /// [`RecoveryMode::Persist`]).
+    pub policy: dpstore::SnapshotPolicy,
+}
+
+impl Default for PersistenceConfig {
+    fn default() -> Self {
+        PersistenceConfig {
+            mode: RecoveryMode::Retain,
+            policy: dpstore::SnapshotPolicy {
+                every_records: 64,
+                every: SimDuration::from_secs(60),
+            },
+        }
+    }
+}
+
 /// Dynamic-reconfiguration knobs (paper Section 5 enhancement).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DynamicConfig {
@@ -140,6 +181,9 @@ pub struct DigruberConfig {
     pub dynamic: Option<DynamicConfig>,
     /// Optional decision-point failure injection (reliability study).
     pub failures: Option<FailureConfig>,
+    /// Crash-recovery mode and snapshot policy (default
+    /// [`RecoveryMode::Retain`], the pre-durability behaviour).
+    pub persistence: PersistenceConfig,
     /// Optional deterministic fault schedule: timed partitions, loss /
     /// duplication / reorder windows, slowdowns and planned crash-restarts
     /// (see `FAULTS.md` and [`crate::faults::FaultPlan::parse`]).
@@ -197,6 +241,7 @@ impl DigruberConfig {
             enforce_uslas: false,
             dynamic: None,
             failures: None,
+            persistence: PersistenceConfig::default(),
             fault_plan: None,
             retry: simnet::RetryConfig::NONE,
             site_discipline: gridemu::SiteDiscipline::Fifo,

@@ -28,16 +28,78 @@
 //! retry/backoff ([`simnet::retry`]) and partition checks
 //! ([`crate::faults`]).
 
+use crate::config::RecoveryMode;
 use crate::faults::LinkScope;
 use crate::world::{client_node, dp_node, RequestState, World};
 use desim::Scheduler;
 use diperf::RequestTrace;
-use dpnode::{Effect, FloodPayload, Input};
+use dpnode::{Effect, FloodPayload, Input, WalOp};
+use dpstore::Store as _;
 use gruber::DispatchRecord;
 use gruber_metrics::schedule_accuracy;
 use gruber_types::{ClientId, DpId, JobId, JobSpec, SiteId};
 use obs::FaultMsgClass;
 use simnet::MessageClass;
+
+/// Appends one WAL operation to a decision point's durable store. The IO
+/// is modeled as group-committed: the protocol path is not blocked, but
+/// the append's completion is a scheduled event at `now + cost` (where
+/// the `WalAppended` trace lands), so the desim clock carries the modeled
+/// fsync latency.
+fn persist_append(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, op: &WalOp) {
+    let now = s.now();
+    let cost = w.stores[dp_idx].append(now, op);
+    let dp = DpId(dp_idx as u32);
+    s.schedule_in(cost, move |w: &mut World, s: &mut Scheduler<World>| {
+        w.trace.emit(s.now(), || obs::TraceEvent::WalAppended { dp });
+    });
+}
+
+/// Folds a decision point's WAL into a snapshot when the configured
+/// [`dpstore::SnapshotPolicy`] says so. The write itself is atomic at
+/// trigger time (a crash never sees a half-written snapshot — `FileStore`
+/// gets the same guarantee from its tmp+rename); only the
+/// `SnapshotWritten` trace is deferred by the modeled write cost. Called
+/// after every batch of appends, so time-based policies fire on the next
+/// append past their deadline.
+pub fn persist_maybe_snapshot(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
+    if w.cfg.persistence.mode != RecoveryMode::Persist {
+        return;
+    }
+    let now = s.now();
+    let since = now.since(w.last_snapshot[dp_idx]);
+    if !w.cfg.persistence.policy.due(w.stores[dp_idx].wal_len(), since) {
+        return;
+    }
+    let folded = w.stores[dp_idx].wal_len() as u32;
+    let (bytes, _live) = w.dps[dp_idx].node.snapshot_encode(now);
+    let cost = w.stores[dp_idx].write_snapshot(&bytes);
+    w.last_snapshot[dp_idx] = now;
+    let dp = DpId(dp_idx as u32);
+    s.schedule_in(cost, move |w: &mut World, s: &mut Scheduler<World>| {
+        w.trace.emit(s.now(), || obs::TraceEvent::SnapshotWritten {
+            dp,
+            records: folded,
+        });
+    });
+}
+
+/// Applies every [`Effect::Persist`] a node emitted while handling one
+/// input: append each operation, then check the snapshot policy. Free
+/// when the node is not persisting (no effects, and the policy check is
+/// mode-gated), so Retain-mode runs stay byte-identical.
+fn apply_persist_effects(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, fx: &[Effect]) {
+    let mut appended = false;
+    for e in fx {
+        if let Effect::Persist(op) = e {
+            persist_append(w, s, dp_idx, op);
+            appended = true;
+        }
+    }
+    if appended {
+        persist_maybe_snapshot(w, s, dp_idx);
+    }
+}
 
 /// A client joins the experiment and issues its first query.
 pub fn client_start(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
@@ -342,11 +404,14 @@ pub fn response_arrives(
     if d.loss == 0.0 || !w.net_rng.chance(d.loss) {
         s.schedule_in(l_inform, move |w, s| {
             let now = s.now();
-            if let Some(dp_state) = w.dps.get_mut(dp.index()) {
+            if dp.index() < w.dps.len() {
                 // An inform reaching a crashed point is lost with it (the
                 // node drops inputs while down); the client never knows.
                 let mut fx = Vec::new();
-                dp_state.node.handle(now, Input::Inform(record), &mut fx);
+                w.dps[dp.index()]
+                    .node
+                    .handle(now, Input::Inform(record), &mut fx);
+                apply_persist_effects(w, s, dp.index(), &fx);
             }
         });
     } else {
@@ -474,12 +539,23 @@ pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
         let mut fx = Vec::new();
         for i in 0..n_dps {
             w.dps[i].node.handle(now, Input::SyncTick { n_dps }, &mut fx);
+            let mut appended = false;
             for effect in fx.drain(..) {
-                if let Effect::FloodTo { peers, payload } = effect {
-                    for j in peers {
-                        send_exchange(w, s, i, j, payload.clone(), 0);
+                match effect {
+                    Effect::FloodTo { peers, payload } => {
+                        for j in peers {
+                            send_exchange(w, s, i, j, payload.clone(), 0);
+                        }
                     }
+                    Effect::Persist(op) => {
+                        persist_append(w, s, i, &op);
+                        appended = true;
+                    }
+                    _ => {}
                 }
+            }
+            if appended {
+                persist_maybe_snapshot(w, s, i);
             }
         }
     }
@@ -579,9 +655,10 @@ fn exchange_arrives(
         });
         return;
     }
-    if let Some(dp) = w.dps.get_mut(j) {
+    if j < w.dps.len() {
         let mut fx = Vec::new();
-        dp.node.handle(now, Input::PeerRecords(payload), &mut fx);
+        w.dps[j].node.handle(now, Input::PeerRecords(payload), &mut fx);
+        apply_persist_effects(w, s, j, &fx);
     }
 }
 

@@ -22,9 +22,11 @@
 //! Fault plans can be constructed programmatically or parsed from the
 //! compact clause DSL accepted by the `--faults` flag ([`FaultPlan::parse`]).
 
-use crate::world::World;
+use crate::config::RecoveryMode;
+use crate::world::{make_node, World};
 use desim::dist::Dist;
 use desim::Scheduler;
+use dpstore::Store as _;
 use gruber_types::{ClientId, DpId, GridError, SimDuration, SimTime};
 use obs::TraceEvent;
 
@@ -537,7 +539,7 @@ pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
                 // Planned restart: unlike the exponential repair clock this
                 // neither rebalances clients nor schedules a next failure.
                 s.schedule_in(down, move |w: &mut World, s: &mut Scheduler<World>| {
-                    restore_dp_now(w, s.now(), dp);
+                    begin_restore_dp(w, s, dp);
                 });
             }
         });
@@ -567,18 +569,79 @@ pub fn crash_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
     true
 }
 
-/// Brings a crashed decision point back up (fresh container, retained
-/// engine state — the engine's view persists like a service restart
-/// reading its journal; losing it too would only deepen the accuracy
-/// dip). Returns whether the point actually recovered.
+/// Brings a crashed decision point back up *right now* with whatever node
+/// state it currently holds. This is the final step of every restart;
+/// what the node knows at this moment is decided by
+/// [`begin_restore_dp`]'s [`RecoveryMode`] dispatch. Returns whether the
+/// point actually recovered.
 pub fn restore_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
     if dp_idx >= w.dps.len() || w.dps[dp_idx].up() {
         return false;
     }
     w.dps[dp_idx].node.set_up(true);
+    w.dp_recoveries += 1;
     w.trace.emit(now, || TraceEvent::DpRecovered {
         dp: DpId(dp_idx as u32),
     });
+    true
+}
+
+/// Begins a crashed decision point's restart, honouring the configured
+/// [`RecoveryMode`]:
+///
+/// * `Retain` — the node keeps its in-memory state and comes back
+///   immediately (the pre-durability behaviour, and the default: a crash
+///   pauses the point but loses nothing).
+/// * `EmptyRejoin` — the node is replaced by a fresh, empty one that
+///   rejoins the mesh knowing nothing (the PR 3 degradation baseline).
+/// * `Persist` — a fresh node restores the point's durable store
+///   (snapshot + WAL replay); the modeled recovery cost *delays the
+///   moment the point comes back up*, and a `RecoveryReplayed` trace
+///   records the replay size and duration at restart begin.
+///
+/// Returns whether a restart actually began (the point may already be
+/// up).
+pub fn begin_restore_dp(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) -> bool {
+    if dp_idx >= w.dps.len() || w.dps[dp_idx].up() {
+        return false;
+    }
+    let now = s.now();
+    let id = DpId(dp_idx as u32);
+    match w.cfg.persistence.mode {
+        RecoveryMode::Retain => {
+            restore_dp_now(w, now, dp_idx);
+        }
+        RecoveryMode::EmptyRejoin => {
+            let mut node = make_node(&w.cfg, &w.site_specs, &w.uslas, id);
+            node.set_up(false);
+            node.set_tracer(w.trace.clone());
+            w.dps[dp_idx].node = node;
+            restore_dp_now(w, now, dp_idx);
+        }
+        RecoveryMode::Persist => {
+            // Recover before installing the tracer so replay does not
+            // re-emit trace events the original run already recorded.
+            let mut node = make_node(&w.cfg, &w.site_specs, &w.uslas, id);
+            node.set_up(false);
+            let recovery = w.stores[dp_idx].recover();
+            let records = node
+                .recover(recovery.snapshot.as_deref(), &recovery.wal, now)
+                .expect("a store's own snapshot must decode");
+            node.set_tracer(w.trace.clone());
+            w.dps[dp_idx].node = node;
+            w.wal_records_replayed += u64::from(records);
+            let dur_ms = recovery.cost.as_millis();
+            w.max_recovery_ms = w.max_recovery_ms.max(dur_ms);
+            w.trace.emit(now, || TraceEvent::RecoveryReplayed {
+                dp: id,
+                records,
+                dur_ms: dur_ms as u32,
+            });
+            s.schedule_in(recovery.cost, move |w: &mut World, s: &mut Scheduler<World>| {
+                restore_dp_now(w, s.now(), dp_idx);
+            });
+        }
+    }
     true
 }
 
@@ -625,7 +688,7 @@ pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
 /// a repaired point sits idle while the rest stay saturated).
 pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
     let now = s.now();
-    if !restore_dp_now(w, now, dp_idx) {
+    if !begin_restore_dp(w, s, dp_idx) {
         return;
     }
     let fc = w.cfg.failures.expect("failures configured");
@@ -837,6 +900,56 @@ mod tests {
         assert_eq!(t1.exchange_records_in, 1);
         assert_eq!(t1.failures, 1);
         assert_eq!(t1.recoveries, 1);
+    }
+
+    #[test]
+    fn persist_mode_recovers_state_where_empty_rejoin_loses_it() {
+        use crate::config::RecoveryMode;
+
+        let mut base = DigruberConfig::paper(2, ServiceKind::Gt3, 5);
+        base.grid_factor = 1;
+        base.fault_plan = Some(FaultPlan::parse("crash@240=1+60").unwrap());
+        let mut empty = base.clone();
+        empty.persistence.mode = RecoveryMode::EmptyRejoin;
+        let mut persist = base;
+        persist.persistence.mode = RecoveryMode::Persist;
+        // Snapshots off: everything the point knew must come back from
+        // the WAL alone.
+        persist.persistence.policy = dpstore::SnapshotPolicy::DISABLED;
+        let e = run_experiment(empty, wl(), "empty").unwrap();
+        let p = run_experiment(persist, wl(), "persist").unwrap();
+        assert_eq!(e.recoveries, 1);
+        assert_eq!(p.recoveries, 1);
+        assert_eq!(e.wal_records_replayed, 0, "empty rejoin replays nothing");
+        assert!(p.wal_records_replayed > 0, "no WAL records replayed");
+        assert!(p.max_recovery_ms > 0, "replay must cost modeled time");
+        // The restored point remembers its merge history; the empty one
+        // looks like it never merged, so its staleness spans the run.
+        let stale_e = e.max_view_staleness_ms[1];
+        let stale_p = p.max_view_staleness_ms[1];
+        assert!(stale_p < stale_e, "persist {stale_p} !< empty {stale_e}");
+    }
+
+    #[test]
+    fn retain_mode_crash_output_matches_pre_durability_shape() {
+        // The default (Retain) keeps the recovery counters out of the
+        // Debug representation only when they are all zero; a crashy run
+        // still reports its recoveries.
+        let out = run_experiment(faulty_cfg(2, 5), wl(), "faults").unwrap();
+        assert!(out.recoveries > 0);
+        assert_eq!(out.wal_records_replayed, 0);
+        assert_eq!(out.max_recovery_ms, 0);
+        assert!(format!("{out:?}").contains("recoveries"));
+        let clean = {
+            let mut cfg = DigruberConfig::paper(2, ServiceKind::Gt3, 5);
+            cfg.grid_factor = 1;
+            run_experiment(cfg, wl(), "clean").unwrap()
+        };
+        assert_eq!(clean.recoveries, 0);
+        assert!(
+            !format!("{clean:?}").contains("recoveries"),
+            "zero recovery counters must not perturb the Debug fingerprint"
+        );
     }
 
     #[test]

@@ -23,6 +23,7 @@ use dpnode::{
     delta_to_record, record_to_delta, Dissemination, DpNode, Effect, FloodPayload, Input,
     NodeConfig, Topology,
 };
+use dpstore::{SimStore, Store as _};
 use gruber::DispatchRecord;
 use gruber_types::{DpId, SimTime, SiteSpec};
 use parking_lot::Mutex;
@@ -49,6 +50,12 @@ enum LiveMsg {
     /// A peer's encoded dispatch records
     /// ([`simnet::codec::encode_deltas`] bytes).
     PeerRecords(bytes::Bytes),
+    /// Crash the point: it drops every input until restored.
+    Crash,
+    /// Restart the point. In a persistent cluster
+    /// ([`LiveCluster::start_persistent`]) a fresh node replays snapshot +
+    /// WAL from the thread's store; otherwise the node retains its state.
+    Restore,
     /// Terminate the thread.
     Shutdown,
 }
@@ -75,6 +82,10 @@ pub struct LiveDpStats {
     /// produced, in order (byte-identity probe for the sim/live
     /// equivalence test).
     pub flood_hash: u64,
+    /// Restarts that recovered state from the thread's durable store.
+    pub recoveries: u64,
+    /// WAL records replayed across those recoveries.
+    pub wal_records_replayed: u64,
 }
 
 struct DpThread {
@@ -100,6 +111,31 @@ impl LiveCluster {
         uslas: &UslaSet,
         sync_interval: Duration,
     ) -> Self {
+        LiveCluster::start_inner(n_dps, sites, uslas, sync_interval, None)
+    }
+
+    /// Like [`LiveCluster::start`], but every point journals applied
+    /// records to an in-thread [`SimStore`] and snapshots whenever the WAL
+    /// reaches `snapshot_records` operations. Live mode snapshots on
+    /// record count only — wall-clock time is nondeterministic here, and
+    /// the count policy is what the sim/live equivalence test can pin.
+    pub fn start_persistent(
+        n_dps: usize,
+        sites: Vec<SiteSpec>,
+        uslas: &UslaSet,
+        sync_interval: Duration,
+        snapshot_records: u32,
+    ) -> Self {
+        LiveCluster::start_inner(n_dps, sites, uslas, sync_interval, Some(snapshot_records))
+    }
+
+    fn start_inner(
+        n_dps: usize,
+        sites: Vec<SiteSpec>,
+        uslas: &UslaSet,
+        sync_interval: Duration,
+        persist: Option<u32>,
+    ) -> Self {
         assert!(n_dps > 0);
         let stop = Arc::new(AtomicBool::new(false));
         let epoch = Instant::now();
@@ -115,23 +151,28 @@ impl LiveCluster {
             .into_iter()
             .enumerate()
             .map(|(i, (sender, receiver))| {
-                let node = DpNode::new(
-                    NodeConfig {
-                        id: DpId(i as u32),
-                        // Live mode reproduces the paper's deployment: full
-                        // mesh, usage-only dissemination, ticker-clocked.
-                        topology: Topology::FullMesh,
-                        dissemination: Dissemination::UsageOnly,
-                        sync_every: None,
-                        gossip_seed: 0,
-                    },
-                    &sites,
-                    uslas,
-                );
+                let cfg = NodeConfig {
+                    id: DpId(i as u32),
+                    // Live mode reproduces the paper's deployment: full
+                    // mesh, usage-only dissemination, ticker-clocked.
+                    topology: Topology::FullMesh,
+                    dissemination: Dissemination::UsageOnly,
+                    sync_every: None,
+                    gossip_seed: 0,
+                    persist: persist.is_some(),
+                };
+                let node = DpNode::new(cfg, &sites, uslas);
+                let durability = persist.map(|snapshot_records| LivePersist {
+                    store: SimStore::new(),
+                    snapshot_records,
+                    cfg,
+                    sites: sites.clone(),
+                    uslas: uslas.clone(),
+                });
                 let peers = senders.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("dp-{i}"))
-                    .spawn(move || dp_main(node, receiver, peers, epoch))
+                    .spawn(move || dp_main(node, receiver, peers, epoch, durability))
                     .expect("spawn dp thread");
                 DpThread { sender, handle }
             })
@@ -211,6 +252,18 @@ impl LiveCluster {
         for dp in &self.dps {
             let _ = dp.sender.send(LiveMsg::SyncTick);
         }
+    }
+
+    /// Crashes a decision point: it drops every input until
+    /// [`LiveCluster::restore`].
+    pub fn crash(&self, dp: DpId) {
+        let _ = self.dps[dp.index()].sender.send(LiveMsg::Crash);
+    }
+
+    /// Restarts a crashed decision point (recovering from its store in a
+    /// persistent cluster).
+    pub fn restore(&self, dp: DpId) {
+        let _ = self.dps[dp.index()].sender.send(LiveMsg::Restore);
     }
 
     /// Stops every thread and returns their statistics.
@@ -333,18 +386,35 @@ pub fn drive_workload(
     totals.into_inner()
 }
 
+/// Per-thread durability state of a persistent cluster: the store that
+/// outlives crashed node instances, plus everything needed to build the
+/// fresh node that recovers from it.
+struct LivePersist {
+    store: SimStore,
+    snapshot_records: u32,
+    cfg: NodeConfig,
+    sites: Vec<SiteSpec>,
+    uslas: UslaSet,
+}
+
 /// The thread body: driver glue only. Channel messages become node
 /// inputs; node effects become replies and peer sends. Any protocol
 /// change made in [`DpNode`] is picked up here with zero code changes.
+/// In a persistent cluster the thread also owns the point's durable
+/// store: it appends every [`Effect::Persist`], snapshots on the
+/// record-count policy, and rebuilds the node from the store on restore.
 fn dp_main(
     mut node: DpNode,
     receiver: Receiver<LiveMsg>,
     peers: Vec<Sender<LiveMsg>>,
     epoch: Instant,
+    mut durability: Option<LivePersist>,
 ) -> LiveDpStats {
     let n_dps = peers.len();
     let now = || SimTime(epoch.elapsed().as_millis() as u64);
     let mut fx: Vec<Effect> = Vec::new();
+    let mut recoveries = 0u64;
+    let mut wal_records_replayed = 0u64;
     for msg in receiver.iter() {
         let input = match msg {
             LiveMsg::Query { reply } => {
@@ -362,14 +432,52 @@ fn dp_main(
             },
             LiveMsg::SyncTick => Input::SyncTick { n_dps },
             LiveMsg::PeerRecords(bytes) => Input::PeerRecords(FloodPayload::from_wire(bytes)),
+            LiveMsg::Crash => {
+                node.set_up(false);
+                continue;
+            }
+            LiveMsg::Restore => {
+                match &mut durability {
+                    Some(p) => {
+                        // Same recovery path as the sim and replay
+                        // drivers: fresh node, snapshot + WAL replay.
+                        let recovery = p.store.recover();
+                        let mut fresh = DpNode::new(p.cfg, &p.sites, &p.uslas);
+                        wal_records_replayed += u64::from(
+                            fresh
+                                .recover(recovery.snapshot.as_deref(), &recovery.wal, now())
+                                .expect("a store's own snapshot must decode"),
+                        );
+                        node = fresh;
+                    }
+                    None => node.set_up(true),
+                }
+                recoveries += 1;
+                continue;
+            }
             LiveMsg::Shutdown => break,
         };
-        node.handle(now(), input, &mut fx);
+        let at = now();
+        node.handle(at, input, &mut fx);
         for effect in fx.drain(..) {
-            if let Effect::FloodTo { peers: to, payload } = effect {
-                for j in to {
-                    let _ = peers[j].send(LiveMsg::PeerRecords(payload.records.clone()));
+            match effect {
+                Effect::FloodTo { peers: to, payload } => {
+                    for j in to {
+                        let _ = peers[j].send(LiveMsg::PeerRecords(payload.records.clone()));
+                    }
                 }
+                Effect::Persist(op) => {
+                    if let Some(p) = &mut durability {
+                        p.store.append(at, &op);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(p) = &mut durability {
+            if p.store.wal_len() >= p.snapshot_records as usize {
+                let (bytes, _) = node.snapshot_encode(at);
+                p.store.write_snapshot(&bytes);
             }
         }
     }
@@ -382,6 +490,8 @@ fn dp_main(
         floods_sent: s.floods_sent,
         sync_rounds: s.sync_rounds,
         flood_hash: s.flood_hash,
+        recoveries,
+        wal_records_replayed,
     }
 }
 

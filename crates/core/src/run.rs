@@ -51,7 +51,7 @@ impl RunSpec {
 }
 
 /// Everything a figure/table needs from one experiment run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Clone, PartialEq)]
 pub struct ExperimentOutput {
     /// Human-readable label.
     pub label: String,
@@ -100,6 +100,49 @@ pub struct ExperimentOutput {
     /// Per-decision-point timeline (present iff `cfg.trace` was set);
     /// deterministic like every other field.
     pub timeline: Option<obs::RunTimeline>,
+    /// Decision-point restarts completed (crash recovery, any
+    /// [`crate::config::RecoveryMode`]).
+    pub recoveries: u64,
+    /// WAL records replayed across all recoveries (Persist mode only).
+    pub wal_records_replayed: u64,
+    /// Slowest single recovery's modeled replay cost, in milliseconds.
+    pub max_recovery_ms: u64,
+}
+
+// Manual `Debug` mirroring the old derive field-for-field, with the
+// recovery counters appended only when one is nonzero. The sweep
+// fingerprint is an FNV hash over this representation, so runs that never
+// crash-recover (every pre-durability configuration) keep byte-identical
+// fingerprints — persistence is zero-cost until opted into.
+impl std::fmt::Debug for ExperimentOutput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("ExperimentOutput");
+        d.field("label", &self.label)
+            .field("report", &self.report)
+            .field("figure_rows", &self.figure_rows)
+            .field("table", &self.table)
+            .field("mean_handled_accuracy", &self.mean_handled_accuracy)
+            .field("traces", &self.traces)
+            .field("final_dps", &self.final_dps)
+            .field("reconfig_log", &self.reconfig_log)
+            .field("retire_log", &self.retire_log)
+            .field("jobs_dispatched", &self.jobs_dispatched)
+            .field("denied_requests", &self.denied_requests)
+            .field("dp_failures", &self.dp_failures)
+            .field("failovers", &self.failovers)
+            .field("timeouts_by_dp", &self.timeouts_by_dp)
+            .field("max_view_staleness_ms", &self.max_view_staleness_ms)
+            .field("vo_cpu_share", &self.vo_cpu_share)
+            .field("events_executed", &self.events_executed)
+            .field("peak_pending", &self.peak_pending)
+            .field("timeline", &self.timeline);
+        if self.recoveries + self.wal_records_replayed + self.max_recovery_ms > 0 {
+            d.field("recoveries", &self.recoveries)
+                .field("wal_records_replayed", &self.wal_records_replayed)
+                .field("max_recovery_ms", &self.max_recovery_ms);
+        }
+        d.finish()
+    }
 }
 
 /// CPU time a job consumed inside `[0, end)`.
@@ -256,6 +299,9 @@ fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize
         },
         events_executed,
         peak_pending,
+        recoveries: w.dp_recoveries,
+        wal_records_replayed: w.wal_records_replayed,
+        max_recovery_ms: w.max_recovery_ms,
         timeline: w.trace.finish(end),
     }
 }

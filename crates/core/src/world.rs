@@ -1,9 +1,10 @@
 //! The discrete-event world: clients, decision points, WAN and grid.
 
-use crate::config::{DigruberConfig, Dissemination};
+use crate::config::{DigruberConfig, Dissemination, RecoveryMode};
 use desim::DetRng;
 use diperf::{Collector, RampSchedule};
 use dpnode::{DpNode, NodeConfig};
+use dpstore::SimStore;
 use gridemu::{grid3_times, Grid, SitePolicy};
 use gruber::SiteSelector;
 use gruber_types::{
@@ -133,10 +134,48 @@ pub struct World {
     pub dp_failures: u64,
     /// Client failover re-bindings performed.
     pub failovers: u64,
+    /// Durable stores, indexed by `DpId` (empty unless
+    /// [`RecoveryMode::Persist`]; they outlive crashed node instances —
+    /// that is the whole point).
+    pub stores: Vec<SimStore>,
+    /// When each decision point last snapshotted, indexed by `DpId`.
+    pub last_snapshot: Vec<SimTime>,
+    /// Decision-point restarts that recovered state (any mode).
+    pub dp_recoveries: u64,
+    /// WAL records replayed across all recoveries.
+    pub wal_records_replayed: u64,
+    /// Slowest single recovery (modeled IO cost), in milliseconds.
+    pub max_recovery_ms: u64,
     /// Structured trace recorder ([`obs::Recorder::OFF`] unless
     /// `cfg.trace` is set); clones of it live in every scheduler, engine
     /// and service station of this run.
     pub trace: obs::Recorder,
+}
+
+/// Builds one decision-point protocol node for this configuration. Shared
+/// by initial construction, dynamic scale-up and crash recovery so every
+/// node instance (including post-crash replacements) is configured
+/// identically.
+pub fn make_node(
+    cfg: &DigruberConfig,
+    site_specs: &[SiteSpec],
+    uslas: &UslaSet,
+    id: DpId,
+) -> DpNode {
+    DpNode::new(
+        NodeConfig {
+            id,
+            topology: cfg.topology,
+            dissemination: cfg.dissemination,
+            // The sim clocks exchanges itself (the `sync_round` event), so
+            // nodes never request timers.
+            sync_every: None,
+            gossip_seed: cfg.seed,
+            persist: cfg.persistence.mode == RecoveryMode::Persist,
+        },
+        site_specs,
+        uslas,
+    )
 }
 
 /// WAN address of a client.
@@ -168,19 +207,7 @@ impl World {
         let dps: Vec<DecisionPoint> = (0..cfg.n_dps)
             .map(|i| {
                 let id = DpId(i as u32);
-                let mut node = DpNode::new(
-                    NodeConfig {
-                        id,
-                        topology: cfg.topology,
-                        dissemination: cfg.dissemination,
-                        // The sim clocks exchanges itself (the `sync_round`
-                        // event), so nodes never request timers.
-                        sync_every: None,
-                        gossip_seed: cfg.seed,
-                    },
-                    &site_specs,
-                    &uslas,
-                );
+                let mut node = make_node(&cfg, &site_specs, &uslas, id);
                 let mut station = ServiceStation::new(cfg.service.profile());
                 node.set_tracer(trace.clone());
                 station.set_tracer(trace.clone(), id);
@@ -235,6 +262,11 @@ impl World {
             rejected_dispatches: 0,
             dp_failures: 0,
             failovers: 0,
+            stores: vec![SimStore::new(); n_dps],
+            last_snapshot: vec![SimTime::ZERO; n_dps],
+            dp_recoveries: 0,
+            wal_records_replayed: 0,
+            max_recovery_ms: 0,
             trace,
         })
     }
@@ -279,17 +311,7 @@ impl World {
     /// new id.
     pub fn add_decision_point(&mut self, now: SimTime, overloaded: DpId) -> DpId {
         let new_id = DpId(self.dps.len() as u32);
-        let mut node = DpNode::new(
-            NodeConfig {
-                id: new_id,
-                topology: self.cfg.topology,
-                dissemination: self.cfg.dissemination,
-                sync_every: None,
-                gossip_seed: self.cfg.seed,
-            },
-            &self.site_specs,
-            &self.uslas,
-        );
+        let mut node = make_node(&self.cfg, &self.site_specs, &self.uslas, new_id);
         let mut station = ServiceStation::new(self.cfg.service.profile());
         node.set_tracer(self.trace.clone());
         station.set_tracer(self.trace.clone(), new_id);
@@ -303,6 +325,8 @@ impl World {
             station,
         });
         self.dp_strikes.push(0);
+        self.stores.push(SimStore::new());
+        self.last_snapshot.push(now);
         let mut moved = false;
         for c in &mut self.clients {
             if c.dp == overloaded && self.misc_rng.chance(0.5) {

@@ -32,6 +32,12 @@
 //! * **Timers** — the node *requests* re-arming via [`Effect::SetTimer`];
 //!   drivers with their own cadence (the sim's `sync_round` event, live
 //!   mode's ticker thread) simply feed [`Input::SyncTick`] instead.
+//! * **Durability** — a persisting node ([`NodeConfig::persist`]) emits
+//!   [`Effect::Persist`] write-ahead-log operations and serialises
+//!   snapshots on request ([`DpNode::snapshot_encode`]), but the driver
+//!   owns the store (`dpstore`) and its fsync/latency cost. Crash
+//!   recovery is [`DpNode::recover`]: restore the snapshot, replay the
+//!   [`WalOp`] log.
 //!
 //! Peer selection ([`sync_peers_of`]) lives here too, so FullMesh / Ring /
 //! Star / Gossip behave identically in every runtime.
@@ -44,6 +50,6 @@ mod topology;
 
 pub use node::{
     delta_to_record, record_to_delta, DpNode, DpNodeStats, Effect, FloodPayload, Input,
-    NodeConfig, NodeEvent,
+    NodeConfig, NodeEvent, WalOp,
 };
 pub use topology::{sync_peers_of, Dissemination, Topology};

@@ -4,8 +4,9 @@ use crate::topology::{sync_peers_of, Dissemination, Topology};
 use bytes::Bytes;
 use desim::DetRng;
 use gruber::{DispatchRecord, GruberEngine};
-use gruber_types::{DpId, JobSpec, SimDuration, SimTime, SiteSpec};
+use gruber_types::{DpId, GridError, JobId, JobSpec, SimDuration, SimTime, SiteSpec};
 use simnet::codec::{decode_deltas, encode_deltas, DispatchDelta};
+use std::collections::BTreeMap;
 use usla::store::VersionedEntry;
 use usla::UslaSet;
 
@@ -117,9 +118,11 @@ pub enum Input {
     },
     /// A peer's exchange flood arrived.
     PeerRecords(FloodPayload),
-    /// The point crashed (`up: false`) or restarted (`up: true`). Engine
-    /// state persists across a crash — what the point brokered before
-    /// going down floods out when it rejoins the next round.
+    /// The point crashed (`up: false`) or restarted (`up: true`). What
+    /// survives the crash is the driver's recovery policy: keep this node
+    /// instance (in-memory state persists — the default), swap in a fresh
+    /// empty node (the paper's empty-rejoin baseline), or swap in a fresh
+    /// node and replay a durable snapshot + WAL via [`DpNode::recover`].
     CrashRestart {
         /// New liveness state.
         up: bool,
@@ -155,6 +158,40 @@ pub enum Effect {
     /// A node-level observation for drivers that want it (the engine's
     /// own `obs` events are emitted directly through its tracer).
     TraceEmit(NodeEvent),
+    /// Append one operation to the node's write-ahead log. Only emitted
+    /// when [`NodeConfig::persist`] is set; the driver owns the store and
+    /// charges its append/fsync cost — the node never does IO.
+    Persist(WalOp),
+}
+
+/// One durable write-ahead-log operation, surfaced via
+/// [`Effect::Persist`] when [`NodeConfig::persist`] is set. Replaying a
+/// WAL (after restoring the latest snapshot) through
+/// [`DpNode::replay_wal`] reconstructs the node's view, outgoing flood
+/// log and protocol counters — except `floods_merged` and
+/// `decode_failures`, which count per-payload events the per-record log
+/// does not retain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WalOp {
+    /// A client inform this node processed. Logged whether or not the
+    /// view accepted it, so the `informs` counter replays exactly;
+    /// duplicates are re-rejected deterministically on replay.
+    Own(DispatchRecord),
+    /// A peer record that was fresh for this node's view when merged.
+    /// Stale duplicates are not logged: replay re-accepts exactly the
+    /// records the live node accepted.
+    Peer(DispatchRecord),
+    /// A sync round drained the outgoing log into a flood. Carries the
+    /// post-flood state needed to replay the drain without re-encoding.
+    Drained {
+        /// Dispatch records in the drained payload.
+        records: u32,
+        /// Peers the flood was addressed to (0 when a single-point
+        /// deployment flooded into the void).
+        peers: u32,
+        /// The node's running flood hash *after* folding this payload.
+        flood_hash: u64,
+    },
 }
 
 /// Node-level observations surfaced via [`Effect::TraceEmit`]. Drivers may
@@ -235,6 +272,12 @@ pub struct NodeConfig {
     /// Seed for the gossip peer-selection stream (only drawn from under
     /// `Topology::Gossip` with a sub-mesh fanout).
     pub gossip_seed: u64,
+    /// When true, the node emits [`Effect::Persist`] for every applied
+    /// record and drained flood, and tracks the live record set backing
+    /// its view so [`DpNode::snapshot_encode`] can serialise it.
+    /// Persistence is strictly opt-in: a `persist: false` node emits no
+    /// extra effects and keeps no extra state.
+    pub persist: bool,
 }
 
 /// One decision point's protocol state machine: the GRUBER engine (view +
@@ -251,6 +294,13 @@ pub struct DpNode {
     monitor_free: Option<Vec<u32>>,
     up: bool,
     stats: DpNodeStats,
+    persist: bool,
+    /// The unexpired dispatch records currently backing the view —
+    /// maintained only under [`NodeConfig::persist`] (always empty
+    /// otherwise) so snapshots can rebuild the view without `GridView`
+    /// exposing its internals. A `BTreeMap` keeps snapshot encoding
+    /// order deterministic (sorted by job id).
+    live: BTreeMap<JobId, DispatchRecord>,
 }
 
 impl DpNode {
@@ -266,6 +316,8 @@ impl DpNode {
             monitor_free: None,
             up: true,
             stats: DpNodeStats::default(),
+            persist: cfg.persist,
+            live: BTreeMap::new(),
         }
     }
 
@@ -357,7 +409,13 @@ impl DpNode {
                     return; // an inform reaching a crashed point is lost
                 }
                 self.stats.informs += 1;
-                self.engine.record_dispatch(record, now);
+                let accepted = self.engine.record_dispatch(record, now);
+                if self.persist {
+                    if accepted {
+                        self.live.insert(record.job, record);
+                    }
+                    out.push(Effect::Persist(WalOp::Own(record)));
+                }
             }
             Input::SyncTick { n_dps } => self.flood(now, n_dps, out),
             Input::TimerFired { n_dps } => {
@@ -381,10 +439,24 @@ impl DpNode {
                 // Non-mesh topologies forward transitively: records new to
                 // this node re-enter its own outgoing log (de-duplication
                 // by job id terminates forwarding loops).
-                let fresh = if self.topology == Topology::FullMesh {
-                    self.engine.merge_peer_records(&records, now)
-                } else {
+                let forward = self.topology != Topology::FullMesh;
+                let fresh = if self.persist {
+                    let mut fresh_recs = Vec::new();
+                    let n = self.engine.merge_peer_records_collect(
+                        &records,
+                        now,
+                        forward,
+                        &mut fresh_recs,
+                    );
+                    for rec in fresh_recs {
+                        self.live.insert(rec.job, rec);
+                        out.push(Effect::Persist(WalOp::Peer(rec)));
+                    }
+                    n
+                } else if forward {
                     self.engine.merge_peer_records_forwarding(&records, now)
+                } else {
+                    self.engine.merge_peer_records(&records, now)
                 };
                 self.stats.floods_merged += 1;
                 self.stats.records_merged += fresh as u64;
@@ -422,6 +494,15 @@ impl DpNode {
             records: log.len() as u32,
         }));
         let peers = sync_peers_of(self.topology, self.id.index(), n_dps, &mut self.gossip_rng);
+        if self.persist {
+            // Logged even into-the-void: the drain itself must replay so
+            // a recovered log does not resurrect already-flooded records.
+            out.push(Effect::Persist(WalOp::Drained {
+                records: log.len() as u32,
+                peers: peers.len() as u32,
+                flood_hash: self.stats.flood_hash,
+            }));
+        }
         if peers.is_empty() {
             return;
         }
@@ -435,6 +516,181 @@ impl DpNode {
             },
         });
     }
+
+    /// Serialises the node's durable state: protocol counters, engine
+    /// counters, the live (unexpired) dispatch records backing the view
+    /// and the pending outgoing flood log — both record blocks in
+    /// [`simnet::codec::encode_deltas`] wire form. Expired live records
+    /// are pruned first, so snapshot size tracks the working set, not
+    /// history. Returns the encoded bytes and the number of live records
+    /// included. Only meaningful under [`NodeConfig::persist`].
+    pub fn snapshot_encode(&mut self, now: SimTime) -> (Vec<u8>, u32) {
+        self.live.retain(|_, rec| rec.est_finish > now);
+        let s = &self.stats;
+        let (dispatched, merged) = self.engine.counters();
+        let mut buf = Vec::with_capacity(128 + 36 * self.live.len());
+        buf.push(SNAPSHOT_VERSION);
+        for v in [
+            s.queries,
+            s.informs,
+            s.sync_rounds,
+            s.floods_sent,
+            s.records_flooded,
+            s.floods_merged,
+            s.records_merged,
+            s.decode_failures,
+            s.crashes,
+            s.flood_hash,
+            dispatched,
+            merged,
+            self.engine.last_merge_at().map_or(u64::MAX, |t| t.0),
+            self.engine.max_merge_gap().0,
+        ] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let live: Vec<DispatchDelta> = self.live.values().map(record_to_delta).collect();
+        let live_bytes = encode_deltas(&live);
+        buf.extend_from_slice(&(live_bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(live_bytes.as_ref());
+        let outgoing: Vec<DispatchDelta> =
+            self.engine.outgoing().iter().map(record_to_delta).collect();
+        let out_bytes = encode_deltas(&outgoing);
+        buf.extend_from_slice(&(out_bytes.len() as u32).to_le_bytes());
+        buf.extend_from_slice(out_bytes.as_ref());
+        (buf, live.len() as u32)
+    }
+
+    /// Restores state serialised by [`DpNode::snapshot_encode`] into this
+    /// (freshly built) node. Parsing is all-or-nothing: a truncated or
+    /// malformed snapshot errors without half-restoring. Live records
+    /// that expired while the point was down (`est_finish <= now`) are
+    /// dropped on restore. Returns how many live records were restored.
+    pub fn snapshot_decode(&mut self, bytes: &[u8], now: SimTime) -> Result<u32, GridError> {
+        let mut pos = 0usize;
+        let version = take(bytes, &mut pos, 1)?[0];
+        if version != SNAPSHOT_VERSION {
+            return Err(GridError::InvalidConfig(format!(
+                "snapshot: unknown version {version}"
+            )));
+        }
+        let mut words = [0u64; 14];
+        for w in &mut words {
+            *w = take_u64(bytes, &mut pos)?;
+        }
+        let live_len = take_u32(bytes, &mut pos)? as usize;
+        let live = decode_deltas(Bytes::copy_from_slice(take(bytes, &mut pos, live_len)?))?;
+        let out_len = take_u32(bytes, &mut pos)? as usize;
+        let outgoing = decode_deltas(Bytes::copy_from_slice(take(bytes, &mut pos, out_len)?))?;
+        if pos != bytes.len() {
+            return Err(GridError::InvalidConfig("snapshot: trailing bytes".into()));
+        }
+        self.stats = DpNodeStats {
+            queries: words[0],
+            informs: words[1],
+            sync_rounds: words[2],
+            floods_sent: words[3],
+            records_flooded: words[4],
+            floods_merged: words[5],
+            records_merged: words[6],
+            decode_failures: words[7],
+            crashes: words[8],
+            flood_hash: words[9],
+        };
+        let last_merge = (words[12] != u64::MAX).then_some(SimTime(words[12]));
+        self.engine
+            .restore_counters(words[10], words[11], last_merge, SimDuration(words[13]));
+        let mut restored = 0u32;
+        for d in &live {
+            let rec = delta_to_record(d);
+            if self.engine.view_mut().observe(&rec, now) {
+                self.live.insert(rec.job, rec);
+                restored += 1;
+            }
+        }
+        self.engine
+            .requeue_outgoing(outgoing.iter().map(delta_to_record).collect());
+        Ok(restored)
+    }
+
+    /// Replays a write-ahead log (the [`WalOp`]s this node emitted via
+    /// [`Effect::Persist`] since its last snapshot, in order, with their
+    /// original timestamps). Emits no effects and draws no randomness:
+    /// replay is pure state reconstruction. Returns the number of
+    /// operations replayed.
+    pub fn replay_wal(&mut self, wal: &[(SimTime, WalOp)]) -> u32 {
+        let mut scratch = Vec::new();
+        for &(at, op) in wal {
+            match op {
+                WalOp::Own(rec) => {
+                    self.stats.informs += 1;
+                    if self.engine.record_dispatch(rec, at) {
+                        self.live.insert(rec.job, rec);
+                    }
+                }
+                WalOp::Peer(rec) => {
+                    scratch.clear();
+                    let forward = self.topology != Topology::FullMesh;
+                    let fresh =
+                        self.engine
+                            .merge_peer_records_collect(&[rec], at, forward, &mut scratch);
+                    self.stats.records_merged += fresh as u64;
+                    for r in &scratch {
+                        self.live.insert(r.job, *r);
+                    }
+                }
+                WalOp::Drained {
+                    records,
+                    peers,
+                    flood_hash,
+                } => {
+                    let _ = self.engine.drain_log();
+                    self.stats.sync_rounds += 1;
+                    self.stats.records_flooded += u64::from(records);
+                    self.stats.floods_sent += u64::from(peers);
+                    self.stats.flood_hash = flood_hash;
+                }
+            }
+        }
+        wal.len() as u32
+    }
+
+    /// Crash recovery in one call: restore the latest snapshot (if any),
+    /// then replay the post-snapshot WAL. Call on a freshly built node
+    /// *before* installing a tracer, so replay does not re-emit trace
+    /// events the original run already recorded. Returns the number of
+    /// WAL operations replayed.
+    pub fn recover(
+        &mut self,
+        snapshot: Option<&[u8]>,
+        wal: &[(SimTime, WalOp)],
+        now: SimTime,
+    ) -> Result<u32, GridError> {
+        if let Some(bytes) = snapshot {
+            self.snapshot_decode(bytes, now)?;
+        }
+        Ok(self.replay_wal(wal))
+    }
+}
+
+/// Snapshot wire-format version ([`DpNode::snapshot_encode`]).
+const SNAPSHOT_VERSION: u8 = 1;
+
+fn take<'a>(bytes: &'a [u8], pos: &mut usize, n: usize) -> Result<&'a [u8], GridError> {
+    let end = pos
+        .checked_add(n)
+        .filter(|&end| end <= bytes.len())
+        .ok_or_else(|| GridError::InvalidConfig("snapshot: truncated".into()))?;
+    let slice = &bytes[*pos..end];
+    *pos = end;
+    Ok(slice)
+}
+
+fn take_u64(bytes: &[u8], pos: &mut usize) -> Result<u64, GridError> {
+    Ok(u64::from_le_bytes(take(bytes, pos, 8)?.try_into().unwrap()))
+}
+
+fn take_u32(bytes: &[u8], pos: &mut usize) -> Result<u32, GridError> {
+    Ok(u32::from_le_bytes(take(bytes, pos, 4)?.try_into().unwrap()))
 }
 
 #[cfg(test)]
@@ -457,6 +713,7 @@ mod tests {
                 dissemination: Dissemination::UsageOnly,
                 sync_every: None,
                 gossip_seed: 7,
+                persist: false,
             },
             &sites(),
             &equal_shares(2, 2).unwrap(),
@@ -573,6 +830,7 @@ mod tests {
                     dissemination: Dissemination::UsageOnly,
                     sync_every: None,
                     gossip_seed: 7,
+                    persist: false,
                 },
                 &sites(),
                 &equal_shares(2, 2).unwrap(),
@@ -642,6 +900,7 @@ mod tests {
                 dissemination: Dissemination::UsageOnly,
                 sync_every: Some(SimDuration::from_secs(180)),
                 gossip_seed: 7,
+                persist: false,
             },
             &sites(),
             &equal_shares(2, 2).unwrap(),
@@ -701,6 +960,7 @@ mod tests {
                 dissemination: Dissemination::UsageAndUslas,
                 sync_every: None,
                 gossip_seed: 7,
+                persist: false,
             },
             &sites(),
             &equal_shares(2, 2).unwrap(),
@@ -715,5 +975,188 @@ mod tests {
             .expect("USLA-only flood still goes out");
         assert_eq!(payload.n_records, 0);
         assert!(!payload.uslas.is_empty());
+    }
+
+    // --- persistence -----------------------------------------------------
+
+    fn pnode(id: u32) -> DpNode {
+        DpNode::new(
+            NodeConfig {
+                id: DpId(id),
+                topology: Topology::FullMesh,
+                dissemination: Dissemination::UsageOnly,
+                sync_every: None,
+                gossip_seed: 7,
+                persist: true,
+            },
+            &sites(),
+            &equal_shares(2, 2).unwrap(),
+        )
+    }
+
+    /// Drives one input and appends any emitted WAL ops (with the drive
+    /// timestamp) to `wal`, as a persisting driver would.
+    fn drive_logged(n: &mut DpNode, input: Input, wal: &mut Vec<(SimTime, WalOp)>) -> Vec<Effect> {
+        let fx = drive(n, input);
+        for e in &fx {
+            if let Effect::Persist(op) = e {
+                wal.push((SimTime::from_secs(1), *op));
+            }
+        }
+        fx
+    }
+
+    #[test]
+    fn persist_off_emits_no_persist_effects() {
+        let mut n = node(0);
+        let mut fx = drive(&mut n, Input::Inform(rec(1, 0, 2)));
+        fx.extend(drive(&mut n, Input::SyncTick { n_dps: 3 }));
+        assert!(
+            !fx.iter().any(|e| matches!(e, Effect::Persist(_))),
+            "{fx:?}"
+        );
+    }
+
+    #[test]
+    fn wal_ops_cover_informs_merges_and_drains() {
+        let mut a = pnode(0);
+        let mut wal = Vec::new();
+        drive_logged(&mut a, Input::Inform(rec(1, 0, 2)), &mut wal);
+        // Duplicate informs are logged too: `informs` must replay exactly.
+        drive_logged(&mut a, Input::Inform(rec(1, 0, 2)), &mut wal);
+        drive_logged(&mut a, Input::SyncTick { n_dps: 3 }, &mut wal);
+        let mut c = node(1);
+        drive(&mut c, Input::Inform(rec(9, 2, 5)));
+        let fx = drive(&mut c, Input::SyncTick { n_dps: 3 });
+        let payload = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::FloodTo { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive_logged(&mut a, Input::PeerRecords(payload), &mut wal);
+        let ops: Vec<&WalOp> = wal.iter().map(|(_, op)| op).collect();
+        assert!(matches!(ops[0], WalOp::Own(r) if r.job == JobId(1)));
+        assert!(matches!(ops[1], WalOp::Own(r) if r.job == JobId(1)));
+        assert!(
+            matches!(ops[2], WalOp::Drained { records: 1, peers: 2, .. }),
+            "{:?}",
+            ops[2]
+        );
+        assert!(matches!(ops[3], WalOp::Peer(r) if r.job == JobId(9)));
+        assert_eq!(ops.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_plus_wal_recovers_to_identical_node() {
+        let mut a = pnode(0);
+        let mut wal = Vec::new();
+        drive_logged(&mut a, Input::Inform(rec(1, 0, 2)), &mut wal);
+        drive_logged(&mut a, Input::Inform(rec(2, 1, 3)), &mut wal);
+        drive_logged(&mut a, Input::SyncTick { n_dps: 3 }, &mut wal);
+        drive_logged(&mut a, Input::Inform(rec(3, 2, 4)), &mut wal);
+        // Snapshot with a non-empty outgoing log (rec 3 not yet flooded);
+        // the WAL from here on is what a store would hold post-truncation.
+        let (snap, live_records) = a.snapshot_encode(SimTime::from_secs(1));
+        assert_eq!(live_records, 3);
+        wal.clear();
+        drive_logged(&mut a, Input::Inform(rec(4, 3, 5)), &mut wal);
+        let mut c = node(1);
+        drive(&mut c, Input::Inform(rec(9, 2, 5)));
+        let fx = drive(&mut c, Input::SyncTick { n_dps: 3 });
+        let payload = fx
+            .iter()
+            .find_map(|e| match e {
+                Effect::FloodTo { payload, .. } => Some(payload.clone()),
+                _ => None,
+            })
+            .unwrap();
+        drive_logged(&mut a, Input::PeerRecords(payload), &mut wal);
+
+        let mut b = pnode(0);
+        let replayed = b
+            .recover(Some(&snap), &wal, SimTime::from_secs(2))
+            .unwrap();
+        assert_eq!(replayed, 2);
+        let (sa, sb) = (a.stats(), b.stats());
+        assert_eq!(sa.informs, sb.informs);
+        assert_eq!(sa.sync_rounds, sb.sync_rounds);
+        assert_eq!(sa.floods_sent, sb.floods_sent);
+        assert_eq!(sa.records_flooded, sb.records_flooded);
+        assert_eq!(sa.records_merged, sb.records_merged);
+        assert_eq!(sa.flood_hash, sb.flood_hash);
+        assert_eq!(a.engine().counters(), b.engine().counters());
+        assert_eq!(a.engine().last_merge_at(), b.engine().last_merge_at());
+        assert_eq!(
+            a.engine_mut().availability(SimTime::from_secs(2)),
+            b.engine_mut().availability(SimTime::from_secs(2))
+        );
+        // The next flood is byte-identical: rec 3 (requeued from the
+        // snapshot's outgoing log) then rec 4 (replayed WAL inform).
+        let fa = drive(&mut a, Input::SyncTick { n_dps: 3 });
+        let fb = drive(&mut b, Input::SyncTick { n_dps: 3 });
+        let bytes = |fx: &[Effect]| {
+            fx.iter()
+                .find_map(|e| match e {
+                    Effect::FloodTo { payload, .. } => Some(payload.records.clone()),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(bytes(&fa).as_ref(), bytes(&fb).as_ref());
+        assert_eq!(bytes(&fa).len(), 4 + 2 * 36);
+        assert_eq!(a.stats().flood_hash, b.stats().flood_hash);
+    }
+
+    #[test]
+    fn recover_without_snapshot_replays_full_wal() {
+        let mut a = pnode(0);
+        let mut wal = Vec::new();
+        drive_logged(&mut a, Input::Inform(rec(1, 0, 2)), &mut wal);
+        drive_logged(&mut a, Input::SyncTick { n_dps: 3 }, &mut wal);
+        let mut b = pnode(0);
+        assert_eq!(b.recover(None, &wal, SimTime::from_secs(2)).unwrap(), 2);
+        assert_eq!(b.stats().flood_hash, a.stats().flood_hash);
+        assert_eq!(b.stats().records_flooded, 1);
+        // The drain replayed: nothing to re-flood.
+        assert!(drive(&mut b, Input::SyncTick { n_dps: 3 }).is_empty());
+    }
+
+    #[test]
+    fn snapshot_prunes_expired_records() {
+        let mut a = pnode(0);
+        drive(&mut a, Input::Inform(rec(1, 0, 2))); // est_finish = 3600 s
+        drive(&mut a, Input::SyncTick { n_dps: 3 });
+        let (snap, live_records) = a.snapshot_encode(SimTime::from_secs(7200));
+        assert_eq!(live_records, 0, "expired record must not be snapshot");
+        let mut b = pnode(0);
+        b.recover(Some(&snap), &[], SimTime::from_secs(7200)).unwrap();
+        assert_eq!(
+            b.engine_mut().availability(SimTime::from_secs(7200)),
+            vec![16, 16, 16, 16]
+        );
+    }
+
+    #[test]
+    fn corrupt_snapshot_errors_without_panicking() {
+        let mut a = pnode(0);
+        drive(&mut a, Input::Inform(rec(1, 0, 2)));
+        let (snap, _) = a.snapshot_encode(SimTime::from_secs(1));
+        for end in 0..snap.len() {
+            let mut b = pnode(0);
+            assert!(
+                b.snapshot_decode(&snap[..end], SimTime::from_secs(1)).is_err(),
+                "truncation at {end} must error"
+            );
+        }
+        let mut bad = snap.clone();
+        bad[0] = 0xFF; // unknown version
+        assert!(pnode(0).snapshot_decode(&bad, SimTime::from_secs(1)).is_err());
+        let mut trailing = snap;
+        trailing.push(0);
+        assert!(pnode(0)
+            .snapshot_decode(&trailing, SimTime::from_secs(1))
+            .is_err());
     }
 }

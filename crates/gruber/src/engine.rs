@@ -62,7 +62,9 @@ impl GruberEngine {
 
     /// Records a dispatch this decision point just brokered: folds it into
     /// the local view immediately and queues it for the next peer exchange.
-    pub fn record_dispatch(&mut self, rec: DispatchRecord, now: SimTime) {
+    /// Returns whether the view accepted the record (false for duplicates
+    /// and already-expired records).
+    pub fn record_dispatch(&mut self, rec: DispatchRecord, now: SimTime) -> bool {
         if self.view.observe(&rec, now) {
             self.tracer.emit(now, || TraceEvent::QueryAccepted {
                 dp: self.dp,
@@ -70,11 +72,13 @@ impl GruberEngine {
             });
             self.outgoing.push(rec);
             self.dispatches_recorded += 1;
+            true
         } else {
             self.tracer.emit(now, || TraceEvent::QueryDuplicate {
                 dp: self.dp,
                 job: rec.job,
             });
+            false
         }
     }
 
@@ -106,6 +110,38 @@ impl GruberEngine {
         for rec in records {
             if self.view.observe(rec, now) {
                 self.outgoing.push(*rec);
+                new += 1;
+            }
+        }
+        self.note_merge(now);
+        self.peers_merged += new as u64;
+        self.tracer.emit(now, || TraceEvent::ExchangeMerged {
+            dp: self.dp,
+            received: records.len() as u32,
+            fresh: new as u32,
+        });
+        new
+    }
+
+    /// Like [`GruberEngine::merge_peer_records`] (or the forwarding
+    /// variant when `forward` is true), but additionally collects the
+    /// records that were fresh for this engine into `fresh_out`. Drivers
+    /// that persist applied records need the exact accepted set — the
+    /// count alone is not enough to rebuild the view on recovery.
+    pub fn merge_peer_records_collect(
+        &mut self,
+        records: &[DispatchRecord],
+        now: SimTime,
+        forward: bool,
+        fresh_out: &mut Vec<DispatchRecord>,
+    ) -> usize {
+        let mut new = 0;
+        for rec in records {
+            if self.view.observe(rec, now) {
+                if forward {
+                    self.outgoing.push(*rec);
+                }
+                fresh_out.push(*rec);
                 new += 1;
             }
         }
@@ -185,6 +221,29 @@ impl GruberEngine {
     /// Lifetime counters `(own dispatches, peer records merged)`.
     pub fn counters(&self) -> (u64, u64) {
         (self.dispatches_recorded, self.peers_merged)
+    }
+
+    /// Read access to the pending outgoing dispatch log, in queue order.
+    /// Snapshots capture this so a recovered point retransmits records it
+    /// had accepted but not yet flooded.
+    pub fn outgoing(&self) -> &[DispatchRecord] {
+        &self.outgoing
+    }
+
+    /// Restores lifetime counters and merge-gap bookkeeping from a
+    /// snapshot. Only recovery paths call this; normal operation derives
+    /// these from observed traffic.
+    pub fn restore_counters(
+        &mut self,
+        dispatches_recorded: u64,
+        peers_merged: u64,
+        last_merge_at: Option<SimTime>,
+        max_merge_gap: SimDuration,
+    ) {
+        self.dispatches_recorded = dispatches_recorded;
+        self.peers_merged = peers_merged;
+        self.last_merge_at = last_merge_at;
+        self.max_merge_gap = max_merge_gap;
     }
 
     fn note_merge(&mut self, now: SimTime) {

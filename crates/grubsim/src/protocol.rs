@@ -21,9 +21,21 @@ use std::collections::BinaryHeap;
 
 use diperf::RequestTrace;
 use dpnode::{Dissemination, DpNode, DpNodeStats, Effect, FloodPayload, Input, NodeConfig, Topology};
+use dpstore::{SimStore, Store as _};
 use gruber::DispatchRecord;
 use gruber_types::{DpId, GroupId, JobId, SimDuration, SimTime, SiteId, SiteSpec, VoId};
 use usla::UslaSet;
+
+/// Crash one decision point mid-replay and restore it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashPlan {
+    /// When the point crashes.
+    pub at: SimTime,
+    /// Which point crashes (wrapped modulo `n_dps`).
+    pub dp: u32,
+    /// How long it stays down before restoring.
+    pub down_for: SimDuration,
+}
 
 /// How to replay a trace through the protocol core.
 #[derive(Debug, Clone, Copy)]
@@ -39,6 +51,17 @@ pub struct ProtocolReplayConfig {
     pub job_runtime: SimDuration,
     /// Seed for gossip peer selection (unused by deterministic topologies).
     pub seed: u64,
+    /// Log every applied record to a per-node WAL ([`dpstore::SimStore`])
+    /// and rebuild a restored point from snapshot + log. Off, a restored
+    /// point simply resumes with the state it held when it went down.
+    pub persist: bool,
+    /// Snapshot (and truncate the WAL) once it holds this many records;
+    /// `0` never snapshots, so recovery replays the full log. The replay
+    /// driver has no wall clock worth modeling, so record count is its
+    /// only snapshot trigger. Only meaningful with `persist`.
+    pub snapshot_records: u32,
+    /// Optional mid-replay crash/restore of one point.
+    pub crash: Option<CrashPlan>,
 }
 
 /// What the protocol replay concluded.
@@ -54,6 +77,10 @@ pub struct ProtocolReplayReport {
     pub queries_replayed: u64,
     /// Synthetic informs replayed (answered entries only).
     pub informs_replayed: u64,
+    /// Crash restorations performed (0 or 1 with a single [`CrashPlan`]).
+    pub recoveries: u64,
+    /// WAL records replayed into fresh nodes during recovery.
+    pub wal_records_replayed: u64,
 }
 
 /// One scheduled driver event. Ordering is `(at, seq)` so ties resolve in
@@ -68,6 +95,8 @@ enum Ev {
     Query { dp: usize },
     Inform { dp: usize, record: DispatchRecord },
     Timer { dp: usize },
+    Crash { dp: usize },
+    Restore { dp: usize },
 }
 
 impl PartialEq for HeapEv {
@@ -101,21 +130,19 @@ pub fn replay_protocol(
     let n_dps = cfg.n_dps;
     let n_sites = sites.len().max(1);
 
-    let mut nodes: Vec<DpNode> = (0..n_dps)
-        .map(|i| {
-            DpNode::new(
-                NodeConfig {
-                    id: DpId(i as u32),
-                    topology: cfg.topology,
-                    dissemination: Dissemination::UsageOnly,
-                    sync_every: Some(cfg.sync_interval),
-                    gossip_seed: cfg.seed,
-                },
-                sites,
-                uslas,
-            )
-        })
-        .collect();
+    let node_cfg = |i: usize| NodeConfig {
+        id: DpId(i as u32),
+        topology: cfg.topology,
+        dissemination: Dissemination::UsageOnly,
+        sync_every: Some(cfg.sync_interval),
+        gossip_seed: cfg.seed,
+        persist: cfg.persist,
+    };
+    let mut nodes: Vec<DpNode> =
+        (0..n_dps).map(|i| DpNode::new(node_cfg(i), sites, uslas)).collect();
+    let mut stores: Vec<SimStore> = (0..n_dps).map(|_| SimStore::new()).collect();
+    let mut recoveries = 0u64;
+    let mut wal_replayed = 0u64;
 
     let mut heap = BinaryHeap::new();
     let mut seq = 0u64;
@@ -150,6 +177,14 @@ pub fn replay_protocol(
         push(&mut heap, &mut seq, at, Ev::Inform { dp, record });
     }
 
+    if let Some(plan) = cfg.crash {
+        let dp = plan.dp as usize % n_dps;
+        push(&mut heap, &mut seq, plan.at, Ev::Crash { dp });
+        let back = plan.at + plan.down_for;
+        push(&mut heap, &mut seq, back, Ev::Restore { dp });
+        last_event = last_event.max(back);
+    }
+
     // Each node self-clocks after the first driver-seeded timer; timers
     // stop re-arming past the horizon so the loop terminates.
     let horizon = last_event + cfg.sync_interval + cfg.sync_interval;
@@ -168,15 +203,16 @@ pub fn replay_protocol(
             Ev::Inform { dp, record } => {
                 informs += 1;
                 nodes[dp].handle(at, Input::Inform(record), &mut fx);
-                fx.clear();
+                absorb_persist(&mut nodes[dp], &mut stores[dp], at, cfg.snapshot_records, &mut fx);
             }
             Ev::Timer { dp } => {
                 nodes[dp].handle(at, Input::TimerFired { n_dps }, &mut fx);
                 let effects: Vec<Effect> = fx.drain(..).collect();
+                let mut appended = false;
                 for effect in effects {
                     match effect {
                         Effect::FloodTo { peers, payload } => {
-                            deliver(&mut nodes, at, &peers, &payload);
+                            deliver(&mut nodes, &mut stores, dp, at, &peers, &payload, cfg.snapshot_records);
                         }
                         Effect::SetTimer { after } => {
                             let next = at + after;
@@ -184,8 +220,36 @@ pub fn replay_protocol(
                                 push(&mut heap, &mut seq, next, Ev::Timer { dp });
                             }
                         }
+                        Effect::Persist(op) => {
+                            stores[dp].append(at, &op);
+                            appended = true;
+                        }
                         _ => {}
                     }
+                }
+                if appended {
+                    maybe_snapshot(&mut nodes[dp], &mut stores[dp], at, cfg.snapshot_records);
+                }
+            }
+            Ev::Crash { dp } => {
+                nodes[dp].set_up(false);
+            }
+            Ev::Restore { dp } => {
+                recoveries += 1;
+                if cfg.persist {
+                    // Rebuild from durable state, exactly like the other
+                    // two drivers: fresh node, then snapshot + log replay.
+                    let recovery = stores[dp].recover();
+                    let mut fresh = DpNode::new(node_cfg(dp), sites, uslas);
+                    fresh.set_up(false);
+                    let replayed = fresh
+                        .recover(recovery.snapshot.as_deref(), &recovery.wal, at)
+                        .expect("a store's own snapshot must decode");
+                    wal_replayed += u64::from(replayed);
+                    fresh.set_up(true);
+                    nodes[dp] = fresh;
+                } else {
+                    nodes[dp].set_up(true);
                 }
             }
         }
@@ -199,10 +263,21 @@ pub fn replay_protocol(
         for dp in 0..n_dps {
             nodes[dp].handle(t, Input::SyncTick { n_dps }, &mut fx);
             let effects: Vec<Effect> = fx.drain(..).collect();
+            let mut appended = false;
             for effect in effects {
-                if let Effect::FloodTo { peers, payload } = effect {
-                    deliver(&mut nodes, t, &peers, &payload);
+                match effect {
+                    Effect::FloodTo { peers, payload } => {
+                        deliver(&mut nodes, &mut stores, dp, t, &peers, &payload, cfg.snapshot_records);
+                    }
+                    Effect::Persist(op) => {
+                        stores[dp].append(t, &op);
+                        appended = true;
+                    }
+                    _ => {}
                 }
+            }
+            if appended {
+                maybe_snapshot(&mut nodes[dp], &mut stores[dp], t, cfg.snapshot_records);
             }
         }
     }
@@ -218,17 +293,68 @@ pub fn replay_protocol(
         converged,
         queries_replayed: queries,
         informs_replayed: informs,
+        recoveries,
+        wal_records_replayed: wal_replayed,
     }
 }
 
 /// Zero-latency flood delivery: hand the payload to each peer in place.
 /// `PeerRecords` never emits floods itself (forwarded records wait for the
-/// peer's own next sync round), so no recursion is needed.
-fn deliver(nodes: &mut [DpNode], at: SimTime, peers: &[usize], payload: &FloodPayload) {
+/// peer's own next sync round), so no recursion is needed. A down peer
+/// cannot receive: the payload goes back on the sender's outgoing log so
+/// the next round retransmits it — a crash delays state, it must not
+/// destroy it (same contract as the discrete-event driver's retry
+/// exhaustion path).
+fn deliver(
+    nodes: &mut [DpNode],
+    stores: &mut [SimStore],
+    from: usize,
+    at: SimTime,
+    peers: &[usize],
+    payload: &FloodPayload,
+    snapshot_records: u32,
+) {
     let mut fx = Vec::new();
+    let mut requeued = false;
     for &j in peers {
+        if !nodes[j].up() {
+            if !requeued {
+                nodes[from].requeue(payload);
+                requeued = true;
+            }
+            continue;
+        }
         nodes[j].handle(at, Input::PeerRecords(payload.clone()), &mut fx);
-        fx.clear();
+        absorb_persist(&mut nodes[j], &mut stores[j], at, snapshot_records, &mut fx);
+    }
+}
+
+/// Drains `fx`, appending any [`Effect::Persist`] ops to the node's store
+/// (all other effects at these call sites have no consumer), then snapshots
+/// if the WAL hit the configured count.
+fn absorb_persist(
+    node: &mut DpNode,
+    store: &mut SimStore,
+    at: SimTime,
+    snapshot_records: u32,
+    fx: &mut Vec<Effect>,
+) {
+    let mut appended = false;
+    for effect in fx.drain(..) {
+        if let Effect::Persist(op) = effect {
+            store.append(at, &op);
+            appended = true;
+        }
+    }
+    if appended {
+        maybe_snapshot(node, store, at, snapshot_records);
+    }
+}
+
+fn maybe_snapshot(node: &mut DpNode, store: &mut SimStore, at: SimTime, snapshot_records: u32) {
+    if snapshot_records > 0 && store.wal_len() >= snapshot_records as usize {
+        let (bytes, _) = node.snapshot_encode(at);
+        store.write_snapshot(&bytes);
     }
 }
 
@@ -249,6 +375,23 @@ mod tests {
             sync_interval: SimDuration::from_secs(10),
             job_runtime: SimDuration::from_secs(100_000),
             seed: 7,
+            persist: false,
+            snapshot_records: 0,
+            crash: None,
+        }
+    }
+
+    /// Crash point 1 at t=12s for 10s, with persistence on.
+    fn crashy_cfg(n_dps: usize, snapshot_records: u32) -> ProtocolReplayConfig {
+        ProtocolReplayConfig {
+            persist: true,
+            snapshot_records,
+            crash: Some(CrashPlan {
+                at: SimTime::from_secs(12),
+                dp: 1,
+                down_for: SimDuration::from_secs(10),
+            }),
+            ..cfg(n_dps, Topology::FullMesh)
         }
     }
 
@@ -334,6 +477,57 @@ mod tests {
         // DpId(9) % 2 == point 1.
         assert_eq!(r.per_dp[1].queries, 1);
         assert_eq!(r.per_dp[1].informs, 1);
+    }
+
+    #[test]
+    fn crash_with_persistence_replays_wal_and_still_converges() {
+        let r = replay_protocol(
+            &answered_trace(30, 3),
+            &sites(4, 64),
+            &equal_shares(2, 2).unwrap(),
+            crashy_cfg(3, 0), // never snapshot: recovery is pure WAL replay
+        );
+        assert_eq!(r.recoveries, 1);
+        assert!(r.wal_records_replayed > 0, "nothing replayed: {r:?}");
+        assert!(r.converged, "views diverged after recovery: {:?}", r.final_views);
+        // The crashed point dropped its own traffic while down, so fewer
+        // than 30 records survive — but everyone agrees on the survivors.
+        let consumed: u32 = r.final_views[0].iter().map(|f| 64 - f).sum();
+        assert!(consumed < 30 && consumed > 0, "consumed {consumed}");
+    }
+
+    #[test]
+    fn snapshots_shrink_the_replayed_wal() {
+        let full = replay_protocol(
+            &answered_trace(30, 3),
+            &sites(4, 64),
+            &equal_shares(2, 2).unwrap(),
+            crashy_cfg(3, 0),
+        );
+        let snapped = replay_protocol(
+            &answered_trace(30, 3),
+            &sites(4, 64),
+            &equal_shares(2, 2).unwrap(),
+            crashy_cfg(3, 2), // snapshot every 2 records
+        );
+        assert!(
+            snapped.wal_records_replayed < full.wal_records_replayed,
+            "snapshots did not shorten replay: {} vs {}",
+            snapped.wal_records_replayed,
+            full.wal_records_replayed
+        );
+        assert!(snapped.converged);
+        assert_eq!(snapped.final_views, full.final_views);
+    }
+
+    #[test]
+    fn crash_without_persistence_resumes_with_retained_state() {
+        let mut c = crashy_cfg(3, 0);
+        c.persist = false;
+        let r = replay_protocol(&answered_trace(30, 3), &sites(4, 64), &equal_shares(2, 2).unwrap(), c);
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.wal_records_replayed, 0);
+        assert!(r.converged, "views diverged: {:?}", r.final_views);
     }
 
     #[test]

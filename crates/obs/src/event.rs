@@ -313,6 +313,28 @@ pub enum TraceEvent {
         /// Total decision points after the addition.
         total: u32,
     },
+    /// `dpstore`: one operation was appended to a decision point's WAL.
+    WalAppended {
+        /// The persisting decision point.
+        dp: DpId,
+    },
+    /// `dpstore`: a snapshot was written (and the WAL truncated).
+    SnapshotWritten {
+        /// The persisting decision point.
+        dp: DpId,
+        /// Live dispatch records serialised into the snapshot.
+        records: u32,
+    },
+    /// `digruber::faults`: a restarting decision point replayed its
+    /// durable snapshot + WAL instead of rejoining empty.
+    RecoveryReplayed {
+        /// The recovering decision point.
+        dp: DpId,
+        /// WAL operations replayed into the fresh node.
+        records: u32,
+        /// Modeled recovery latency charged before the rejoin, ms.
+        dur_ms: u32,
+    },
 }
 
 impl TraceEvent {
@@ -354,6 +376,9 @@ impl TraceEvent {
             TraceEvent::DpSlowdownEnded { .. } => "dp_slowdown_ended",
             TraceEvent::ReplayOverload { .. } => "replay_overload",
             TraceEvent::ReplayDpAdded { .. } => "replay_dp_added",
+            TraceEvent::WalAppended { .. } => "wal_appended",
+            TraceEvent::SnapshotWritten { .. } => "snapshot_written",
+            TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
         }
     }
 }

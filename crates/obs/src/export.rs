@@ -6,12 +6,14 @@
 //! byte-stable — the trace-determinism test compares the full JSONL output
 //! of `--jobs 1` and `--jobs 8` runs byte for byte.
 //!
-//! ## JSONL schema (`digruber-trace/2`)
+//! ## JSONL schema (`digruber-trace/3`)
 //!
 //! (v2 added the fault-injection counters: per-bin and per-DP `lost` /
 //! `retries`, per-DP `retries_exhausted` / `duplicated` /
 //! `partition_drops`, and the run-total loss/retry/partition/slowdown
-//! fields.)
+//! fields. v3 added the durability counters: per-DP `wal_appends` /
+//! `snapshots` / `wal_replayed` / `recovery_ms`, and the run-total
+//! `wal_appends` / `snapshots` / `wal_replayed` / `max_recovery_ms`.)
 //!
 //! One JSON object per line, discriminated by `"type"`:
 //!
@@ -110,6 +112,8 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
          \"dropped_requests\":{},\"rebinds_gained\":{},\"rebinds_lost\":{},\
          \"lost\":{},\"retries\":{},\"retries_exhausted\":{},\
          \"duplicated\":{},\"partition_drops\":{},\
+         \"wal_appends\":{},\"snapshots\":{},\"wal_replayed\":{},\
+         \"recovery_ms\":{},\
          \"sum_response_ms\":{},\"max_response_ms\":{},\"hist_log2_ms\":{}}}",
         t.dp.index(),
         t.issued,
@@ -137,6 +141,10 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
         t.retries_exhausted,
         t.duplicated,
         t.partition_drops,
+        t.wal_appends,
+        t.snapshots,
+        t.wal_replayed,
+        t.recovery_ms,
         t.sum_response_ms,
         t.max_response_ms,
         hist_json(&t.hist),
@@ -144,14 +152,14 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
 }
 
 impl RunTimeline {
-    /// Renders the timeline as JSONL (schema `digruber-trace/2`); `run`
+    /// Renders the timeline as JSONL (schema `digruber-trace/3`); `run`
     /// labels every line so multiple runs can append to one file.
     pub fn to_jsonl(&self, run: &str) -> String {
         let run = json_escape(run);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/2\",\"run\":\"{run}\",\
+            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/3\",\"run\":\"{run}\",\
              \"cadence_ms\":{},\"end_ms\":{},\"dps\":{},\"raw_ring\":{},\
              \"dropped_raw\":{}}}",
             self.cadence_ms,
@@ -189,7 +197,9 @@ impl RunTimeline {
              \"replay_dps_added\":{},\"msgs_lost\":{},\"retries\":{},\
              \"retries_exhausted\":{},\"msgs_duplicated\":{},\
              \"partition_drops\":{},\"partitions_started\":{},\
-             \"partitions_healed\":{},\"link_windows\":{},\"slowdowns\":{}}}",
+             \"partitions_healed\":{},\"link_windows\":{},\"slowdowns\":{},\
+             \"wal_appends\":{},\"snapshots\":{},\"wal_replayed\":{},\
+             \"max_recovery_ms\":{}}}",
             r.issued,
             r.answered,
             r.late,
@@ -214,6 +224,10 @@ impl RunTimeline {
             r.partitions_healed,
             r.link_windows,
             r.slowdowns,
+            r.wal_appends,
+            r.snapshots,
+            r.wal_replayed,
+            r.max_recovery_ms,
         );
         out
     }
@@ -258,6 +272,14 @@ impl RunTimeline {
                 out,
                 "  fault plan: {} partitions ({} healed), {} link-fault windows, {} slowdowns",
                 r.partitions_started, r.partitions_healed, r.link_windows, r.slowdowns
+            );
+        }
+        if r.wal_appends + r.snapshots + r.wal_replayed > 0 {
+            let _ = writeln!(
+                out,
+                "  durability: {} WAL appends, {} snapshots, {} records replayed \
+                 (max recovery {} ms)",
+                r.wal_appends, r.snapshots, r.wal_replayed, r.max_recovery_ms
             );
         }
         if r.replay_overloads + r.replay_dps_added > 0 {
@@ -375,7 +397,7 @@ mod tests {
         let jsonl = tl.to_jsonl("test-run");
         let lines: Vec<&str> = jsonl.lines().collect();
         assert!(lines[0].contains("\"type\":\"meta\""));
-        assert!(lines[0].contains("\"schema\":\"digruber-trace/2\""));
+        assert!(lines[0].contains("\"schema\":\"digruber-trace/3\""));
         assert!(lines.last().unwrap().contains("\"type\":\"run_total\""));
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");

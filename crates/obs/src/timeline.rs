@@ -194,6 +194,14 @@ pub struct DpTotals {
     pub sum_response_ms: u64,
     /// Largest response time, ms.
     pub max_response_ms: u64,
+    /// WAL operations appended by this point's store.
+    pub wal_appends: u64,
+    /// Snapshots written by this point's store.
+    pub snapshots: u64,
+    /// WAL operations replayed into this point across its recoveries.
+    pub wal_replayed: u64,
+    /// Largest modeled recovery-replay latency, ms (a maximum, not a sum).
+    pub recovery_ms: u64,
     /// Response-time histogram (answered + late).
     pub hist: ResponseHistogram,
 }
@@ -229,6 +237,10 @@ impl Default for DpTotals {
             partition_drops: 0,
             sum_response_ms: 0,
             max_response_ms: 0,
+            wal_appends: 0,
+            snapshots: 0,
+            wal_replayed: 0,
+            recovery_ms: 0,
             hist: ResponseHistogram {
                 buckets: [0; ResponseHistogram::BUCKETS],
             },
@@ -287,6 +299,14 @@ pub struct RunTotals {
     pub link_windows: u64,
     /// Decision-point slowdown windows that started.
     pub slowdowns: u64,
+    /// WAL operations appended across all stores.
+    pub wal_appends: u64,
+    /// Snapshots written across all stores.
+    pub snapshots: u64,
+    /// WAL operations replayed across all recoveries.
+    pub wal_replayed: u64,
+    /// Largest modeled recovery-replay latency, ms.
+    pub max_recovery_ms: u64,
 }
 
 /// Per-point rolling state inside the builder.
@@ -568,6 +588,22 @@ impl TimelineBuilder {
             }
             TraceEvent::ReplayDpAdded { .. } => {
                 self.totals.replay_dps_added += 1;
+            }
+            TraceEvent::WalAppended { dp } => {
+                self.dp(dp).tot.wal_appends += 1;
+                self.totals.wal_appends += 1;
+            }
+            TraceEvent::SnapshotWritten { dp, .. } => {
+                self.dp(dp).tot.snapshots += 1;
+                self.totals.snapshots += 1;
+            }
+            TraceEvent::RecoveryReplayed { dp, records, dur_ms } => {
+                let st = self.dp(dp);
+                st.tot.wal_replayed += u64::from(records);
+                st.tot.recovery_ms = st.tot.recovery_ms.max(u64::from(dur_ms));
+                self.totals.wal_replayed += u64::from(records);
+                self.totals.max_recovery_ms =
+                    self.totals.max_recovery_ms.max(u64::from(dur_ms));
             }
         }
     }

@@ -9,7 +9,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "==> cargo build --release (tier-1)"
-cargo build --release --offline
+cargo build --release --offline --workspace
 
 echo "==> cargo test -q (tier-1, whole workspace)"
 cargo test -q --workspace --offline
@@ -17,16 +17,29 @@ cargo test -q --workspace --offline
 echo "==> sim/live equivalence (same script, byte-identical floods)"
 cargo test -q --offline --test sim_live_equivalence
 
+echo "==> dpstore unit + proptests (WAL round-trip, torn-tail truncation)"
+cargo test -q --offline -p dpstore
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
 echo "==> cargo doc -p dpnode (protocol core docs stay warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p dpnode
 
+echo "==> cargo doc -p dpstore (persistence crate docs stay warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p dpstore
+
 echo "==> experiments degradation --fast (fault-injection smoke)"
 ./target/release/experiments degradation --fast > /dev/null
 test -s BENCH_degradation.json || { echo "ci.sh: BENCH_degradation.json missing"; exit 1; }
 test -s results/timeline_degradation.txt || { echo "ci.sh: degradation timelines missing"; exit 1; }
+
+echo "==> experiments recovery --fast (crash-recovery smoke)"
+./target/release/experiments recovery --fast > /dev/null
+test -s BENCH_recovery.json || { echo "ci.sh: BENCH_recovery.json missing"; exit 1; }
+test -s results/timeline_recovery.txt || { echo "ci.sh: recovery timelines missing"; exit 1; }
+grep -q 'digruber-bench-recovery/1' BENCH_recovery.json \
+  || { echo "ci.sh: BENCH_recovery.json has wrong schema"; exit 1; }
 
 echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS exists)"
 missing=0

@@ -108,6 +108,7 @@ fn run_sim_side() -> Vec<Observed> {
                     dissemination: Dissemination::UsageOnly,
                     sync_every: None,
                     gossip_seed: 0,
+                    persist: false,
                 },
                 &sites(),
                 &uslas,
@@ -251,4 +252,256 @@ fn same_script_same_observables_across_drivers() {
     // Distinct points flooded distinct payloads.
     assert_ne!(sim[0].flood_hash, sim[1].flood_hash);
     assert_ne!(sim[1].flood_hash, sim[2].flood_hash);
+}
+
+// ---------------------------------------------------------------------------
+// Crash/restore with persistence: the same script, but point 1 crashes
+// between the two rounds and is rebuilt from its WAL + snapshot. Both
+// drivers must recover it to byte-identical flood hashes and equal views.
+// ---------------------------------------------------------------------------
+
+use dpstore::{SimStore, Store as _};
+
+/// Snapshot once the WAL holds this many operations: small enough that the
+/// crashed point recovers through a snapshot *and* a WAL tail, so the test
+/// exercises both halves of the recovery path.
+const SNAPSHOT_RECORDS: u32 = 3;
+
+fn persist_cfg(i: usize) -> NodeConfig {
+    NodeConfig {
+        id: DpId(i as u32),
+        topology: Topology::FullMesh,
+        dissemination: Dissemination::UsageOnly,
+        sync_every: None,
+        gossip_seed: 0,
+        persist: true,
+    }
+}
+
+/// The discrete-event world for the persistent scenario: the nodes plus
+/// each point's durable store (the driver owns I/O, the node never sees
+/// it).
+struct PersistWorld {
+    nodes: Vec<DpNode>,
+    stores: Vec<SimStore>,
+}
+
+/// Appends any `Persist` effects to the point's store, then snapshots on
+/// the same record-count policy the live thread driver applies.
+fn absorb_persist(w: &mut PersistWorld, i: usize, at: SimTime, fx: &mut Vec<Effect>) {
+    for effect in fx.drain(..) {
+        if let Effect::Persist(op) = effect {
+            w.stores[i].append(at, &op);
+        }
+    }
+    if w.stores[i].wal_len() >= SNAPSHOT_RECORDS as usize {
+        let (bytes, _) = w.nodes[i].snapshot_encode(at);
+        w.stores[i].write_snapshot(&bytes);
+    }
+}
+
+fn persist_inform(w: &mut PersistWorld, dp: usize, at: SimTime, rec: DispatchRecord) {
+    let mut fx = Vec::new();
+    w.nodes[dp].handle(at, Input::Inform(rec), &mut fx);
+    absorb_persist(w, dp, at, &mut fx);
+}
+
+/// One zero-latency sync round with persistence: floods deliver in place,
+/// every `Persist` effect lands in the emitting point's store.
+fn persist_sync_round(w: &mut PersistWorld, now: SimTime) {
+    let n_dps = w.nodes.len();
+    let mut fx = Vec::new();
+    for i in 0..n_dps {
+        w.nodes[i].handle(now, Input::SyncTick { n_dps }, &mut fx);
+        let effects: Vec<Effect> = fx.drain(..).collect();
+        let mut fx2 = Vec::new();
+        for effect in effects {
+            match effect {
+                Effect::FloodTo { peers, payload } => {
+                    for j in peers {
+                        w.nodes[j].handle(now, Input::PeerRecords(payload.clone()), &mut fx2);
+                        absorb_persist(w, j, now, &mut fx2);
+                    }
+                }
+                Effect::Persist(op) => {
+                    w.stores[i].append(now, &op);
+                }
+                _ => {}
+            }
+        }
+        if w.stores[i].wal_len() >= SNAPSHOT_RECORDS as usize {
+            let (bytes, _) = w.nodes[i].snapshot_encode(now);
+            w.stores[i].write_snapshot(&bytes);
+        }
+    }
+}
+
+/// Runs the crash script under the discrete-event driver.
+fn run_sim_side_crash() -> Vec<Observed> {
+    let uslas = equal_shares(2, 2).unwrap();
+    let world = PersistWorld {
+        nodes: (0..N_DPS)
+            .map(|i| DpNode::new(persist_cfg(i), &sites(), &uslas))
+            .collect(),
+        stores: (0..N_DPS).map(|_| SimStore::new()).collect(),
+    };
+
+    let mut sim = Simulation::new(world);
+    for (dp, rec) in round1_informs() {
+        let at = rec.dispatched_at;
+        sim.scheduler().schedule_at(at, move |w: &mut PersistWorld, _| {
+            persist_inform(w, dp, at, rec);
+        });
+    }
+    sim.scheduler()
+        .schedule_at(SimTime::from_secs(10), |w: &mut PersistWorld, _| {
+            persist_sync_round(w, SimTime::from_secs(10));
+        });
+    // Crash point 1 after the first round converged; restore it from its
+    // store before round two.
+    sim.scheduler()
+        .schedule_at(SimTime::from_secs(12), |w: &mut PersistWorld, _| {
+            w.nodes[1].set_up(false);
+        });
+    let uslas_r = uslas.clone();
+    sim.scheduler()
+        .schedule_at(SimTime::from_secs(14), move |w: &mut PersistWorld, _| {
+            // Same recovery path as the live and replay drivers: fresh
+            // node, then snapshot + WAL replay.
+            let recovery = w.stores[1].recover();
+            let mut fresh = DpNode::new(persist_cfg(1), &sites(), &uslas_r);
+            fresh
+                .recover(recovery.snapshot.as_deref(), &recovery.wal, SimTime::from_secs(14))
+                .expect("a store's own snapshot must decode");
+            w.nodes[1] = fresh;
+        });
+    for (dp, rec) in round2_informs() {
+        let at = SimTime::from_secs(15);
+        sim.scheduler().schedule_at(at, move |w: &mut PersistWorld, _| {
+            persist_inform(w, dp, at, rec);
+        });
+    }
+    sim.scheduler()
+        .schedule_at(SimTime::from_secs(20), |w: &mut PersistWorld, _| {
+            persist_sync_round(w, SimTime::from_secs(20));
+        });
+    sim.run_to_completion(1_000);
+
+    let t_end = SimTime::from_secs(21);
+    let mut world = sim.into_world();
+    let mut out = Vec::new();
+    for node in &mut world.nodes {
+        let mut fx = Vec::new();
+        node.handle(t_end, Input::QueryArrived { admission: None }, &mut fx);
+        let Some(Effect::Reply { free, .. }) = fx.pop() else {
+            panic!("query produced no reply");
+        };
+        let s: DpNodeStats = node.stats();
+        out.push(Observed {
+            informs: s.informs,
+            sync_rounds: s.sync_rounds,
+            floods_sent: s.floods_sent,
+            records_merged: s.records_merged,
+            flood_hash: s.flood_hash,
+            final_view: free,
+        });
+    }
+    out
+}
+
+/// Runs the crash script under the live thread driver with a persistent
+/// cluster.
+fn run_live_side_crash() -> Vec<Observed> {
+    use digruber::live::LiveCluster;
+
+    let uslas = equal_shares(2, 2).unwrap();
+    let cluster = LiveCluster::start_persistent(
+        N_DPS,
+        sites(),
+        &uslas,
+        Duration::from_secs(3600),
+        SNAPSHOT_RECORDS,
+    );
+
+    let await_views = |expect: &[Vec<u32>]| -> Vec<Vec<u32>> {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let views: Vec<Vec<u32>> = (0..N_DPS)
+                .map(|i| {
+                    cluster
+                        .query(DpId(i as u32), Duration::from_secs(5))
+                        .expect("live query timed out")
+                })
+                .collect();
+            if views == expect {
+                return views;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "live cluster never reached {expect:?}, last saw {views:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    for (dp, rec) in round1_informs() {
+        cluster.inform(DpId(dp as u32), rec);
+    }
+    cluster.force_sync();
+    await_views(&vec![vec![12, 14, 8, 16]; N_DPS]);
+
+    // Crash and recover point 1: FIFO on its channel orders the crash
+    // before the restore, and convergence above guarantees its store
+    // already journaled everything round one applied.
+    cluster.crash(DpId(1));
+    cluster.restore(DpId(1));
+
+    for (dp, rec) in round2_informs() {
+        cluster.inform(DpId(dp as u32), rec);
+    }
+    cluster.force_sync();
+    let final_views = await_views(&vec![vec![12, 14, 8, 15]; N_DPS]);
+
+    let stats = cluster.shutdown();
+    assert_eq!(stats[1].recoveries, 1, "point 1 recovered exactly once");
+    assert!(
+        stats[1].wal_records_replayed > 0 || stats[1].informs > 0,
+        "recovery restored state from the store: {:?}",
+        stats[1]
+    );
+    stats
+        .into_iter()
+        .zip(final_views)
+        .map(|(s, final_view)| Observed {
+            informs: s.informs,
+            sync_rounds: s.sync_rounds,
+            floods_sent: s.floods_sent,
+            records_merged: s.records_merged,
+            flood_hash: s.flood_hash,
+            final_view,
+        })
+        .collect()
+}
+
+#[test]
+fn crash_recovery_matches_across_drivers_with_persistence_on() {
+    let sim = run_sim_side_crash();
+    let live = run_live_side_crash();
+    assert_eq!(
+        sim, live,
+        "sim and live drivers diverged across a crash + store recovery"
+    );
+
+    // The recovered point must look exactly like it never crashed: the
+    // crash-free script above pins the same counters, hashes and views.
+    let expect_hash_default = DpNodeStats::default().flood_hash;
+    for (i, o) in sim.iter().enumerate() {
+        assert_eq!(o.sync_rounds, 1, "dp{i}: one payload-producing round");
+        assert_eq!(o.floods_sent, 2, "dp{i}: two mesh peers");
+        assert_ne!(o.flood_hash, expect_hash_default, "dp{i}: hash untouched");
+        assert_eq!(o.final_view, vec![12, 14, 8, 15], "dp{i}: final view");
+    }
+    assert_eq!(sim[1].informs, 1, "dp1's inform survived the crash");
+    assert_eq!(sim[1].records_merged, 3, "dp1 re-merged jobs 1, 2 and 4");
+    assert_ne!(sim[0].flood_hash, sim[1].flood_hash);
 }
