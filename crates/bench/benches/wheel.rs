@@ -1,0 +1,96 @@
+//! Queue-backend micro-benchmarks: the calendar queue ([`TimerWheel`])
+//! head-to-head against the reference binary heap ([`HeapQueue`]) on the
+//! access patterns a DI-GRUBER run actually produces.
+//!
+//! Three patterns bracket the design space:
+//!   * `uniform_horizon` — inserts spread over a short horizon, then a
+//!     full drain (the seeding + ramp shape; heap pays `log n` per op).
+//!   * `interleaved_churn` — steady-state closed loop: every pop schedules
+//!     a near-future successor, queue depth stays constant.
+//!   * `far_future_spill` — timeouts and hour-scale jobs: most entries
+//!     land past the wheels' direct span and must route through the spill
+//!     level, the wheel's worst case.
+//!
+//! The same driver runs both backends via the generic [`Simulation`], so a
+//! regression in either shows up as a ratio change, not just a slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use desim::wheel::EventQueue;
+use desim::{HeapQueue, Simulation, TimerWheel};
+use gruber_types::{SimDuration, SimTime};
+
+const N: u64 = 100_000;
+
+/// Cheap deterministic offset stream (SplitMix64 finalizer) so both
+/// backends see an identical, non-trivial schedule.
+fn mix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn uniform_horizon<Q: EventQueue>() {
+    let mut sim = Simulation::<u64, Q>::with_queue(0u64);
+    for i in 0..N {
+        sim.scheduler()
+            .schedule_at(SimTime(mix(i) % 60_000), |w, _| *w += 1);
+    }
+    sim.run_until(SimTime(60_000));
+    assert_eq!(*sim.world(), N);
+}
+
+fn interleaved_churn<Q: EventQueue>() {
+    fn step<Q: EventQueue>(w: &mut u64, s: &mut desim::Scheduler<u64, Q>) {
+        *w += 1;
+        if *w < N {
+            s.schedule_in(SimDuration::from_millis(1 + mix(*w) % 200), step);
+        }
+    }
+    let mut sim = Simulation::<u64, Q>::with_queue(0u64);
+    // 64 concurrent closed-loop chains, like submission hosts.
+    for i in 0..64 {
+        sim.scheduler().schedule_at(SimTime(i), step);
+    }
+    sim.run_to_completion(2 * N);
+    assert!(*sim.world() >= N);
+}
+
+fn far_future_spill<Q: EventQueue>() {
+    let mut sim = Simulation::<u64, Q>::with_queue(0u64);
+    for i in 0..N {
+        // Hour-scale offsets: far beyond the wheels' ~17.5-minute direct
+        // span, so nearly everything routes via the spill level.
+        sim.scheduler()
+            .schedule_at(SimTime(mix(i) % 3_600_000), |w, _| *w += 1);
+    }
+    sim.run_until(SimTime(3_600_000));
+    assert_eq!(*sim.world(), N);
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wheel_vs_heap");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("uniform_horizon/wheel", |b| {
+        b.iter(uniform_horizon::<TimerWheel>)
+    });
+    g.bench_function("uniform_horizon/heap", |b| {
+        b.iter(uniform_horizon::<HeapQueue>)
+    });
+    g.bench_function("interleaved_churn/wheel", |b| {
+        b.iter(interleaved_churn::<TimerWheel>)
+    });
+    g.bench_function("interleaved_churn/heap", |b| {
+        b.iter(interleaved_churn::<HeapQueue>)
+    });
+    g.bench_function("far_future_spill/wheel", |b| {
+        b.iter(far_future_spill::<TimerWheel>)
+    });
+    g.bench_function("far_future_spill/heap", |b| {
+        b.iter(far_future_spill::<HeapQueue>)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -16,10 +16,12 @@
 use bench::degradation::DegradationRow;
 use bench::recovery::RecoveryRow;
 use bench::render::{render_accuracy, render_figure, render_table_block};
+use bench::scale::ScaleRow;
 use bench::{
     accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs,
     degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, recovery_cells,
-    recovery_json, render_degradation, render_recovery, run_specs, SEED,
+    recovery_json, render_degradation, render_recovery, render_scale, run_specs, scale_cells,
+    scale_json, SEED,
 };
 use digruber::{ExperimentOutput, RunSpec, ServiceKind};
 use gruber_types::{SimDuration, SimTime};
@@ -133,7 +135,7 @@ fn main() {
     };
     FAST.set(fast).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|scale|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -380,6 +382,51 @@ fn run(id: &str) {
                 .expect("write timeline summary");
             eprintln!("saved timeline summary to results/timeline_recovery.txt");
             println!("{}", render_recovery(&rows));
+        }
+        "scale" => {
+            // The paper-scale throughput study: full-fidelity Grid3×10
+            // decision-point sweep plus a Grid3×100 smoke, timed per cell
+            // and snapshotted into BENCH_scale.json. Always traced (the
+            // rows reconcile scheduler counters against the timeline).
+            let fast = *FAST.get().expect("set in main");
+            let cells = scale_cells(fast, SEED);
+            println!(
+                "[scale] {} cells{}",
+                cells.len(),
+                if fast { " (--fast)" } else { "" }
+            );
+            let (metas, specs): (Vec<_>, Vec<_>) =
+                cells.into_iter().map(|c| (c.meta, c.spec)).unzip();
+            let measurements = run_specs(&specs, jobs());
+            let rows: Vec<ScaleRow> = metas
+                .iter()
+                .zip(&measurements)
+                .map(|(meta, m)| {
+                    let out = m.output.as_ref().expect("scale cell failed");
+                    ScaleRow::from_output(meta, out, m.wall)
+                })
+                .collect();
+            let json = scale_json(jobs(), fast, &rows);
+            std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
+            eprintln!("scale snapshot -> BENCH_scale.json");
+            let mut text = String::new();
+            {
+                let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+                for m in &measurements {
+                    let out = m.output.as_ref().expect("scale cell failed");
+                    let tl = out.timeline.as_ref().expect("scale cells trace");
+                    if tracing_on() {
+                        jsonl.push_str(&tl.to_jsonl(&out.label));
+                    }
+                    text.push_str(&tl.render(&out.label));
+                    text.push('\n');
+                }
+            }
+            std::fs::create_dir_all("results").expect("create results/");
+            std::fs::write("results/timeline_scale.txt", text)
+                .expect("write timeline summary");
+            eprintln!("saved timeline summary to results/timeline_scale.txt");
+            println!("{}", render_scale(&rows));
         }
         other => {
             eprintln!("unknown experiment id {other:?}");

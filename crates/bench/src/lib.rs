@@ -13,10 +13,12 @@ pub mod drivers;
 pub mod parallel;
 pub mod recovery;
 pub mod render;
+pub mod scale;
 pub mod snapshot;
 
 pub use degradation::{degradation_cells, degradation_json, render_degradation, DegradationRow};
 pub use recovery::{recovery_cells, recovery_json, render_recovery, RecoveryRow};
+pub use scale::{render_scale, scale_cells, scale_json, ScaleRow};
 pub use drivers::*;
 pub use parallel::{default_jobs, run_specs, RunMeasurement};
 pub use snapshot::{output_fingerprint, SweepSnapshot};

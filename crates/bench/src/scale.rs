@@ -1,0 +1,293 @@
+//! The paper-scale throughput study (`experiments scale`).
+//!
+//! The calendar-queue scheduler exists so the *full-fidelity* paper
+//! deployment — Grid3×10 (~300 sites, tens of thousands of CPUs), 120
+//! submission hosts, one simulated hour — is a routine run rather than a
+//! budget item. This study runs exactly that, headlined by the Grid3×10
+//! decision-point sweep plus a Grid3×100 smoke (ten times the paper's
+//! grid again), and snapshots wall-clock, events/second and queue
+//! high-water marks into `BENCH_scale.json` (schema [`SCHEMA`]).
+//!
+//! Every cell runs traced, and the driver cross-checks the scheduler's
+//! own counters against the structured timeline: events executed and
+//! successful cancellations must reconcile ±0, which is the whole-run
+//! evidence that the wheel dropped or duplicated nothing.
+//!
+//! Cells seed client arrivals in batches ([`WorkloadSpec::arrival_batch`])
+//! — the scale knob the calibrated sweeps deliberately do not use, since
+//! batching reorders same-millisecond seeding sequence numbers and would
+//! therefore move their pinned fingerprints.
+
+use crate::snapshot::{json_f64, json_str, output_fingerprint};
+use digruber::config::DigruberConfig;
+use digruber::{ExperimentOutput, RunSpec, ServiceKind};
+use std::fmt::Write as _;
+use std::time::Duration;
+use workload::WorkloadSpec;
+
+/// Schema identifier embedded in `BENCH_scale.json`, bumped on breaking
+/// layout changes.
+pub const SCHEMA: &str = "digruber-bench-scale/1";
+
+/// Clients seeded per arrival batch.
+const ARRIVAL_BATCH: u32 = 16;
+
+/// The axes of one scale cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleCellMeta {
+    /// Grid multiplier over Grid3 (10 = the paper's environment).
+    pub grid_factor: usize,
+    /// Decision points deployed.
+    pub n_dps: usize,
+}
+
+/// One runnable cell of the scale study.
+#[derive(Debug, Clone)]
+pub struct ScaleCell {
+    /// The cell axes.
+    pub meta: ScaleCellMeta,
+    /// The run to execute for this cell.
+    pub spec: RunSpec,
+}
+
+fn cell(seed: u64, grid_factor: usize, n_dps: usize) -> ScaleCell {
+    let mut cfg = DigruberConfig::paper(n_dps, ServiceKind::Gt3, seed);
+    cfg.grid_factor = grid_factor;
+    // The counter reconciliation below needs the timeline.
+    cfg.trace = Some(obs::TraceConfig::default());
+    let wl = WorkloadSpec {
+        arrival_batch: Some(ARRIVAL_BATCH),
+        ..WorkloadSpec::paper_default()
+    };
+    ScaleCell {
+        meta: ScaleCellMeta { grid_factor, n_dps },
+        spec: RunSpec::new(
+            format!("scale: Grid3x{grid_factor} {n_dps} DPs"),
+            cfg,
+            wl,
+        ),
+    }
+}
+
+/// Builds the study: the full-fidelity Grid3×10 decision-point sweep
+/// (1/3/10 DPs, the paper's Figures 5–7 grid) plus the Grid3×100 smoke.
+/// `fast` trims to one Grid3×10 cell and the Grid3×100 smoke for CI.
+pub fn scale_cells(fast: bool, seed: u64) -> Vec<ScaleCell> {
+    let mut cells = Vec::new();
+    if fast {
+        cells.push(cell(seed, 10, 3));
+    } else {
+        for n_dps in [1usize, 3, 10] {
+            cells.push(cell(seed, 10, n_dps));
+        }
+    }
+    cells.push(cell(seed, 100, 3));
+    cells
+}
+
+/// One finished cell: the axes plus throughput measurements.
+#[derive(Debug, Clone)]
+pub struct ScaleRow {
+    /// The cell axes.
+    pub meta: ScaleCellMeta,
+    /// Spec label.
+    pub label: String,
+    /// Simulation events executed.
+    pub events: u64,
+    /// Wall-clock of the run on its worker thread, milliseconds.
+    pub wall_ms: f64,
+    /// Events per wall-clock second.
+    pub events_per_sec: f64,
+    /// Pending-queue high-water mark.
+    pub peak_pending: usize,
+    /// Fraction of requests answered in time.
+    pub handled_fraction: f64,
+    /// Peak throughput, queries/second.
+    pub peak_qps: f64,
+    /// Scheduler events executed minus timeline-counted executions
+    /// (must be 0).
+    pub executed_delta: i64,
+    /// Scheduler cancellations minus timeline-counted cancellations
+    /// (must be 0).
+    pub cancel_delta: i64,
+    /// Deterministic output fingerprint (FNV-1a, see
+    /// [`output_fingerprint`]).
+    pub fingerprint: String,
+}
+
+impl ScaleRow {
+    /// Extracts the row from a finished cell run, reconciling the
+    /// scheduler counters against the structured timeline. Panics on a
+    /// nonzero delta: a wheel that dropped or duplicated an event is not
+    /// a measurement, it is a bug.
+    pub fn from_output(meta: &ScaleCellMeta, out: &ExperimentOutput, wall: Duration) -> Self {
+        let totals = &out
+            .timeline
+            .as_ref()
+            .expect("scale cells always trace")
+            .totals;
+        let executed_delta = out.events_executed as i64 - totals.events_executed as i64;
+        let cancel_delta = out.sched_cancellations as i64 - totals.cancellations as i64;
+        assert_eq!(
+            executed_delta, 0,
+            "{}: scheduler executed {} events, timeline saw {}",
+            out.label, out.events_executed, totals.events_executed
+        );
+        assert_eq!(
+            cancel_delta, 0,
+            "{}: scheduler cancelled {} events, timeline saw {}",
+            out.label, out.sched_cancellations, totals.cancellations
+        );
+        let wall_ms = wall.as_secs_f64() * 1e3;
+        ScaleRow {
+            meta: meta.clone(),
+            label: out.label.clone(),
+            events: out.events_executed,
+            wall_ms,
+            events_per_sec: out.events_executed as f64 / wall.as_secs_f64().max(1e-9),
+            peak_pending: out.peak_pending,
+            handled_fraction: out.report.handled_fraction(),
+            peak_qps: out.report.peak_throughput_qps,
+            executed_delta,
+            cancel_delta,
+            fingerprint: output_fingerprint(out),
+        }
+    }
+}
+
+/// Serializes the study into the `BENCH_scale.json` document.
+pub fn scale_json(jobs: usize, fast: bool, rows: &[ScaleRow]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": {},", json_str(SCHEMA));
+    let _ = writeln!(s, "  \"jobs\": {jobs},");
+    let _ = writeln!(s, "  \"fast\": {fast},");
+    let _ = writeln!(s, "  \"arrival_batch\": {ARRIVAL_BATCH},");
+    let _ = writeln!(s, "  \"n_cells\": {},", rows.len());
+    s.push_str("  \"cells\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str("    {\n");
+        let _ = writeln!(s, "      \"grid_factor\": {},", r.meta.grid_factor);
+        let _ = writeln!(s, "      \"n_dps\": {},", r.meta.n_dps);
+        let _ = writeln!(s, "      \"label\": {},", json_str(&r.label));
+        let _ = writeln!(s, "      \"events\": {},", r.events);
+        let _ = writeln!(s, "      \"wall_ms\": {},", json_f64(r.wall_ms));
+        let _ = writeln!(s, "      \"events_per_sec\": {},", json_f64(r.events_per_sec));
+        let _ = writeln!(s, "      \"peak_pending\": {},", r.peak_pending);
+        let _ = writeln!(s, "      \"handled_fraction\": {},", json_f64(r.handled_fraction));
+        let _ = writeln!(s, "      \"peak_qps\": {},", json_f64(r.peak_qps));
+        let _ = writeln!(s, "      \"executed_delta\": {},", r.executed_delta);
+        let _ = writeln!(s, "      \"cancel_delta\": {},", r.cancel_delta);
+        let _ = writeln!(s, "      \"fingerprint\": {}", json_str(&r.fingerprint));
+        s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Renders the headline table: one row per cell with scale, throughput
+/// and the reconciliation verdict.
+pub fn render_scale(rows: &[ScaleRow]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "  {:>10}  {:>4}  {:>9}  {:>9}  {:>11}  {:>12}  {:>7}  {:>9}",
+        "grid", "DPs", "events", "wall", "events/s", "peak_pending", "handled", "reconcile"
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "  {:>10}  {:>4}  {:>9}  {:>7.0}ms  {:>11.0}  {:>12}  {:>6.1}%  {:>9}",
+            format!("Grid3x{}", r.meta.grid_factor),
+            r.meta.n_dps,
+            r.events,
+            r.wall_ms,
+            r.events_per_sec,
+            r.peak_pending,
+            r.handled_fraction * 100.0,
+            if r.executed_delta == 0 && r.cancel_delta == 0 {
+                "±0"
+            } else {
+                "BROKEN"
+            },
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_cover_both_grid_scales() {
+        for fast in [false, true] {
+            let cells = scale_cells(fast, 2005);
+            assert_eq!(cells.len(), if fast { 2 } else { 4 });
+            assert!(cells.iter().any(|c| c.meta.grid_factor == 10));
+            assert!(cells.iter().any(|c| c.meta.grid_factor == 100));
+            let mut labels: Vec<&str> = cells.iter().map(|c| c.spec.label.as_str()).collect();
+            labels.sort_unstable();
+            let before = labels.len();
+            labels.dedup();
+            assert_eq!(labels.len(), before, "duplicate cell labels");
+            for c in &cells {
+                c.spec.cfg.validate().expect("cell config invalid");
+                c.spec.workload.validate().expect("cell workload invalid");
+                assert!(c.spec.cfg.trace.is_some(), "cells must trace");
+                assert_eq!(c.spec.workload.arrival_batch, Some(ARRIVAL_BATCH));
+            }
+        }
+    }
+
+    #[test]
+    fn full_fidelity_cell_runs_and_reconciles() {
+        // One full-fidelity Grid3×10 run end-to-end: the row extraction
+        // asserts executed/cancellation deltas are ±0, and the numbers
+        // must be paper-shaped (hundreds of sites, real traffic).
+        let cells = scale_cells(true, 2005);
+        let c = &cells[0];
+        assert_eq!(c.meta.grid_factor, 10);
+        let start = std::time::Instant::now();
+        let out = c.spec.run().expect("scale cell runs");
+        let row = ScaleRow::from_output(&c.meta, &out, start.elapsed());
+        assert!(row.events > 10_000, "only {} events", row.events);
+        assert!(row.peak_pending > 1_000);
+        assert!(row.handled_fraction > 0.0);
+        let json = scale_json(1, true, &[row]);
+        assert!(json.contains("\"schema\": \"digruber-bench-scale/1\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn batched_arrivals_keep_client_start_times() {
+        // Batching may only amortize seeding; each client's *arrival time*
+        // must be unchanged (only same-millisecond interleaving may move,
+        // which is why the calibrated sweeps keep batching off). A client's
+        // first query is issued synchronously from its start event, so the
+        // per-client earliest `sent_at` pins the arrival time exactly.
+        let cfg = DigruberConfig::small(2, 42);
+        let unbatched =
+            digruber::run_experiment(cfg.clone(), WorkloadSpec::small(), "unbatched").unwrap();
+        let batched = digruber::run_experiment(
+            cfg,
+            WorkloadSpec {
+                arrival_batch: Some(3),
+                ..WorkloadSpec::small()
+            },
+            "batched",
+        )
+        .unwrap();
+        let first_sent = |o: &ExperimentOutput| {
+            let mut firsts = std::collections::BTreeMap::new();
+            for t in &o.traces {
+                let e = firsts.entry(t.client).or_insert(t.sent_at);
+                *e = (*e).min(t.sent_at);
+            }
+            firsts
+        };
+        let (u, b) = (first_sent(&unbatched), first_sent(&batched));
+        assert_eq!(u.len(), 8, "every small() client must have issued");
+        assert_eq!(u, b);
+    }
+}

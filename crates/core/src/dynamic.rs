@@ -16,7 +16,7 @@
 //! clients to it.
 
 use crate::world::World;
-use desim::Scheduler;
+use desim::{EventQueue, Scheduler};
 use gruber_types::DpId;
 
 /// One monitor sample of one decision point.
@@ -46,7 +46,7 @@ pub fn sample(w: &World, dp: DpId, overload_backlog: usize) -> SaturationSample 
 /// The third-party monitor's periodic tick: update strike counters, add
 /// decision points where saturation persists, and (when scale-down is
 /// enabled) retire dynamically-added points after sustained idleness.
-pub fn monitor_tick(w: &mut World, s: &mut Scheduler<World>) {
+pub fn monitor_tick<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
     let Some(cfg) = w.cfg.dynamic else {
         return;
     };

@@ -31,7 +31,7 @@
 use crate::config::RecoveryMode;
 use crate::faults::LinkScope;
 use crate::world::{client_node, dp_node, RequestState, World};
-use desim::Scheduler;
+use desim::{EventQueue, Scheduler};
 use diperf::RequestTrace;
 use dpnode::{Effect, FloodPayload, Input, WalOp};
 use dpstore::Store as _;
@@ -46,11 +46,11 @@ use simnet::MessageClass;
 /// the append's completion is a scheduled event at `now + cost` (where
 /// the `WalAppended` trace lands), so the desim clock carries the modeled
 /// fsync latency.
-fn persist_append(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, op: &WalOp) {
+fn persist_append<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize, op: &WalOp) {
     let now = s.now();
     let cost = w.stores[dp_idx].append(now, op);
     let dp = DpId(dp_idx as u32);
-    s.schedule_in(cost, move |w: &mut World, s: &mut Scheduler<World>| {
+    s.schedule_in(cost, move |w: &mut World, s: &mut Scheduler<World, Q>| {
         w.trace.emit(s.now(), || obs::TraceEvent::WalAppended { dp });
     });
 }
@@ -62,7 +62,7 @@ fn persist_append(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, op: &W
 /// `SnapshotWritten` trace is deferred by the modeled write cost. Called
 /// after every batch of appends, so time-based policies fire on the next
 /// append past their deadline.
-pub fn persist_maybe_snapshot(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
+pub fn persist_maybe_snapshot<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize) {
     if w.cfg.persistence.mode != RecoveryMode::Persist {
         return;
     }
@@ -76,7 +76,7 @@ pub fn persist_maybe_snapshot(w: &mut World, s: &mut Scheduler<World>, dp_idx: u
     let cost = w.stores[dp_idx].write_snapshot(&bytes);
     w.last_snapshot[dp_idx] = now;
     let dp = DpId(dp_idx as u32);
-    s.schedule_in(cost, move |w: &mut World, s: &mut Scheduler<World>| {
+    s.schedule_in(cost, move |w: &mut World, s: &mut Scheduler<World, Q>| {
         w.trace.emit(s.now(), || obs::TraceEvent::SnapshotWritten {
             dp,
             records: folded,
@@ -88,7 +88,7 @@ pub fn persist_maybe_snapshot(w: &mut World, s: &mut Scheduler<World>, dp_idx: u
 /// input: append each operation, then check the snapshot policy. Free
 /// when the node is not persisting (no effects, and the policy check is
 /// mode-gated), so Retain-mode runs stay byte-identical.
-fn apply_persist_effects(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, fx: &[Effect]) {
+fn apply_persist_effects<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize, fx: &[Effect]) {
     let mut appended = false;
     for e in fx {
         if let Effect::Persist(op) = e {
@@ -102,7 +102,7 @@ fn apply_persist_effects(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize,
 }
 
 /// A client joins the experiment and issues its first query.
-pub fn client_start(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
+pub fn client_start<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, client: ClientId) {
     let c = &mut w.clients[client.index()];
     debug_assert!(!c.active, "client started twice");
     c.active = true;
@@ -111,7 +111,7 @@ pub fn client_start(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
 }
 
 /// The closed loop: build the next job and query the bound decision point.
-pub fn client_issue(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
+pub fn client_issue<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, client: ClientId) {
     let now = s.now();
     if now >= w.end || !w.clients[client.index()].active {
         return;
@@ -158,7 +158,7 @@ pub fn client_issue(w: &mut World, s: &mut Scheduler<World>, client: ClientId) {
 /// the query retry policy for a backoff, so under `RetryPolicy::None`
 /// (the paper's fire-and-forget default) this reduces to exactly the old
 /// single `delivered()` check — same RNG draws, same trace.
-pub fn send_query(w: &mut World, s: &mut Scheduler<World>, tag: u64, attempt: u32) {
+pub fn send_query<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, tag: u64, attempt: u32) {
     let now = s.now();
     let Some(req) = w.requests.get(&tag) else {
         return;
@@ -218,7 +218,7 @@ pub fn send_query(w: &mut World, s: &mut Scheduler<World>, tag: u64, attempt: u3
 }
 
 /// The query reaches the decision point's service container.
-pub fn request_arrives(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
+pub fn request_arrives<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, tag: u64) {
     let Some(req) = w.requests.get(&tag) else {
         return;
     };
@@ -252,7 +252,7 @@ pub fn request_arrives(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
 ///
 /// `gen` is the container generation at scheduling time; completions from
 /// before a crash are stale and ignored.
-pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag: u64, gen: u64) {
+pub fn service_done<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize, tag: u64, gen: u64) {
     if w.dps[dp_idx].station.generation() != gen {
         return; // the container crashed since; this request was lost
     }
@@ -318,9 +318,9 @@ pub fn service_done(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize, tag:
 
 /// The availability response reaches the client: select a site, dispatch
 /// the job, inform the decision point.
-pub fn response_arrives(
+pub fn response_arrives<Q: EventQueue>(
     w: &mut World,
-    s: &mut Scheduler<World>,
+    s: &mut Scheduler<World, Q>,
     tag: u64,
     free: Vec<u32>,
     denied: bool,
@@ -439,7 +439,7 @@ pub fn response_arrives(
 }
 
 /// The client's timeout fired before the response: random USLA-blind site.
-pub fn request_timeout(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
+pub fn request_timeout<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, tag: u64) {
     let Some(req) = w.requests.get_mut(&tag) else {
         return;
     };
@@ -467,9 +467,9 @@ pub fn request_timeout(w: &mut World, s: &mut Scheduler<World>, tag: u64) {
 
 /// Sends a job to a site in ground truth, recording scheduling accuracy
 /// for placements a decision point produced.
-pub fn dispatch_job(
+pub fn dispatch_job<Q: EventQueue>(
     w: &mut World,
-    s: &mut Scheduler<World>,
+    s: &mut Scheduler<World, Q>,
     job: JobSpec,
     site: SiteId,
     handled: bool,
@@ -499,7 +499,7 @@ pub fn dispatch_job(
 
 /// A running job finished; queued jobs may start in its place, and a
 /// queue-manager-blocked host gets its slot back.
-pub fn job_complete(w: &mut World, s: &mut Scheduler<World>, job: JobId) {
+pub fn job_complete<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, job: JobId) {
     let now = s.now();
     let client = w.grid.record(job).expect("scheduled completion").spec.client;
     match w.grid.complete(job, now) {
@@ -532,7 +532,7 @@ pub fn job_complete(w: &mut World, s: &mut Scheduler<World>, job: JobId) {
 /// Under the paper's full mesh, receivers merge without re-flooding; under
 /// ring/star/gossip they forward transitively so records still reach every
 /// point within a few rounds.
-pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
+pub fn sync_round<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
     let now = s.now();
     if w.exchanges_state() {
         let n_dps = w.dps.len();
@@ -571,9 +571,9 @@ pub fn sync_round(w: &mut World, s: &mut Scheduler<World>) {
 /// dropped on arrival — no exchange ever crosses a partition boundary.
 /// `ExchangeSent` is emitted only for delivered sends, so the exchange
 /// counters keep their pre-fault meaning.
-pub fn send_exchange(
+pub fn send_exchange<Q: EventQueue>(
     w: &mut World,
-    s: &mut Scheduler<World>,
+    s: &mut Scheduler<World, Q>,
     i: usize,
     j: usize,
     payload: FloodPayload,
@@ -640,9 +640,9 @@ pub fn send_exchange(
 /// it was in flight, in which case it is dropped at the boundary. The
 /// receiving node owns the rest (liveness check, decode, merge,
 /// transitive forwarding under non-mesh topologies).
-fn exchange_arrives(
+fn exchange_arrives<Q: EventQueue>(
     w: &mut World,
-    s: &mut Scheduler<World>,
+    s: &mut Scheduler<World, Q>,
     i: usize,
     j: usize,
     payload: FloodPayload,
@@ -667,9 +667,9 @@ fn exchange_arrives(
 /// decides the payload's fate (a lost flood stays lost — the paper's
 /// fire-and-forget staleness hit — while a partition-blocked one is
 /// requeued for the next round).
-fn retry_exchange(
+fn retry_exchange<Q: EventQueue>(
     w: &mut World,
-    s: &mut Scheduler<World>,
+    s: &mut Scheduler<World, Q>,
     i: usize,
     j: usize,
     payload: FloodPayload,
@@ -706,7 +706,7 @@ fn retry_exchange(
 /// decision point receives a fresh ground-truth snapshot. Modeled as an
 /// out-of-band data feed (MonALISA-style publish/subscribe), so it does
 /// not occupy the GT container.
-pub fn monitor_refresh(w: &mut World, s: &mut Scheduler<World>) {
+pub fn monitor_refresh<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
     let Some(interval) = w.cfg.monitor_refresh else {
         return;
     };
@@ -721,7 +721,7 @@ pub fn monitor_refresh(w: &mut World, s: &mut Scheduler<World>) {
 }
 
 /// Periodic load sampling for the DiPerF load series.
-pub fn load_sample(w: &mut World, s: &mut Scheduler<World>) {
+pub fn load_sample<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
     let now = s.now();
     w.collector.sample_load(now, w.active_clients);
     if now < w.end {

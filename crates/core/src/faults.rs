@@ -25,7 +25,7 @@
 use crate::config::RecoveryMode;
 use crate::world::{make_node, World};
 use desim::dist::Dist;
-use desim::Scheduler;
+use desim::{EventQueue, Scheduler};
 use dpstore::Store as _;
 use gruber_types::{ClientId, DpId, GridError, SimDuration, SimTime};
 use obs::TraceEvent;
@@ -480,31 +480,31 @@ fn parse_range(s: &str, clause: &str) -> Result<(SimTime, SimTime), GridError> {
 /// link-window marker events (the timeline flips state on these),
 /// slowdown application/reset, and planned crash-restarts. No-op when no
 /// plan is configured.
-pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
+pub fn seed_plan<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
     let Some(plan) = w.cfg.fault_plan.clone() else {
         return;
     };
     for (idx, p) in plan.partitions.iter().enumerate() {
         let win = idx as u32;
         let islands = p.islands.len() as u32;
-        s.schedule_at(p.start, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(p.start, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             w.trace.emit(s.now(), || TraceEvent::PartitionStarted {
                 window: win,
                 islands,
             });
         });
-        s.schedule_at(p.end, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(p.end, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             w.trace
                 .emit(s.now(), || TraceEvent::PartitionHealed { window: win });
         });
     }
     for (idx, lf) in plan.link_faults.iter().enumerate() {
         let win = idx as u32;
-        s.schedule_at(lf.start, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(lf.start, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             w.trace
                 .emit(s.now(), || TraceEvent::LinkFaultStarted { window: win });
         });
-        s.schedule_at(lf.end, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(lf.end, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             w.trace
                 .emit(s.now(), || TraceEvent::LinkFaultEnded { window: win });
         });
@@ -512,7 +512,7 @@ pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
     for sl in &plan.slowdowns {
         let dp = sl.dp as usize;
         let factor = sl.factor;
-        s.schedule_at(sl.start, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(sl.start, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             if dp < w.dps.len() {
                 w.dps[dp].station.set_slowdown(factor);
                 let permille = (factor * 1000.0).round() as u32;
@@ -522,7 +522,7 @@ pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
                 });
             }
         });
-        s.schedule_at(sl.end, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(sl.end, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             if dp < w.dps.len() {
                 w.dps[dp].station.set_slowdown(1.0);
                 w.trace
@@ -533,12 +533,12 @@ pub fn seed_plan(w: &mut World, s: &mut Scheduler<World>) {
     for c in &plan.crashes {
         let dp = c.dp as usize;
         let down = c.down_for;
-        s.schedule_at(c.at, move |w: &mut World, s: &mut Scheduler<World>| {
+        s.schedule_at(c.at, move |w: &mut World, s: &mut Scheduler<World, Q>| {
             let now = s.now();
             if crash_dp_now(w, now, dp) {
                 // Planned restart: unlike the exponential repair clock this
                 // neither rebalances clients nor schedules a next failure.
-                s.schedule_in(down, move |w: &mut World, s: &mut Scheduler<World>| {
+                s.schedule_in(down, move |w: &mut World, s: &mut Scheduler<World, Q>| {
                     begin_restore_dp(w, s, dp);
                 });
             }
@@ -601,7 +601,7 @@ pub fn restore_dp_now(w: &mut World, now: SimTime, dp_idx: usize) -> bool {
 ///
 /// Returns whether a restart actually began (the point may already be
 /// up).
-pub fn begin_restore_dp(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) -> bool {
+pub fn begin_restore_dp<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize) -> bool {
     if dp_idx >= w.dps.len() || w.dps[dp_idx].up() {
         return false;
     }
@@ -637,7 +637,7 @@ pub fn begin_restore_dp(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) 
                 records,
                 dur_ms: dur_ms as u32,
             });
-            s.schedule_in(recovery.cost, move |w: &mut World, s: &mut Scheduler<World>| {
+            s.schedule_in(recovery.cost, move |w: &mut World, s: &mut Scheduler<World, Q>| {
                 restore_dp_now(w, s.now(), dp_idx);
             });
         }
@@ -658,7 +658,7 @@ fn exp_delay(mean: SimDuration, w: &mut World) -> SimDuration {
 }
 
 /// Schedules the first failure of every initial decision point.
-pub fn seed_failures(w: &mut World, s: &mut Scheduler<World>) {
+pub fn seed_failures<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
     let Some(fc) = w.cfg.failures else {
         return;
     };
@@ -670,7 +670,7 @@ pub fn seed_failures(w: &mut World, s: &mut Scheduler<World>) {
 
 /// A decision point crashes on its exponential clock and schedules its
 /// own repair.
-pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
+pub fn dp_fail<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize) {
     let now = s.now();
     if !crash_dp_now(w, now, dp_idx) {
         return;
@@ -686,7 +686,7 @@ pub fn dp_fail(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
 /// repair*: roughly `1/n` of all clients re-bind to the recovered point,
 /// undoing the pile-up failover caused on the survivors (without this,
 /// a repaired point sits idle while the rest stay saturated).
-pub fn dp_repair(w: &mut World, s: &mut Scheduler<World>, dp_idx: usize) {
+pub fn dp_repair<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>, dp_idx: usize) {
     let now = s.now();
     if !begin_restore_dp(w, s, dp_idx) {
         return;

@@ -3,7 +3,7 @@
 use crate::config::DigruberConfig;
 use crate::events;
 use crate::world::World;
-use desim::Simulation;
+use desim::{EventQueue, Simulation};
 use diperf::{DiPerfReport, RequestTrace};
 use gruber_metrics::jobs::{AvailableCapacity, JobObservation, TableRows};
 use gruber_metrics::JobMetricsAccumulator;
@@ -47,6 +47,13 @@ impl RunSpec {
     /// Runs the experiment this spec describes.
     pub fn run(&self) -> GridResult<ExperimentOutput> {
         run_experiment(self.cfg.clone(), self.workload.clone(), &self.label)
+    }
+
+    /// Runs the experiment on an explicit scheduler backend — e.g.
+    /// `run_with_queue::<desim::HeapQueue>()` replays the whole run on
+    /// the reference heap for differential/divergence diagnosis.
+    pub fn run_with_queue<Q: EventQueue>(&self) -> GridResult<ExperimentOutput> {
+        run_experiment_with_queue::<Q>(self.cfg.clone(), self.workload.clone(), &self.label)
     }
 }
 
@@ -107,6 +114,11 @@ pub struct ExperimentOutput {
     pub wal_records_replayed: u64,
     /// Slowest single recovery's modeled replay cost, in milliseconds.
     pub max_recovery_ms: u64,
+    /// Successful `Scheduler::cancel` calls over the run. Excluded from
+    /// the `Debug` fingerprint (it predates the field); the determinism
+    /// suite asserts it reconciles ±0 with the traced timeline's
+    /// cancellation total.
+    pub sched_cancellations: u64,
 }
 
 // Manual `Debug` mirroring the old derive field-for-field, with the
@@ -154,25 +166,65 @@ fn consumed_within(rec: &JobRecord, end: SimTime) -> SimDuration {
     until.since(start) * u64::from(rec.spec.cpus)
 }
 
-/// Runs one experiment to completion and aggregates its outputs.
+/// Runs one experiment to completion and aggregates its outputs, on the
+/// default [`desim::TimerWheel`] calendar-queue backend.
 pub fn run_experiment(
     cfg: DigruberConfig,
     workload: WorkloadSpec,
     label: &str,
 ) -> GridResult<ExperimentOutput> {
+    run_experiment_with_queue::<desim::TimerWheel>(cfg, workload, label)
+}
+
+/// [`run_experiment`] generic over the scheduler's queue backend. The
+/// backend changes nothing observable — the determinism suite pins wheel
+/// and heap runs to identical fingerprints — so this exists for
+/// differential testing and first-divergence diagnosis.
+pub fn run_experiment_with_queue<Q: EventQueue>(
+    cfg: DigruberConfig,
+    workload: WorkloadSpec,
+    label: &str,
+) -> GridResult<ExperimentOutput> {
+    let arrival_batch = workload.arrival_batch;
     let world = World::new(cfg, workload)?;
-    let mut sim = Simulation::new(world);
+    let mut sim = Simulation::<World, Q>::with_queue(world);
     let tracer = sim.world().trace.clone();
     sim.scheduler().set_tracer(tracer);
 
     // Seed the initial events: tester ramp, sync rounds, load sampling,
     // and (when configured) the dynamic monitor.
     let schedule = sim.world().schedule;
-    for c in 0..schedule.n_clients {
-        let client = gruber_types::ClientId(c);
-        let at = schedule.start_of(client);
-        sim.scheduler()
-            .schedule_at(at, move |w: &mut World, s| events::client_start(w, s, client));
+    match arrival_batch {
+        None => {
+            for c in 0..schedule.n_clients {
+                let client = gruber_types::ClientId(c);
+                let at = schedule.start_of(client);
+                sim.scheduler()
+                    .schedule_at(at, move |w: &mut World, s| events::client_start(w, s, client));
+            }
+        }
+        Some(batch) => {
+            // One seeder event per chunk of clients, fired at the chunk's
+            // earliest ramp start (start_of is monotone in client id); it
+            // then schedules each client_start at its exact ramp time, so
+            // arrival times match unbatched seeding millisecond-for-
+            // millisecond while the up-front queue stays O(n/batch).
+            let mut c = 0u32;
+            while c < schedule.n_clients {
+                let hi = (c + batch).min(schedule.n_clients);
+                let at = schedule.start_of(gruber_types::ClientId(c));
+                sim.scheduler().schedule_at(at, move |w: &mut World, s| {
+                    for c in c..hi {
+                        let client = gruber_types::ClientId(c);
+                        let at = w.schedule.start_of(client);
+                        s.schedule_at(at, move |w: &mut World, s| {
+                            events::client_start(w, s, client)
+                        });
+                    }
+                });
+                c = hi;
+            }
+        }
     }
     let sync_interval = sim.world().cfg.sync_interval;
     if sim.world().exchanges_state() {
@@ -200,11 +252,18 @@ pub fn run_experiment(
     sim.run_until(end);
     let events_executed = sim.events_executed();
     let peak_pending = sim.peak_pending();
+    let sched_cancellations = sim.scheduler().cancellations();
     let w = sim.into_world();
-    Ok(finalize(w, label, events_executed, peak_pending))
+    Ok(finalize(w, label, events_executed, peak_pending, sched_cancellations))
 }
 
-fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize) -> ExperimentOutput {
+fn finalize(
+    mut w: World,
+    label: &str,
+    events_executed: u64,
+    peak_pending: usize,
+    sched_cancellations: u64,
+) -> ExperimentOutput {
     let end = w.end;
     // Requests whose clients timed out and that the service never finished
     // within the run are pure timeouts. Sorted by tag: HashMap iteration
@@ -302,6 +361,7 @@ fn finalize(mut w: World, label: &str, events_executed: u64, peak_pending: usize
         recoveries: w.dp_recoveries,
         wal_records_replayed: w.wal_records_replayed,
         max_recovery_ms: w.max_recovery_ms,
+        sched_cancellations,
         timeline: w.trace.finish(end),
     }
 }

@@ -1,65 +1,72 @@
 //! The event loop.
+//!
+//! Events live in a slab: a reusable arena of slots indexed by the `u32`
+//! the queue backend carries around, so the queue itself never touches a
+//! boxed payload. The queue backend is pluggable via
+//! [`EventQueue`] — the default is the [`TimerWheel`] calendar queue,
+//! with [`HeapQueue`](crate::wheel::HeapQueue) kept as the
+//! differential-test reference.
 
+use crate::wheel::{EventQueue, TimerWheel};
 use gruber_types::{SimDuration, SimTime};
 use obs::{Recorder, TraceEvent};
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashSet};
 
 /// Handler invoked when an event fires.
-pub type EventFn<W> = Box<dyn FnOnce(&mut W, &mut Scheduler<W>)>;
+pub type EventFn<W, Q = TimerWheel> = Box<dyn FnOnce(&mut W, &mut Scheduler<W, Q>)>;
 
 /// Token identifying a scheduled event, usable to cancel it before it fires.
+///
+/// Encodes a slab slot and that slot's generation at scheduling time, so
+/// a token kept across its event's firing (or cancellation) goes stale
+/// instead of aliasing whatever reused the slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct EventToken(u64);
 
-struct Scheduled<W> {
-    at: SimTime,
-    seq: u64,
-    run: EventFn<W>,
+impl EventToken {
+    fn new(gen: u32, idx: u32) -> Self {
+        EventToken((u64::from(gen) << 32) | u64::from(idx))
+    }
+
+    fn split(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
 }
 
-// Ordering on (time, seq) only; the closure is irrelevant.
-impl<W> PartialEq for Scheduled<W> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl<W> Eq for Scheduled<W> {}
-impl<W> PartialOrd for Scheduled<W> {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<W> Ord for Scheduled<W> {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
+/// One slab slot: the boxed handler plus the bookkeeping `cancel` needs.
+/// The event's time lives only in the queue entry.
+struct Slot<W, Q: EventQueue> {
+    /// Bumped every time the slot is freed; tokens carry the generation
+    /// they were issued under.
+    gen: u32,
+    /// Global sequence number of the event currently occupying the slot.
+    seq: u64,
+    /// Lazily cancelled: the queue entry stays queued (so `pending()`
+    /// still counts it) and pops as a tombstone.
+    cancelled: bool,
+    run: Option<EventFn<W, Q>>,
 }
 
 /// The event queue and clock, handed to every event handler.
-pub struct Scheduler<W> {
+pub struct Scheduler<W, Q: EventQueue = TimerWheel> {
     now: SimTime,
     seq: u64,
-    queue: BinaryHeap<Reverse<Scheduled<W>>>,
-    /// Tokens scheduled but neither fired nor cancelled — the set `cancel`
-    /// consults so that cancelling an already-fired event reports `false`
-    /// instead of leaking a tombstone.
-    live: HashSet<u64>,
-    cancelled: HashSet<u64>,
+    queue: Q,
+    slots: Vec<Slot<W, Q>>,
+    free: Vec<u32>,
     executed: u64,
     peak_pending: usize,
     cancellations: u64,
     tracer: Recorder,
 }
 
-impl<W> Default for Scheduler<W> {
+impl<W, Q: EventQueue> Default for Scheduler<W, Q> {
     fn default() -> Self {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
-            live: HashSet::new(),
-            cancelled: HashSet::new(),
+            queue: Q::default(),
+            slots: Vec::new(),
+            free: Vec::new(),
             executed: 0,
             peak_pending: 0,
             cancellations: 0,
@@ -68,7 +75,7 @@ impl<W> Default for Scheduler<W> {
     }
 }
 
-impl<W> Scheduler<W> {
+impl<W, Q: EventQueue> Scheduler<W, Q> {
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.now
@@ -109,26 +116,42 @@ impl<W> Scheduler<W> {
     pub fn schedule_at(
         &mut self,
         at: SimTime,
-        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut Scheduler<W, Q>) + 'static,
     ) -> EventToken {
         let at = at.max(self.now);
         let seq = self.seq;
         self.seq += 1;
-        self.queue.push(Reverse(Scheduled {
-            at,
-            seq,
-            run: Box::new(f),
-        }));
-        self.live.insert(seq);
+        let run = Some(Box::new(f) as EventFn<W, Q>);
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                let slot = &mut self.slots[idx as usize];
+                slot.seq = seq;
+                slot.cancelled = false;
+                slot.run = run;
+                idx
+            }
+            None => {
+                let idx = u32::try_from(self.slots.len())
+                    .expect("more than u32::MAX simultaneously pending events");
+                self.slots.push(Slot {
+                    gen: 0,
+                    seq,
+                    cancelled: false,
+                    run,
+                });
+                idx
+            }
+        };
+        self.queue.insert(at.0, seq, idx);
         self.peak_pending = self.peak_pending.max(self.queue.len());
-        EventToken(seq)
+        EventToken::new(self.slots[idx as usize].gen, idx)
     }
 
     /// Schedules `f` to run `delay` after the current time.
     pub fn schedule_in(
         &mut self,
         delay: SimDuration,
-        f: impl FnOnce(&mut W, &mut Scheduler<W>) + 'static,
+        f: impl FnOnce(&mut W, &mut Scheduler<W, Q>) + 'static,
     ) -> EventToken {
         let at = self.now + delay;
         self.schedule_at(at, f)
@@ -138,41 +161,61 @@ impl<W> Scheduler<W> {
     /// not yet fired (or been cancelled); cancelling an already-fired or
     /// already-cancelled event returns `false` and changes nothing.
     pub fn cancel(&mut self, token: EventToken) -> bool {
-        if !self.live.remove(&token.0) {
+        let (gen, idx) = token.split();
+        let slot = match self.slots.get_mut(idx as usize) {
+            Some(slot) => slot,
+            None => return false,
+        };
+        if slot.gen != gen || slot.cancelled {
             return false;
         }
-        self.cancelled.insert(token.0);
+        slot.cancelled = true;
+        // Drop the handler now; the queue entry pops as a tombstone.
+        slot.run = None;
         self.cancellations += 1;
+        let seq = slot.seq;
         self.tracer
-            .emit(self.now, || TraceEvent::EventCancelled { seq: token.0 });
+            .emit(self.now, || TraceEvent::EventCancelled { seq });
         true
     }
 
-    fn pop_due(&mut self, limit: SimTime) -> Option<Scheduled<W>> {
-        while let Some(Reverse(head)) = self.queue.peek() {
-            if head.at > limit {
-                return None;
-            }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
-            if self.cancelled.remove(&ev.seq) {
+    fn pop_due(&mut self, limit: SimTime) -> Option<(SimTime, u64, EventFn<W, Q>)> {
+        while let Some((at, seq, idx)) = self.queue.pop_due(limit.0) {
+            let slot = &mut self.slots[idx as usize];
+            debug_assert_eq!(slot.seq, seq, "queue entry out of sync with its slot");
+            let run = slot.run.take();
+            let cancelled = slot.cancelled;
+            slot.cancelled = false;
+            slot.gen = slot.gen.wrapping_add(1);
+            self.free.push(idx);
+            if cancelled {
                 continue;
             }
-            self.live.remove(&ev.seq);
-            return Some(ev);
+            return Some((SimTime(at), seq, run.expect("live slot holds its handler")));
         }
         None
     }
 }
 
 /// A world plus its scheduler: the unit you actually run.
-pub struct Simulation<W> {
+pub struct Simulation<W, Q: EventQueue = TimerWheel> {
     world: W,
-    sched: Scheduler<W>,
+    sched: Scheduler<W, Q>,
 }
 
 impl<W> Simulation<W> {
-    /// Wraps a world with an empty event queue at time zero.
+    /// Wraps a world with an empty event queue at time zero, on the
+    /// default [`TimerWheel`] backend.
     pub fn new(world: W) -> Self {
+        Simulation::with_queue(world)
+    }
+}
+
+impl<W, Q: EventQueue> Simulation<W, Q> {
+    /// Like [`Simulation::new`], but lets the caller pick the queue
+    /// backend: `Simulation::<_, HeapQueue>::with_queue(world)` runs the
+    /// same simulation on the reference heap.
+    pub fn with_queue(world: W) -> Self {
         Simulation {
             world,
             sched: Scheduler::default(),
@@ -190,7 +233,7 @@ impl<W> Simulation<W> {
     }
 
     /// The scheduler (for seeding initial events).
-    pub fn scheduler(&mut self) -> &mut Scheduler<W> {
+    pub fn scheduler(&mut self) -> &mut Scheduler<W, Q> {
         &mut self.sched
     }
 
@@ -216,14 +259,14 @@ impl<W> Simulation<W> {
     /// On return the clock reads `min(limit, time of last event)`; events
     /// scheduled exactly at `limit` DO fire.
     pub fn run_until(&mut self, limit: SimTime) {
-        while let Some(ev) = self.sched.pop_due(limit) {
-            debug_assert!(ev.at >= self.sched.now, "time went backwards");
-            self.sched.now = ev.at;
+        while let Some((at, seq, run)) = self.sched.pop_due(limit) {
+            debug_assert!(at >= self.sched.now, "time went backwards");
+            self.sched.now = at;
             self.sched.executed += 1;
             self.sched
                 .tracer
-                .emit(ev.at, || TraceEvent::EventExecuted { seq: ev.seq });
-            (ev.run)(&mut self.world, &mut self.sched);
+                .emit(at, || TraceEvent::EventExecuted { seq });
+            run(&mut self.world, &mut self.sched);
         }
         if self.sched.now < limit {
             self.sched.now = limit;
@@ -234,13 +277,13 @@ impl<W> Simulation<W> {
     /// catch accidental infinite self-scheduling loops.
     pub fn run_to_completion(&mut self, max_events: u64) {
         let start = self.sched.executed;
-        while let Some(ev) = self.sched.pop_due(SimTime(u64::MAX)) {
-            self.sched.now = ev.at;
+        while let Some((at, seq, run)) = self.sched.pop_due(SimTime(u64::MAX)) {
+            self.sched.now = at;
             self.sched.executed += 1;
             self.sched
                 .tracer
-                .emit(ev.at, || TraceEvent::EventExecuted { seq: ev.seq });
-            (ev.run)(&mut self.world, &mut self.sched);
+                .emit(at, || TraceEvent::EventExecuted { seq });
+            run(&mut self.world, &mut self.sched);
             assert!(
                 self.sched.executed - start <= max_events,
                 "simulation exceeded {max_events} events; runaway self-scheduling?"
@@ -390,6 +433,85 @@ mod tests {
         assert_eq!(sim.scheduler().events_executed(), 7);
         assert_eq!(sim.scheduler().pending(), 0);
     }
+
+    // ---- calendar-queue boundary cases (see desim::wheel) ----
+
+    #[test]
+    fn events_at_wheel_rotation_epochs_fire_in_order() {
+        // Times straddling every wheel boundary: the last/first
+        // millisecond of an L0 window (1024 ms), of the L1 horizon
+        // (2^20 ms), and deep spill territory.
+        let edge_ms = [
+            0u64,
+            1023,
+            1024,
+            1025,
+            (1 << 20) - 1,
+            1 << 20,
+            (1 << 20) + 1,
+            (3 << 20) + 777,
+        ];
+        let mut sim = Simulation::new(Vec::<u64>::new());
+        // Schedule in reverse so queue order is earned, not insertion luck.
+        for &ms in edge_ms.iter().rev() {
+            sim.scheduler().schedule_at(SimTime(ms), move |w, s| {
+                assert_eq!(s.now(), SimTime(ms), "fired at the wrong time");
+                w.push(ms);
+            });
+        }
+        sim.run_until(SimTime(u64::MAX));
+        assert_eq!(sim.world().as_slice(), &edge_ms);
+    }
+
+    #[test]
+    fn zero_delay_self_reschedule_runs_after_current_instant_queue() {
+        // A handler rescheduling at `now` (zero delay) must fire in the
+        // same millisecond, after everything already queued for it.
+        let mut sim = Simulation::new(Vec::<&'static str>::new());
+        sim.scheduler().schedule_at(SimTime(5), |w, s| {
+            w.push("first");
+            s.schedule_in(SimDuration::ZERO, |w: &mut Vec<&'static str>, s| {
+                assert_eq!(s.now(), SimTime(5));
+                w.push("respawned");
+            });
+        });
+        sim.scheduler()
+            .schedule_at(SimTime(5), |w: &mut Vec<&'static str>, _| w.push("second"));
+        sim.run_until(SimTime(5));
+        assert_eq!(sim.world().as_slice(), &["first", "second", "respawned"]);
+    }
+
+    #[test]
+    fn cancel_then_reschedule_does_not_confuse_slot_reuse() {
+        // The PR-1 cancel() bug class, sharpened for the slab: cancelling
+        // a token and scheduling a new event may reuse the same slot; the
+        // stale token must stay dead and the new one must stay live.
+        let mut sim = Simulation::new(Vec::<&'static str>::new());
+        let stale = sim
+            .scheduler()
+            .schedule_at(SimTime(10), |w: &mut Vec<&'static str>, _| w.push("old"));
+        assert!(sim.scheduler().cancel(stale));
+        let fresh = sim
+            .scheduler()
+            .schedule_at(SimTime(20), |w: &mut Vec<&'static str>, _| w.push("new"));
+        // The stale token is dead even if its slot was just reused.
+        assert!(!sim.scheduler().cancel(stale));
+        sim.run_until(SimTime(15));
+        assert!(sim.world().is_empty());
+        // The fresh event is still cancellable before it fires...
+        assert!(sim.scheduler().cancel(fresh));
+        assert!(!sim.scheduler().cancel(fresh));
+        sim.run_until(SimTime(30));
+        assert!(sim.world().is_empty());
+        // ...and a fired event's token reports false, not a panic.
+        let fired = sim
+            .scheduler()
+            .schedule_at(SimTime(40), |w: &mut Vec<&'static str>, _| w.push("fired"));
+        sim.run_until(SimTime(40));
+        assert_eq!(sim.world().as_slice(), &["fired"]);
+        assert!(!sim.scheduler().cancel(fired));
+        assert_eq!(sim.scheduler().cancellations(), 2);
+    }
 }
 
 /// Property-based invariants for the scheduler's cancellation and
@@ -398,6 +520,7 @@ mod tests {
 #[cfg(test)]
 mod properties {
     use super::*;
+    use crate::wheel::HeapQueue;
     use proptest::prelude::*;
     use std::collections::HashSet;
 
@@ -528,6 +651,77 @@ mod properties {
                 sim.world().len() as u64 + cancels_ok,
                 scheduled as u64
             );
+        }
+
+        /// Differential: the wheel-backed and heap-backed schedulers must
+        /// agree on fired order, clock progression, cancel return values
+        /// and every counter for the same schedule/cancel/run script —
+        /// including same-timestamp bursts and far-future spills past the
+        /// 2^20 ms wheel horizon.
+        #[test]
+        fn wheel_scheduler_matches_heap_scheduler(
+            batches in proptest::collection::vec(
+                proptest::collection::vec(
+                    // (time band, offset, cancel?, victim pick)
+                    (0u64..4, 0u64..5_000_000, proptest::bool::ANY, 0u64..64),
+                    1..12,
+                ),
+                1..6,
+            ),
+        ) {
+            let mut wheel = Simulation::<Vec<u64>, TimerWheel>::with_queue(Vec::new());
+            let mut heap = Simulation::<Vec<u64>, HeapQueue>::with_queue(Vec::new());
+            let mut wheel_tokens: Vec<EventToken> = Vec::new();
+            let mut heap_tokens: Vec<EventToken> = Vec::new();
+            let mut next_id = 0u64;
+            let mut limit = 0u64;
+            for batch in &batches {
+                for &(band, offset, do_cancel, pick) in batch {
+                    // Bands: same-ms burst at the current limit, near
+                    // (inside one L0 window), mid (inside the L1 window),
+                    // far (beyond the horizon — spill).
+                    let at = match band {
+                        0 => limit,
+                        1 => limit + offset % 1024,
+                        2 => limit + offset % (1 << 20),
+                        _ => limit + (1 << 20) + offset,
+                    };
+                    let id = next_id;
+                    next_id += 1;
+                    wheel_tokens.push(wheel.scheduler().schedule_at(
+                        SimTime(at),
+                        move |w: &mut Vec<u64>, _| w.push(id),
+                    ));
+                    heap_tokens.push(heap.scheduler().schedule_at(
+                        SimTime(at),
+                        move |w: &mut Vec<u64>, _| w.push(id),
+                    ));
+                    if do_cancel {
+                        let v = pick as usize % wheel_tokens.len();
+                        prop_assert_eq!(
+                            wheel.scheduler().cancel(wheel_tokens[v]),
+                            heap.scheduler().cancel(heap_tokens[v])
+                        );
+                    }
+                    prop_assert_eq!(wheel.scheduler().pending(), heap.scheduler().pending());
+                }
+                limit += 700_000; // sweeps across several L0 windows
+                wheel.run_until(SimTime(limit));
+                heap.run_until(SimTime(limit));
+                prop_assert_eq!(wheel.now(), heap.now());
+                prop_assert_eq!(wheel.world(), heap.world());
+                prop_assert_eq!(wheel.events_executed(), heap.events_executed());
+            }
+            wheel.run_until(SimTime(u64::MAX));
+            heap.run_until(SimTime(u64::MAX));
+            prop_assert_eq!(wheel.world(), heap.world());
+            prop_assert_eq!(wheel.peak_pending(), heap.peak_pending());
+            prop_assert_eq!(
+                wheel.scheduler().cancellations(),
+                heap.scheduler().cancellations()
+            );
+            prop_assert_eq!(wheel.scheduler().pending(), 0);
+            prop_assert_eq!(heap.scheduler().pending(), 0);
         }
     }
 }

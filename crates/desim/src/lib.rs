@@ -42,6 +42,8 @@
 pub mod dist;
 pub mod engine;
 pub mod rng;
+pub mod wheel;
 
 pub use engine::{EventToken, Scheduler, Simulation};
 pub use rng::DetRng;
+pub use wheel::{EventQueue, HeapQueue, TimerWheel};

@@ -20,6 +20,9 @@ cargo test -q --offline --test sim_live_equivalence
 echo "==> dpstore unit + proptests (WAL round-trip, torn-tail truncation)"
 cargo test -q --offline -p dpstore
 
+echo "==> desim unit + differential proptests (calendar queue vs reference heap)"
+cargo test -q --offline -p desim
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
@@ -28,6 +31,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p dpnode
 
 echo "==> cargo doc -p dpstore (persistence crate docs stay warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p dpstore
+
+echo "==> cargo doc -p desim (engine + calendar-queue docs stay warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p desim
 
 echo "==> experiments degradation --fast (fault-injection smoke)"
 ./target/release/experiments degradation --fast > /dev/null
@@ -40,6 +46,13 @@ test -s BENCH_recovery.json || { echo "ci.sh: BENCH_recovery.json missing"; exit
 test -s results/timeline_recovery.txt || { echo "ci.sh: recovery timelines missing"; exit 1; }
 grep -q 'digruber-bench-recovery/1' BENCH_recovery.json \
   || { echo "ci.sh: BENCH_recovery.json has wrong schema"; exit 1; }
+
+echo "==> experiments scale --fast (paper-scale throughput smoke, counters reconcile)"
+./target/release/experiments scale --fast > /dev/null
+test -s BENCH_scale.json || { echo "ci.sh: BENCH_scale.json missing"; exit 1; }
+test -s results/timeline_scale.txt || { echo "ci.sh: scale timelines missing"; exit 1; }
+grep -q 'digruber-bench-scale/1' BENCH_scale.json \
+  || { echo "ci.sh: BENCH_scale.json has wrong schema"; exit 1; }
 
 echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS exists)"
 missing=0

@@ -281,6 +281,75 @@ fn fault_plans_stay_deterministic_across_jobs() {
     assert_eq!(totals[2].recoveries, 1, "planned restart missing");
 }
 
+/// The recorded fingerprints of the traced sweep and the three fault
+/// plans, pinned when the engine ran on a binary heap (PR 5). The
+/// calendar-queue scheduler must reproduce them byte-for-byte: obs only
+/// ever serializes event *effects* in `(time, seq)` order, so any queue
+/// backend that pops the same order produces the same bytes — and any
+/// divergence here means the wheel reordered, dropped, or duplicated an
+/// event.
+const PINNED_FINGERPRINTS: [(&str, &str); 7] = [
+    ("reduced fig5: Gt3 x1 DPs", "21dfa0783a697369"),
+    ("reduced fig5: Gt3 x3 DPs", "4e09b9a56dafa555"),
+    ("reduced fig5: Gt3 x10 DPs", "0f652d6207b3dede"),
+    ("reduced fig5: Gt4Prerelease x3 DPs", "0b02f3dd9df1f083"),
+    ("faults: partition", "78ba9f5abfa44b84"),
+    ("faults: loss+expjitter", "7195ecbe74790679"),
+    ("faults: kitchen-sink+fixed", "3c405bf2182777b2"),
+];
+
+/// Reports the first line where two JSONL timelines diverge — the first
+/// event the wheel got wrong, which is worth far more than "fingerprint
+/// mismatch" when debugging a queue bug.
+fn first_divergence(wheel: &str, reference: &str) -> String {
+    for (i, (w, r)) in wheel.lines().zip(reference.lines()).enumerate() {
+        if w != r {
+            return format!(
+                "first divergent event at JSONL line {}:\n  wheel: {w}\n  heap:  {r}",
+                i + 1
+            );
+        }
+    }
+    let (wn, rn) = (wheel.lines().count(), reference.lines().count());
+    if wn == rn {
+        "timelines identical — divergence is outside the traced stream".into()
+    } else {
+        format!("timelines are prefixes: wheel has {wn} JSONL lines, heap has {rn}")
+    }
+}
+
+#[test]
+fn wheel_reproduces_pinned_heap_fingerprints() {
+    // The seven runs recorded before the calendar queue landed, replayed
+    // on today's default backend. On a mismatch, rerun the spec on the
+    // reference heap and name the first event that moved.
+    let mut specs = traced_sweep_specs();
+    specs.extend(fault_plan_specs());
+    assert_eq!(specs.len(), PINNED_FINGERPRINTS.len());
+    for (spec, (label, pin)) in specs.iter().zip(PINNED_FINGERPRINTS) {
+        assert_eq!(spec.label, label, "pin table out of sync with specs");
+        let out = spec.run().expect("run failed");
+        let tl = out.timeline.as_ref().expect("traced run has a timeline");
+        // The scheduler's own counters must reconcile ±0 with the
+        // timeline's two independent tallies of the same stream.
+        assert_eq!(out.events_executed, tl.totals.events_executed, "{label}");
+        assert_eq!(out.sched_cancellations, tl.totals.cancellations, "{label}");
+        let fp = output_fingerprint(&out);
+        if fp != pin {
+            let heap = spec
+                .run_with_queue::<desim::HeapQueue>()
+                .expect("reference heap run failed");
+            let heap_tl = heap.timeline.as_ref().expect("traced");
+            panic!(
+                "{label}: fingerprint {fp} != pinned {pin} \
+                 (reference heap reproduces {})\n{}",
+                output_fingerprint(&heap),
+                first_divergence(&tl.to_jsonl(label), &heap_tl.to_jsonl(label)),
+            );
+        }
+    }
+}
+
 /// A traced Persist-mode spec whose crash forces a WAL + snapshot
 /// recovery mid-run.
 fn persist_crash_spec() -> RunSpec {

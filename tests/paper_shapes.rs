@@ -213,6 +213,44 @@ fn fast_three_dps_strictly_beat_one_on_throughput() {
 }
 
 #[test]
+fn hundred_clients_at_full_grid3x10_fidelity_complete() {
+    // The row the reduced-scale shapes used to skip: a hundred submission
+    // hosts against the full Grid3×10 environment (~300 sites) for the
+    // whole simulated hour. The calendar-queue scheduler makes this a
+    // routine test-suite run; with 3 decision points the deployment must
+    // serve essentially everything, and in `--release` the run must fit a
+    // wall-clock budget (it measures ~0.15 s; the budget leaves room for
+    // a loaded CI box, not for an accidental O(n log n) regression at
+    // 10k+ pending events).
+    let wl = WorkloadSpec {
+        n_clients: 100,
+        ..WorkloadSpec::paper_default()
+    };
+    let start = std::time::Instant::now();
+    let out = run_experiment(
+        DigruberConfig::paper(3, ServiceKind::Gt3, 2005),
+        wl,
+        "grid3x10 100 clients",
+    )
+    .expect("experiment failed");
+    let wall = start.elapsed();
+    assert!(out.events_executed > 50_000, "only {} events", out.events_executed);
+    assert!(out.peak_pending > 5_000, "peak pending {}", out.peak_pending);
+    assert!(
+        out.report.handled_fraction() > 0.9,
+        "handled {}",
+        out.report.handled_fraction()
+    );
+    assert!(out.report.issued > 1_000);
+    #[cfg(not(debug_assertions))]
+    assert!(
+        wall < std::time::Duration::from_secs(10),
+        "full-fidelity run took {wall:?} — scheduler throughput regressed"
+    );
+    let _ = wall;
+}
+
+#[test]
 fn accuracy_decays_with_exchange_interval() {
     // Figure 8: a three-minute exchange interval suffices for high
     // accuracy; accuracy decays as the interval grows.
