@@ -14,13 +14,15 @@
 //! timeline rides along as an extra output of the same deterministic run.
 
 use bench::degradation::DegradationRow;
+use bench::health::HealthRow;
 use bench::recovery::RecoveryRow;
 use bench::render::{render_accuracy, render_figure, render_table_block};
 use bench::scale::ScaleRow;
 use bench::{
     accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs,
-    degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, recovery_cells,
-    recovery_json, render_degradation, render_recovery, render_scale, run_specs, scale_cells,
+    degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, health_cells,
+    health_json, recovery_cells, recovery_json, render_degradation, render_health,
+    render_recovery, render_scale, run_specs, scale_cells,
     scale_json, SEED,
 };
 use digruber::{ExperimentOutput, RunSpec, ServiceKind};
@@ -135,7 +137,7 @@ fn main() {
     };
     FAST.set(fast).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|scale|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|health|scale|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -382,6 +384,51 @@ fn run(id: &str) {
                 .expect("write timeline summary");
             eprintln!("saved timeline summary to results/timeline_recovery.txt");
             println!("{}", render_recovery(&rows));
+        }
+        "health" => {
+            // The health-detection study (OBSERVABILITY.md § Detection
+            // latency): replay the fault plans from the degradation and
+            // recovery studies and measure how long the online scorer
+            // takes to flag the affected point. Always traced;
+            // snapshotted into BENCH_health.json.
+            let fast = *FAST.get().expect("set in main");
+            let cells = health_cells(fast, SEED);
+            println!(
+                "[health] {} cells{}",
+                cells.len(),
+                if fast { " (--fast)" } else { "" }
+            );
+            let (metas, specs): (Vec<_>, Vec<_>) =
+                cells.into_iter().map(|c| (c.meta, c.spec)).unzip();
+            let outs: Vec<ExperimentOutput> = run_specs(&specs, jobs())
+                .into_iter()
+                .map(|m| m.output.expect("health cell failed"))
+                .collect();
+            let rows: Vec<HealthRow> = metas
+                .iter()
+                .zip(&outs)
+                .map(|(m, o)| HealthRow::from_output(m, o))
+                .collect();
+            let json = health_json(jobs(), fast, &rows);
+            std::fs::write("BENCH_health.json", json).expect("write BENCH_health.json");
+            eprintln!("health snapshot -> BENCH_health.json");
+            let mut text = String::new();
+            {
+                let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+                for out in &outs {
+                    let tl = out.timeline.as_ref().expect("health cells trace");
+                    if tracing_on() {
+                        jsonl.push_str(&tl.to_jsonl(&out.label));
+                    }
+                    text.push_str(&tl.render(&out.label));
+                    text.push('\n');
+                }
+            }
+            std::fs::create_dir_all("results").expect("create results/");
+            std::fs::write("results/timeline_health.txt", text)
+                .expect("write timeline summary");
+            eprintln!("saved timeline summary to results/timeline_health.txt");
+            println!("{}", render_health(&rows));
         }
         "scale" => {
             // The paper-scale throughput study: full-fidelity Grid3×10

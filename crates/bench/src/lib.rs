@@ -10,6 +10,7 @@
 
 pub mod degradation;
 pub mod drivers;
+pub mod health;
 pub mod parallel;
 pub mod recovery;
 pub mod render;
@@ -17,6 +18,7 @@ pub mod scale;
 pub mod snapshot;
 
 pub use degradation::{degradation_cells, degradation_json, render_degradation, DegradationRow};
+pub use health::{health_cells, health_json, render_health, HealthRow};
 pub use recovery::{recovery_cells, recovery_json, render_recovery, RecoveryRow};
 pub use scale::{render_scale, scale_cells, scale_json, ScaleRow};
 pub use drivers::*;

@@ -25,7 +25,8 @@ use dpnode::{
 };
 use dpstore::{SimStore, Store as _};
 use gruber::DispatchRecord;
-use gruber_types::{DpId, SimTime, SiteSpec};
+use gruber_types::{ClientId, DpId, SimTime, SiteSpec};
+use obs::{Recorder, TraceEvent};
 use parking_lot::Mutex;
 use simnet::codec::{decode_inform, encode_inform};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -100,6 +101,7 @@ pub struct LiveCluster {
     stop: Arc<AtomicBool>,
     epoch: Instant,
     queries_sent: AtomicU64,
+    recorder: Recorder,
 }
 
 impl LiveCluster {
@@ -111,7 +113,26 @@ impl LiveCluster {
         uslas: &UslaSet,
         sync_interval: Duration,
     ) -> Self {
-        LiveCluster::start_inner(n_dps, sites, uslas, sync_interval, None)
+        LiveCluster::start_inner(n_dps, sites, uslas, sync_interval, None, Recorder::OFF)
+    }
+
+    /// Like [`LiveCluster::start`], but every thread and the query path
+    /// emit into the given [`obs::Recorder`] — the same streaming fan-out
+    /// (timeline, ring, health scorer) the simulator feeds, stamped with
+    /// wall-clock milliseconds since cluster start. The recorder is also
+    /// installed as each node's engine tracer, so protocol-level events
+    /// (`query_accepted`, `exchange_merged`, admission decisions) flow in
+    /// with no driver glue. Timestamps here are wall-clock and therefore
+    /// nondeterministic; the health scorer tolerates this because its
+    /// windows close on whatever order the stream actually arrives in.
+    pub fn start_traced(
+        n_dps: usize,
+        sites: Vec<SiteSpec>,
+        uslas: &UslaSet,
+        sync_interval: Duration,
+        recorder: Recorder,
+    ) -> Self {
+        LiveCluster::start_inner(n_dps, sites, uslas, sync_interval, None, recorder)
     }
 
     /// Like [`LiveCluster::start`], but every point journals applied
@@ -126,7 +147,14 @@ impl LiveCluster {
         sync_interval: Duration,
         snapshot_records: u32,
     ) -> Self {
-        LiveCluster::start_inner(n_dps, sites, uslas, sync_interval, Some(snapshot_records))
+        LiveCluster::start_inner(
+            n_dps,
+            sites,
+            uslas,
+            sync_interval,
+            Some(snapshot_records),
+            Recorder::OFF,
+        )
     }
 
     fn start_inner(
@@ -135,6 +163,7 @@ impl LiveCluster {
         uslas: &UslaSet,
         sync_interval: Duration,
         persist: Option<u32>,
+        recorder: Recorder,
     ) -> Self {
         assert!(n_dps > 0);
         let stop = Arc::new(AtomicBool::new(false));
@@ -161,7 +190,8 @@ impl LiveCluster {
                     gossip_seed: 0,
                     persist: persist.is_some(),
                 };
-                let node = DpNode::new(cfg, &sites, uslas);
+                let mut node = DpNode::new(cfg, &sites, uslas);
+                node.set_tracer(recorder.clone());
                 let durability = persist.map(|snapshot_records| LivePersist {
                     store: SimStore::new(),
                     snapshot_records,
@@ -170,9 +200,10 @@ impl LiveCluster {
                     uslas: uslas.clone(),
                 });
                 let peers = senders.clone();
+                let rec = recorder.clone();
                 let handle = std::thread::Builder::new()
                     .name(format!("dp-{i}"))
-                    .spawn(move || dp_main(node, receiver, peers, epoch, durability))
+                    .spawn(move || dp_main(node, receiver, peers, epoch, durability, rec))
                     .expect("spawn dp thread");
                 DpThread { sender, handle }
             })
@@ -207,7 +238,16 @@ impl LiveCluster {
             stop,
             epoch,
             queries_sent: AtomicU64::new(0),
+            recorder,
         }
+    }
+
+    /// The recorder the cluster emits into ([`Recorder::OFF`] unless
+    /// started via [`LiveCluster::start_traced`]). Call
+    /// [`Recorder::finish`] on it — at any time, or after
+    /// [`LiveCluster::shutdown`] — for the timeline and health report.
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Milliseconds since cluster start, as the shared simulated clock.
@@ -228,14 +268,40 @@ impl LiveCluster {
     /// Blocking availability query with a client-side timeout. `None`
     /// means the timeout fired (the caller should fall back to a random
     /// site, like the paper's clients).
+    ///
+    /// Traced clusters emit the client-side protocol events here —
+    /// `query_issued` at send and `response_answered` / `client_timeout`
+    /// at the outcome — under the anonymous `ClientId(0)`: this handle is
+    /// the client, and callers multiplex it freely across threads.
     pub fn query(&self, dp: DpId, timeout: Duration) -> Option<Vec<u32>> {
         self.queries_sent.fetch_add(1, Ordering::Relaxed);
+        self.recorder.emit(self.now(), || TraceEvent::QueryIssued {
+            client: ClientId(0),
+            dp,
+        });
+        let sent = Instant::now();
         let (reply_tx, reply_rx) = bounded(1);
-        self.dps[dp.index()]
+        let sent_ok = self.dps[dp.index()]
             .sender
             .send(LiveMsg::Query { reply: reply_tx })
-            .ok()?;
-        reply_rx.recv_timeout(timeout).ok()
+            .is_ok();
+        let reply = if sent_ok {
+            reply_rx.recv_timeout(timeout).ok()
+        } else {
+            None
+        };
+        match &reply {
+            Some(_) => self.recorder.emit(self.now(), || TraceEvent::ResponseAnswered {
+                dp,
+                client: ClientId(0),
+                response_ms: sent.elapsed().as_millis() as u64,
+            }),
+            None => self.recorder.emit(self.now(), || TraceEvent::ClientTimeout {
+                client: ClientId(0),
+                dp,
+            }),
+        }
+        reply
     }
 
     /// Informs a decision point of a dispatch decision. The record
@@ -409,8 +475,10 @@ fn dp_main(
     peers: Vec<Sender<LiveMsg>>,
     epoch: Instant,
     mut durability: Option<LivePersist>,
+    recorder: Recorder,
 ) -> LiveDpStats {
     let n_dps = peers.len();
+    let id = node.id();
     let now = || SimTime(epoch.elapsed().as_millis() as u64);
     let mut fx: Vec<Effect> = Vec::new();
     let mut recoveries = 0u64;
@@ -434,25 +502,42 @@ fn dp_main(
             LiveMsg::PeerRecords(bytes) => Input::PeerRecords(FloodPayload::from_wire(bytes)),
             LiveMsg::Crash => {
                 node.set_up(false);
+                recorder.emit(now(), || TraceEvent::DpFailed { dp: id });
                 continue;
             }
             LiveMsg::Restore => {
-                match &mut durability {
+                let replayed = match &mut durability {
                     Some(p) => {
                         // Same recovery path as the sim and replay
                         // drivers: fresh node, snapshot + WAL replay.
+                        // Tracer goes in *after* recover so the replay
+                        // itself is not re-emitted as protocol events.
                         let recovery = p.store.recover();
                         let mut fresh = DpNode::new(p.cfg, &p.sites, &p.uslas);
-                        wal_records_replayed += u64::from(
-                            fresh
-                                .recover(recovery.snapshot.as_deref(), &recovery.wal, now())
-                                .expect("a store's own snapshot must decode"),
-                        );
+                        let n = fresh
+                            .recover(recovery.snapshot.as_deref(), &recovery.wal, now())
+                            .expect("a store's own snapshot must decode");
+                        fresh.set_tracer(recorder.clone());
+                        wal_records_replayed += u64::from(n);
                         node = fresh;
+                        n
                     }
-                    None => node.set_up(true),
-                }
+                    None => {
+                        node.set_up(true);
+                        0
+                    }
+                };
                 recoveries += 1;
+                let at = now();
+                recorder.emit(at, || TraceEvent::DpRecovered { dp: id });
+                // Live recovery replays in-thread, so no modeled latency
+                // is charged: dur_ms is the actual (effectively zero)
+                // replay cost, not the sim's provisioned estimate.
+                recorder.emit(at, || TraceEvent::RecoveryReplayed {
+                    dp: id,
+                    records: replayed,
+                    dur_ms: 0,
+                });
                 continue;
             }
             LiveMsg::Shutdown => break,
@@ -463,12 +548,18 @@ fn dp_main(
             match effect {
                 Effect::FloodTo { peers: to, payload } => {
                     for j in to {
+                        recorder.emit(at, || TraceEvent::ExchangeSent {
+                            from: id,
+                            to: DpId(j as u32),
+                            records: payload.n_records,
+                        });
                         let _ = peers[j].send(LiveMsg::PeerRecords(payload.records.clone()));
                     }
                 }
                 Effect::Persist(op) => {
                     if let Some(p) = &mut durability {
                         p.store.append(at, &op);
+                        recorder.emit(at, || TraceEvent::WalAppended { dp: id });
                     }
                 }
                 _ => {}
@@ -476,8 +567,13 @@ fn dp_main(
         }
         if let Some(p) = &mut durability {
             if p.store.wal_len() >= p.snapshot_records as usize {
+                let folded = p.store.wal_len() as u32;
                 let (bytes, _) = node.snapshot_encode(at);
                 p.store.write_snapshot(&bytes);
+                recorder.emit(at, || TraceEvent::SnapshotWritten {
+                    dp: id,
+                    records: folded,
+                });
             }
         }
     }
@@ -608,6 +704,65 @@ mod tests {
         assert_eq!(stats[0].records_merged, 1);
         assert_eq!(stats[1].records_merged, 1);
         assert_eq!(stats[2].floods_sent, 2, "one flood to each mesh peer");
+    }
+
+    /// The full streaming obs path on real threads: a traced cluster
+    /// feeds the recorder from the query path, the crash/restore driver
+    /// glue, and the nodes' own engine tracers — and the online health
+    /// scorer flags the crashed point. Assertions are deliberately loose
+    /// (wall-clock timestamps are nondeterministic); the deterministic
+    /// scorer behaviour is pinned by `obs::health`'s own tests.
+    #[test]
+    fn traced_cluster_scores_a_crashed_dp_as_degrading() {
+        use obs::{HealthConfig, TraceConfig};
+        let rec = Recorder::new(TraceConfig {
+            health: Some(HealthConfig {
+                // Tiny windows so a ~300 ms run spans several of them.
+                window: gruber_types::SimDuration(50),
+                ..HealthConfig::default()
+            }),
+            ..TraceConfig::default()
+        });
+        let cluster = LiveCluster::start_traced(
+            2,
+            sites(),
+            &equal_shares(2, 2).unwrap(),
+            Duration::from_millis(20),
+            rec.clone(),
+        );
+        cluster.crash(DpId(1));
+        // An inform exercises the node-internal engine tracer (it emits
+        // `query_accepted` when the view takes the record).
+        cluster.inform(DpId(0), record(1, 0, 8, cluster.now()));
+        let deadline = Instant::now() + Duration::from_millis(300);
+        while Instant::now() < deadline {
+            // dp0 answers; dp1 is down, so these time out quickly and
+            // keep the trace stream (and scoring windows) advancing.
+            let _ = cluster.query(DpId(0), Duration::from_millis(50));
+            let _ = cluster.query(DpId(1), Duration::from_millis(5));
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let end = cluster.now();
+        cluster.shutdown();
+        let tl = rec.finish(end).unwrap();
+        let health = tl.health.as_ref().expect("health scorer was on");
+        assert!(
+            health
+                .flags
+                .iter()
+                .any(|f| f.dp == DpId(1) && f.degrading),
+            "crashed dp1 must be flagged Degrading; flags: {:?}",
+            health.flags
+        );
+        assert!(
+            health.samples.iter().any(|s| s.dp == DpId(0) && s.score > 0),
+            "live dp0 must score above zero"
+        );
+        // The engine tracer was installed: dp0 served traced queries.
+        assert!(tl.totals.accepted > 0, "engine-level events must flow");
+        // Flag counters reconcile between report and timeline totals.
+        let degrades = health.flags.iter().filter(|f| f.degrading).count() as u64;
+        assert_eq!(tl.totals.health_degrades, degrades);
     }
 
     #[test]

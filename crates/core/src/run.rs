@@ -121,6 +121,23 @@ pub struct ExperimentOutput {
     pub sched_cancellations: u64,
 }
 
+impl ExperimentOutput {
+    /// The online health scorer's report: windowed per-DP scores and
+    /// `Degrading`/`Recovered` flag transitions. Present iff the run was
+    /// traced with [`obs::TraceConfig::health`] enabled (the default for
+    /// traced runs). Rides inside [`ExperimentOutput::timeline`], so it
+    /// adds nothing to the untraced `Debug` fingerprint.
+    pub fn health(&self) -> Option<&obs::HealthReport> {
+        self.timeline.as_ref()?.health.as_ref()
+    }
+
+    /// Decision points still flagged `Degrading` when the run ended
+    /// (empty when health scoring was off or everything recovered).
+    pub fn degraded_dps(&self) -> Vec<gruber_types::DpId> {
+        self.health().map(|h| h.still_degraded()).unwrap_or_default()
+    }
+}
+
 // Manual `Debug` mirroring the old derive field-for-field, with the
 // recovery counters appended only when one is nonzero. The sweep
 // fingerprint is an FNV hash over this representation, so runs that never

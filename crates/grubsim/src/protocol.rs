@@ -23,7 +23,8 @@ use diperf::RequestTrace;
 use dpnode::{Dissemination, DpNode, DpNodeStats, Effect, FloodPayload, Input, NodeConfig, Topology};
 use dpstore::{SimStore, Store as _};
 use gruber::DispatchRecord;
-use gruber_types::{DpId, GroupId, JobId, SimDuration, SimTime, SiteId, SiteSpec, VoId};
+use gruber_types::{ClientId, DpId, GroupId, JobId, SimDuration, SimTime, SiteId, SiteSpec, VoId};
+use obs::{Recorder, TraceEvent};
 use usla::UslaSet;
 
 /// Crash one decision point mid-replay and restore it later.
@@ -92,8 +93,8 @@ struct HeapEv {
 }
 
 enum Ev {
-    Query { dp: usize },
-    Inform { dp: usize, record: DispatchRecord },
+    Query { dp: usize, client: ClientId, timed_out: bool },
+    Inform { dp: usize, record: DispatchRecord, client: ClientId, response_ms: u64 },
     Timer { dp: usize },
     Crash { dp: usize },
     Restore { dp: usize },
@@ -125,6 +126,27 @@ pub fn replay_protocol(
     uslas: &UslaSet,
     cfg: ProtocolReplayConfig,
 ) -> ProtocolReplayReport {
+    replay_protocol_traced(traces, sites, uslas, cfg, &Recorder::OFF)
+}
+
+/// [`replay_protocol`] with an [`obs::Recorder`] over the replay: the
+/// driver emits the protocol-level stream (`query_issued`,
+/// `response_answered` / `client_timeout` from the trace outcomes,
+/// `exchange_sent`, crash/recovery and persistence events) and each
+/// node's engine tracer adds `query_accepted` / `exchange_merged` — so a
+/// replayed trace gets the same timeline and online health scoring as a
+/// simulated or live run.
+///
+/// One timestamp caveat: the trace records *when the client gave up* only
+/// implicitly, so `client_timeout` is emitted at the request's `sent_at`
+/// (slightly early) rather than at the unknown expiry instant.
+pub fn replay_protocol_traced(
+    traces: &[RequestTrace],
+    sites: &[SiteSpec],
+    uslas: &UslaSet,
+    cfg: ProtocolReplayConfig,
+    tracer: &Recorder,
+) -> ProtocolReplayReport {
     assert!(cfg.n_dps > 0, "protocol replay needs at least one point");
     assert!(!cfg.sync_interval.is_zero(), "zero sync interval");
     let n_dps = cfg.n_dps;
@@ -138,8 +160,13 @@ pub fn replay_protocol(
         gossip_seed: cfg.seed,
         persist: cfg.persist,
     };
-    let mut nodes: Vec<DpNode> =
-        (0..n_dps).map(|i| DpNode::new(node_cfg(i), sites, uslas)).collect();
+    let mut nodes: Vec<DpNode> = (0..n_dps)
+        .map(|i| {
+            let mut n = DpNode::new(node_cfg(i), sites, uslas);
+            n.set_tracer(tracer.clone());
+            n
+        })
+        .collect();
     let mut stores: Vec<SimStore> = (0..n_dps).map(|_| SimStore::new()).collect();
     let mut recoveries = 0u64;
     let mut wal_replayed = 0u64;
@@ -158,7 +185,12 @@ pub fn replay_protocol(
     let mut last_event = SimTime(0);
     for (i, t) in traces.iter().enumerate() {
         let dp = t.dp.index() % n_dps;
-        push(&mut heap, &mut seq, t.sent_at, Ev::Query { dp });
+        push(
+            &mut heap,
+            &mut seq,
+            t.sent_at,
+            Ev::Query { dp, client: t.client, timed_out: t.timed_out },
+        );
         last_event = last_event.max(t.sent_at);
         if !t.handled() {
             continue;
@@ -174,7 +206,17 @@ pub fn replay_protocol(
             dispatched_at: at,
             est_finish: at + cfg.job_runtime,
         };
-        push(&mut heap, &mut seq, at, Ev::Inform { dp, record });
+        push(
+            &mut heap,
+            &mut seq,
+            at,
+            Ev::Inform {
+                dp,
+                record,
+                client: t.client,
+                response_ms: t.response.map_or(0, |r| r.as_millis()),
+            },
+        );
     }
 
     if let Some(plan) = cfg.crash {
@@ -195,15 +237,35 @@ pub fn replay_protocol(
     let mut fx: Vec<Effect> = Vec::new();
     while let Some(HeapEv { at, ev, .. }) = heap.pop() {
         match ev {
-            Ev::Query { dp } => {
+            Ev::Query { dp, client, timed_out } => {
                 queries += 1;
+                let dp_id = DpId(dp as u32);
+                tracer.emit(at, || TraceEvent::QueryIssued { client, dp: dp_id });
+                if timed_out {
+                    // Emitted at `sent_at`: the trace does not record the
+                    // expiry instant (see `replay_protocol_traced` docs).
+                    tracer.emit(at, || TraceEvent::ClientTimeout { client, dp: dp_id });
+                }
                 nodes[dp].handle(at, Input::QueryArrived { admission: None }, &mut fx);
                 fx.clear(); // the reply has no consumer in a trace replay
             }
-            Ev::Inform { dp, record } => {
+            Ev::Inform { dp, record, client, response_ms } => {
                 informs += 1;
+                let dp_id = DpId(dp as u32);
+                tracer.emit(at, || TraceEvent::ResponseAnswered {
+                    dp: dp_id,
+                    client,
+                    response_ms,
+                });
                 nodes[dp].handle(at, Input::Inform(record), &mut fx);
-                absorb_persist(&mut nodes[dp], &mut stores[dp], at, cfg.snapshot_records, &mut fx);
+                absorb_persist(
+                    &mut nodes[dp],
+                    &mut stores[dp],
+                    at,
+                    cfg.snapshot_records,
+                    &mut fx,
+                    tracer,
+                );
             }
             Ev::Timer { dp } => {
                 nodes[dp].handle(at, Input::TimerFired { n_dps }, &mut fx);
@@ -212,7 +274,16 @@ pub fn replay_protocol(
                 for effect in effects {
                     match effect {
                         Effect::FloodTo { peers, payload } => {
-                            deliver(&mut nodes, &mut stores, dp, at, &peers, &payload, cfg.snapshot_records);
+                            deliver(
+                                &mut nodes,
+                                &mut stores,
+                                dp,
+                                at,
+                                &peers,
+                                &payload,
+                                cfg.snapshot_records,
+                                tracer,
+                            );
                         }
                         Effect::SetTimer { after } => {
                             let next = at + after;
@@ -222,35 +293,50 @@ pub fn replay_protocol(
                         }
                         Effect::Persist(op) => {
                             stores[dp].append(at, &op);
+                            tracer.emit(at, || TraceEvent::WalAppended { dp: DpId(dp as u32) });
                             appended = true;
                         }
                         _ => {}
                     }
                 }
                 if appended {
-                    maybe_snapshot(&mut nodes[dp], &mut stores[dp], at, cfg.snapshot_records);
+                    maybe_snapshot(&mut nodes[dp], &mut stores[dp], at, cfg.snapshot_records, tracer);
                 }
             }
             Ev::Crash { dp } => {
                 nodes[dp].set_up(false);
+                tracer.emit(at, || TraceEvent::DpFailed { dp: DpId(dp as u32) });
             }
             Ev::Restore { dp } => {
                 recoveries += 1;
-                if cfg.persist {
+                let replayed = if cfg.persist {
                     // Rebuild from durable state, exactly like the other
                     // two drivers: fresh node, then snapshot + log replay.
+                    // Tracer goes in after the replay so recovered records
+                    // are not re-emitted as fresh protocol events.
                     let recovery = stores[dp].recover();
                     let mut fresh = DpNode::new(node_cfg(dp), sites, uslas);
                     fresh.set_up(false);
                     let replayed = fresh
                         .recover(recovery.snapshot.as_deref(), &recovery.wal, at)
                         .expect("a store's own snapshot must decode");
+                    fresh.set_tracer(tracer.clone());
                     wal_replayed += u64::from(replayed);
                     fresh.set_up(true);
                     nodes[dp] = fresh;
+                    replayed
                 } else {
                     nodes[dp].set_up(true);
-                }
+                    0
+                };
+                let dp_id = DpId(dp as u32);
+                tracer.emit(at, || TraceEvent::DpRecovered { dp: dp_id });
+                // Replay happens in driver time: no modeled latency.
+                tracer.emit(at, || TraceEvent::RecoveryReplayed {
+                    dp: dp_id,
+                    records: replayed,
+                    dur_ms: 0,
+                });
             }
         }
     }
@@ -267,17 +353,27 @@ pub fn replay_protocol(
             for effect in effects {
                 match effect {
                     Effect::FloodTo { peers, payload } => {
-                        deliver(&mut nodes, &mut stores, dp, t, &peers, &payload, cfg.snapshot_records);
+                        deliver(
+                            &mut nodes,
+                            &mut stores,
+                            dp,
+                            t,
+                            &peers,
+                            &payload,
+                            cfg.snapshot_records,
+                            tracer,
+                        );
                     }
                     Effect::Persist(op) => {
                         stores[dp].append(t, &op);
+                        tracer.emit(t, || TraceEvent::WalAppended { dp: DpId(dp as u32) });
                         appended = true;
                     }
                     _ => {}
                 }
             }
             if appended {
-                maybe_snapshot(&mut nodes[dp], &mut stores[dp], t, cfg.snapshot_records);
+                maybe_snapshot(&mut nodes[dp], &mut stores[dp], t, cfg.snapshot_records, tracer);
             }
         }
     }
@@ -305,6 +401,7 @@ pub fn replay_protocol(
 /// the next round retransmits it — a crash delays state, it must not
 /// destroy it (same contract as the discrete-event driver's retry
 /// exhaustion path).
+#[allow(clippy::too_many_arguments)] // internal driver glue, not API
 fn deliver(
     nodes: &mut [DpNode],
     stores: &mut [SimStore],
@@ -313,10 +410,16 @@ fn deliver(
     peers: &[usize],
     payload: &FloodPayload,
     snapshot_records: u32,
+    tracer: &Recorder,
 ) {
     let mut fx = Vec::new();
     let mut requeued = false;
     for &j in peers {
+        tracer.emit(at, || TraceEvent::ExchangeSent {
+            from: DpId(from as u32),
+            to: DpId(j as u32),
+            records: payload.n_records,
+        });
         if !nodes[j].up() {
             if !requeued {
                 nodes[from].requeue(payload);
@@ -325,7 +428,7 @@ fn deliver(
             continue;
         }
         nodes[j].handle(at, Input::PeerRecords(payload.clone()), &mut fx);
-        absorb_persist(&mut nodes[j], &mut stores[j], at, snapshot_records, &mut fx);
+        absorb_persist(&mut nodes[j], &mut stores[j], at, snapshot_records, &mut fx, tracer);
     }
 }
 
@@ -338,23 +441,36 @@ fn absorb_persist(
     at: SimTime,
     snapshot_records: u32,
     fx: &mut Vec<Effect>,
+    tracer: &Recorder,
 ) {
     let mut appended = false;
     for effect in fx.drain(..) {
         if let Effect::Persist(op) = effect {
             store.append(at, &op);
+            tracer.emit(at, || TraceEvent::WalAppended { dp: node.id() });
             appended = true;
         }
     }
     if appended {
-        maybe_snapshot(node, store, at, snapshot_records);
+        maybe_snapshot(node, store, at, snapshot_records, tracer);
     }
 }
 
-fn maybe_snapshot(node: &mut DpNode, store: &mut SimStore, at: SimTime, snapshot_records: u32) {
+fn maybe_snapshot(
+    node: &mut DpNode,
+    store: &mut SimStore,
+    at: SimTime,
+    snapshot_records: u32,
+    tracer: &Recorder,
+) {
     if snapshot_records > 0 && store.wal_len() >= snapshot_records as usize {
+        let folded = store.wal_len() as u32;
         let (bytes, _) = node.snapshot_encode(at);
         store.write_snapshot(&bytes);
+        tracer.emit(at, || TraceEvent::SnapshotWritten {
+            dp: node.id(),
+            records: folded,
+        });
     }
 }
 
@@ -528,6 +644,49 @@ mod tests {
         assert_eq!(r.recoveries, 1);
         assert_eq!(r.wal_records_replayed, 0);
         assert!(r.converged, "views diverged: {:?}", r.final_views);
+    }
+
+    /// A traced replay produces a full timeline — driver-level protocol
+    /// events, engine-level merges, crash/recovery — and the health
+    /// scorer's flag totals reconcile with the timeline counters.
+    #[test]
+    fn traced_replay_builds_a_timeline_with_health() {
+        let rec = Recorder::new(obs::TraceConfig::default());
+        let r = replay_protocol_traced(
+            &answered_trace(30, 3),
+            &sites(4, 64),
+            &equal_shares(2, 2).unwrap(),
+            crashy_cfg(3, 0),
+            &rec,
+        );
+        assert_eq!(r.recoveries, 1);
+        let tl = rec.finish(SimTime::from_secs(120)).unwrap();
+        assert_eq!(tl.totals.issued, r.queries_replayed);
+        assert_eq!(tl.totals.answered, r.informs_replayed);
+        assert_eq!(tl.totals.failures, 1);
+        assert_eq!(tl.totals.recoveries, 1);
+        assert_eq!(tl.totals.wal_replayed, r.wal_records_replayed);
+        let out: u64 = tl.dp_totals.iter().map(|d| d.exchanges_out).sum();
+        let merged: u64 = tl.dp_totals.iter().map(|d| d.exchange_records_in).sum();
+        assert!(out > 0, "floods must be traced");
+        assert!(merged > 0, "merges must be traced");
+        let health = tl.health.as_ref().expect("health on by default");
+        assert!(!health.samples.is_empty(), "scored windows must exist");
+        let degrades = health.flags.iter().filter(|f| f.degrading).count() as u64;
+        assert_eq!(tl.totals.health_degrades, degrades);
+    }
+
+    /// The untraced entry point is byte-identical to a traced replay's
+    /// report: tracing observes, it must not perturb.
+    #[test]
+    fn tracing_does_not_perturb_the_replay() {
+        let traces = answered_trace(30, 3);
+        let s = sites(4, 64);
+        let u = equal_shares(2, 2).unwrap();
+        let plain = replay_protocol(&traces, &s, &u, crashy_cfg(3, 2));
+        let rec = Recorder::new(obs::TraceConfig::default());
+        let traced = replay_protocol_traced(&traces, &s, &u, crashy_cfg(3, 2), &rec);
+        assert_eq!(plain, traced);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! The streaming consumer API: anything that folds the trace online.
+//!
+//! [`crate::Recorder`] used to assume a single end-of-run exporter: every
+//! emission went into one ring + one timeline, and nothing else could see
+//! the stream until `finish`. This module inverts that. A [`TraceConsumer`]
+//! is fed **every** emission, in timestamp order, while the run is still
+//! going; the recorder's sink is now a fan-out over consumers:
+//!
+//! ```text
+//!                        ┌─> TimelineBuilder  (bins + totals → JSONL/render)
+//!   Recorder::emit ──────┼─> RawRing          (last-N raw events)
+//!                        ├─> HealthScorer     (windowed per-DP scores + flags)
+//!                        └─> Box<dyn TraceConsumer>  (attached extras)
+//! ```
+//!
+//! The first two consumers are the re-homed PR-2 pipeline (their output is
+//! byte-identical to the pre-refactor sink); [`crate::HealthScorer`] is the
+//! first *online* consumer — it emits derived [`TraceEvent::HealthFlag`]
+//! events back into the stream. External consumers attach through
+//! [`crate::Recorder::attach`].
+//!
+//! Contract for implementors: `observe` is called with nondecreasing
+//! `at_ms` within one run (simulated or wall-clock milliseconds), must not
+//! panic on unknown event kinds (match with a `_` arm — the vocabulary
+//! grows), and must be cheap: it sits on the hot path of every traced
+//! emission, under the recorder's lock.
+
+use std::collections::VecDeque;
+
+use crate::event::TraceEvent;
+
+/// An online observer of the trace stream.
+///
+/// Implemented by the in-tree consumers ([`crate::timeline::TimelineBuilder`],
+/// [`RawRing`], [`crate::HealthScorer`]) and by anything a driver attaches
+/// via [`crate::Recorder::attach`].
+pub trait TraceConsumer {
+    /// Folds one emission. `at_ms` is the emission time in milliseconds
+    /// (simulated time in the two simulators, wall-clock since cluster
+    /// start in live mode); calls arrive in nondecreasing `at_ms` order.
+    fn observe(&mut self, at_ms: u64, ev: &TraceEvent);
+}
+
+/// The last-N raw events, verbatim — the "flight recorder" consumer.
+///
+/// Re-homed from the pre-refactor sink: a bounded ring of `(at_ms, event)`
+/// pairs, evicting the oldest on overflow and counting what it dropped.
+/// [`crate::RunTimeline::recent`] and the render's raw-event tail read
+/// from here.
+#[derive(Debug, Clone, Default)]
+pub struct RawRing {
+    ring: VecDeque<(u64, TraceEvent)>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RawRing {
+    /// A ring keeping the last `capacity` events (0 keeps none).
+    pub fn new(capacity: usize) -> Self {
+        RawRing {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Events evicted to make room (total over the run).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Snapshot of the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<(u64, TraceEvent)> {
+        self.ring.iter().copied().collect()
+    }
+}
+
+impl TraceConsumer for RawRing {
+    fn observe(&mut self, at_ms: u64, ev: &TraceEvent) {
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back((at_ms, *ev));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_last_n_and_counts_drops() {
+        let mut r = RawRing::new(2);
+        for seq in 0..5 {
+            r.observe(seq, &TraceEvent::EventExecuted { seq });
+        }
+        assert_eq!(r.dropped(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0], (3, TraceEvent::EventExecuted { seq: 3 }));
+        assert_eq!(snap[1], (4, TraceEvent::EventExecuted { seq: 4 }));
+    }
+
+    #[test]
+    fn zero_capacity_ring_drops_everything() {
+        let mut r = RawRing::new(0);
+        r.observe(1, &TraceEvent::EventExecuted { seq: 1 });
+        assert_eq!(r.dropped(), 1);
+        assert!(r.snapshot().is_empty());
+    }
+}

@@ -335,6 +335,20 @@ pub enum TraceEvent {
         /// Modeled recovery latency charged before the rejoin, ms.
         dur_ms: u32,
     },
+    /// `obs::health`: the online scorer flipped a decision point's flag.
+    ///
+    /// A *derived* event: the [`crate::HealthScorer`] consumer emits it
+    /// back into the stream when a scoring window closes, stamped at the
+    /// window boundary, so downstream consumers (ring, timeline, JSONL)
+    /// see flag transitions like any other event.
+    HealthFlag {
+        /// The flagged decision point.
+        dp: DpId,
+        /// `true` = `Degrading` raised; `false` = `Recovered` (cleared).
+        degrading: bool,
+        /// The windowed health score (0–100) that tripped the transition.
+        score: u32,
+    },
 }
 
 impl TraceEvent {
@@ -379,6 +393,7 @@ impl TraceEvent {
             TraceEvent::WalAppended { .. } => "wal_appended",
             TraceEvent::SnapshotWritten { .. } => "snapshot_written",
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
+            TraceEvent::HealthFlag { .. } => "health_flag",
         }
     }
 }

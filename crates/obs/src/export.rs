@@ -6,29 +6,35 @@
 //! byte-stable — the trace-determinism test compares the full JSONL output
 //! of `--jobs 1` and `--jobs 8` runs byte for byte.
 //!
-//! ## JSONL schema (`digruber-trace/3`)
+//! ## JSONL schema (`digruber-trace/4`)
 //!
 //! (v2 added the fault-injection counters: per-bin and per-DP `lost` /
 //! `retries`, per-DP `retries_exhausted` / `duplicated` /
 //! `partition_drops`, and the run-total loss/retry/partition/slowdown
 //! fields. v3 added the durability counters: per-DP `wal_appends` /
 //! `snapshots` / `wal_replayed` / `recovery_ms`, and the run-total
-//! `wal_appends` / `snapshots` / `wal_replayed` / `max_recovery_ms`.)
+//! `wal_appends` / `snapshots` / `wal_replayed` / `max_recovery_ms`.
+//! v4 added online health scoring: the `health` and `health_flag` line
+//! types, plus `health_degrades` / `health_recovers` on `dp_total` and
+//! `run_total`.)
 //!
 //! One JSON object per line, discriminated by `"type"`:
 //!
-//! | `type`      | one per…            | payload                                      |
-//! |-------------|---------------------|----------------------------------------------|
-//! | `meta`      | run                 | schema, run label, cadence, end, dp count    |
-//! | `sim`       | cadence bin         | scheduler events executed / cancelled        |
-//! | `dp`        | cadence bin × DP    | per-bin counters, queue depth, staleness     |
-//! | `dp_total`  | DP                  | whole-run counters + response histogram      |
-//! | `run_total` | run                 | whole-run aggregate counters                 |
+//! | `type`        | one per…             | payload                                      |
+//! |---------------|----------------------|----------------------------------------------|
+//! | `meta`        | run                  | schema, run label, cadence, end, dp count    |
+//! | `sim`         | cadence bin          | scheduler events executed / cancelled        |
+//! | `dp`          | cadence bin × DP     | per-bin counters, queue depth, staleness     |
+//! | `dp_total`    | DP                   | whole-run counters + response histogram      |
+//! | `health`      | scoring window × DP  | score 0–100 + penalty breakdown + liveness   |
+//! | `health_flag` | flag transition      | Degrading/Recovered flip + tripping score    |
+//! | `run_total`   | run                  | whole-run aggregate counters                 |
 //!
 //! Lines are ordered: `meta`, then per-bin `sim` followed by that bin's
 //! `dp` lines (time-ascending), then `dp_total` lines (dp-ascending),
-//! then `run_total`. Every line carries the `run` label so multiple runs
-//! can share one file.
+//! then `health` / `health_flag` lines (present only when the health
+//! consumer ran), then `run_total`. Every line carries the `run` label so
+//! multiple runs can share one file.
 
 use crate::timeline::{DpSample, DpTotals, ResponseHistogram, RunTimeline};
 use std::fmt::Write as _;
@@ -113,7 +119,7 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
          \"lost\":{},\"retries\":{},\"retries_exhausted\":{},\
          \"duplicated\":{},\"partition_drops\":{},\
          \"wal_appends\":{},\"snapshots\":{},\"wal_replayed\":{},\
-         \"recovery_ms\":{},\
+         \"recovery_ms\":{},\"health_degrades\":{},\"health_recovers\":{},\
          \"sum_response_ms\":{},\"max_response_ms\":{},\"hist_log2_ms\":{}}}",
         t.dp.index(),
         t.issued,
@@ -145,6 +151,8 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
         t.snapshots,
         t.wal_replayed,
         t.recovery_ms,
+        t.health_degrades,
+        t.health_recovers,
         t.sum_response_ms,
         t.max_response_ms,
         hist_json(&t.hist),
@@ -152,14 +160,14 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
 }
 
 impl RunTimeline {
-    /// Renders the timeline as JSONL (schema `digruber-trace/3`); `run`
+    /// Renders the timeline as JSONL (schema `digruber-trace/4`); `run`
     /// labels every line so multiple runs can append to one file.
     pub fn to_jsonl(&self, run: &str) -> String {
         let run = json_escape(run);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/3\",\"run\":\"{run}\",\
+            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/4\",\"run\":\"{run}\",\
              \"cadence_ms\":{},\"end_ms\":{},\"dps\":{},\"raw_ring\":{},\
              \"dropped_raw\":{}}}",
             self.cadence_ms,
@@ -186,6 +194,36 @@ impl RunTimeline {
         for t in &self.dp_totals {
             dp_total_line(&run, t, &mut out);
         }
+        if let Some(h) = &self.health {
+            for s in &h.samples {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"health\",\"run\":\"{run}\",\"t_ms\":{},\"dp\":{},\
+                     \"score\":{},\"down\":{},\"p_timeout\":{},\"p_stale\":{},\
+                     \"p_retry\":{},\"p_queue\":{},\"p_recover\":{}}}",
+                    s.t_ms,
+                    s.dp.index(),
+                    s.score,
+                    s.down,
+                    s.p_timeout,
+                    s.p_stale,
+                    s.p_retry,
+                    s.p_queue,
+                    s.p_recover,
+                );
+            }
+            for f in &h.flags {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"health_flag\",\"run\":\"{run}\",\"t_ms\":{},\"dp\":{},\
+                     \"degrading\":{},\"score\":{}}}",
+                    f.t_ms,
+                    f.dp.index(),
+                    f.degrading,
+                    f.score,
+                );
+            }
+        }
         let r = &self.totals;
         let _ = writeln!(
             out,
@@ -199,7 +237,8 @@ impl RunTimeline {
              \"partition_drops\":{},\"partitions_started\":{},\
              \"partitions_healed\":{},\"link_windows\":{},\"slowdowns\":{},\
              \"wal_appends\":{},\"snapshots\":{},\"wal_replayed\":{},\
-             \"max_recovery_ms\":{}}}",
+             \"max_recovery_ms\":{},\"health_degrades\":{},\
+             \"health_recovers\":{}}}",
             r.issued,
             r.answered,
             r.late,
@@ -228,6 +267,8 @@ impl RunTimeline {
             r.snapshots,
             r.wal_replayed,
             r.max_recovery_ms,
+            r.health_degrades,
+            r.health_recovers,
         );
         out
     }
@@ -288,6 +329,33 @@ impl RunTimeline {
                 "  replay: {} overload intervals, {} decision points added",
                 r.replay_overloads, r.replay_dps_added
             );
+        }
+        if let Some(h) = &self.health {
+            if !h.flags.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "  health flags ({} s windows): {} degrading, {} recovered",
+                    h.window_ms / 1000,
+                    r.health_degrades,
+                    r.health_recovers
+                );
+                for f in &h.flags {
+                    let _ = writeln!(
+                        out,
+                        "    [{:>7} s] dp-{} {} (score {})",
+                        f.t_ms / 1000,
+                        f.dp.index(),
+                        if f.degrading { "DEGRADING" } else { "recovered" },
+                        f.score
+                    );
+                }
+                let stuck = h.still_degraded();
+                if !stuck.is_empty() {
+                    let list: Vec<String> =
+                        stuck.iter().map(|d| format!("dp-{}", d.index())).collect();
+                    let _ = writeln!(out, "    still degraded at end: {}", list.join(", "));
+                }
+            }
         }
         let _ = writeln!(out);
         let _ = writeln!(
@@ -377,6 +445,7 @@ mod tests {
         let rec = Recorder::new(TraceConfig {
             cadence: SimDuration::from_secs(60),
             ring_capacity: 8,
+            ..TraceConfig::default()
         });
         let dp = DpId(0);
         let client = ClientId(3);
@@ -397,8 +466,14 @@ mod tests {
         let jsonl = tl.to_jsonl("test-run");
         let lines: Vec<&str> = jsonl.lines().collect();
         assert!(lines[0].contains("\"type\":\"meta\""));
-        assert!(lines[0].contains("\"schema\":\"digruber-trace/3\""));
+        assert!(lines[0].contains("\"schema\":\"digruber-trace/4\""));
         assert!(lines.last().unwrap().contains("\"type\":\"run_total\""));
+        // The default config runs the health consumer: one scored window
+        // per 60 s per seen point (windows closing at 60 s and 120 s).
+        assert_eq!(
+            lines.iter().filter(|l| l.contains("\"type\":\"health\"")).count(),
+            2
+        );
         for l in &lines {
             assert!(l.starts_with('{') && l.ends_with('}'), "not an object: {l}");
             assert!(l.contains("\"run\":\"test-run\""));

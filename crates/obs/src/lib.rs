@@ -14,16 +14,25 @@
 //!   (container enqueue/start/reject/drop), `gruber` (query accept /
 //!   admission decide / reject, peer exchange), `digruber`'s protocol and
 //!   fault layers (issue/response/timeout, dp_fail/recover, client
-//!   re-bind) and `grubsim` replay (overload, point added).
+//!   re-bind) and `grubsim` replay (overload, point added) — plus the
+//!   derived [`TraceEvent::HealthFlag`] the scorer feeds back in.
 //! * [`Recorder`] is the handle the instrumented code holds. It is a
 //!   cloneable reference to a shared sink, or — the common case — the
 //!   `static`-constructible no-op [`Recorder::OFF`]. Emission takes a
 //!   closure, so when no sink is installed the cost is one branch and the
 //!   event is never even constructed. The sweep perf snapshot
 //!   (`BENCH_sweep.json`) pins the resulting events/sec headline.
-//! * The sink keeps a bounded ring of recent raw events (debugging) and
-//!   feeds an *online* per-decision-point aggregator, so the exported
-//!   counters are exact even when the ring has rotated.
+//! * The sink is a **streaming fan-out** over [`TraceConsumer`]s (see
+//!   [`consume`]): the online [`TimelineBuilder`](timeline::TimelineBuilder)
+//!   aggregator, the bounded [`RawRing`] of recent raw events, the
+//!   [`HealthScorer`], and any consumer a driver attaches via
+//!   [`Recorder::attach`]. Aggregates are exact even when the ring has
+//!   rotated, and nothing assumes a single end-of-run exporter.
+//! * [`health`] scores every decision point online: rolling per-window
+//!   feature vectors (timeout share, view staleness, retries, queue
+//!   depth, recovery time) folded into 0–100 scores with hysteresis-gated
+//!   `Degrading` / `Recovered` flags, emitted back into the stream as
+//!   `health_flag` events. See `OBSERVABILITY.md` for the operator guide.
 //! * Everything is keyed by simulated time and derives `PartialEq`:
 //!   a seeded run produces one byte-identical [`RunTimeline`] no matter
 //!   which worker thread executed it (`--jobs N` determinism).
@@ -32,19 +41,25 @@
 //!
 //! [`RunTimeline`] carries per-bin samples (fixed sim-time cadence:
 //! queries served, response-time log-histogram, queue depth, staleness of
-//! the last peer exchange) plus whole-run totals. [`RunTimeline::to_jsonl`]
-//! renders the machine-readable JSONL consumed by `--trace out.jsonl` on
-//! the `sweep`/`experiments` binaries; [`RunTimeline::render`] produces the
-//! human-readable timeline summary written under `results/`.
+//! the last peer exchange), whole-run totals, and the [`HealthReport`]
+//! when the scorer ran. [`RunTimeline::to_jsonl`] renders the
+//! machine-readable JSONL (schema `digruber-trace/4`) consumed by
+//! `--trace out.jsonl` on the `sweep`/`experiments` binaries;
+//! [`RunTimeline::render`] produces the human-readable timeline summary
+//! written under `results/`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod consume;
 pub mod event;
 pub mod export;
+pub mod health;
 pub mod sink;
 pub mod timeline;
 
+pub use consume::{RawRing, TraceConsumer};
 pub use event::{FaultMsgClass, TraceEvent, TraceVerdict};
+pub use health::{HealthConfig, HealthFlagRow, HealthReport, HealthSample, HealthScorer};
 pub use sink::{Recorder, TraceConfig};
 pub use timeline::{DpSample, DpTotals, ResponseHistogram, RunTimeline, RunTotals, SimSample};

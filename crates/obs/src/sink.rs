@@ -2,8 +2,19 @@
 //!
 //! Instrumented code holds a [`Recorder`] — either the `static`-constructible
 //! no-op [`Recorder::OFF`] (the default everywhere) or a cloneable reference
-//! to one run's [shared sink](TraceLog). Emission takes a closure so the
+//! to one run's shared sink. Emission takes a closure so the
 //! disabled path costs a single branch and never constructs the event.
+//!
+//! Since the streaming refactor, the sink is a **fan-out over
+//! [`TraceConsumer`]s** (see [`crate::consume`]): every emission feeds the
+//! online timeline, the raw-event ring, the optional [`HealthScorer`], and
+//! any consumers a driver attached via [`Recorder::attach`]. The health
+//! scorer is special-cased because it is the one consumer that produces
+//! *derived* events ([`TraceEvent::HealthFlag`]): the sink drains its
+//! pending flags after each emission and re-feeds them — stamped at their
+//! window boundary — to every other consumer, so flags show up in the
+//! timeline counters, the ring, and the JSONL export like first-class
+//! events.
 //!
 //! The sink is `Arc<Mutex<..>>` only because the live-mode harness moves
 //! engines across threads (`GruberEngine` must stay `Send`); within a
@@ -11,10 +22,11 @@
 //! uncontended and the sweep's `--jobs N` parallelism — one recorder per
 //! run — never shares a sink between workers.
 
+use crate::consume::{RawRing, TraceConsumer};
 use crate::event::TraceEvent;
+use crate::health::{HealthConfig, HealthScorer};
 use crate::timeline::{RunTimeline, TimelineBuilder};
 use gruber_types::{SimDuration, SimTime};
-use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 
 /// Configuration for one run's trace sink.
@@ -25,6 +37,10 @@ pub struct TraceConfig {
     /// Capacity of the bounded ring of recent raw events kept for
     /// debugging. Aggregates are exact regardless of ring size.
     pub ring_capacity: usize,
+    /// Online health scoring over the stream (`None` disables the
+    /// consumer entirely). On by default: any traced run gets windowed
+    /// per-DP scores and `Degrading`/`Recovered` flags for free.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for TraceConfig {
@@ -32,32 +48,51 @@ impl Default for TraceConfig {
         TraceConfig {
             cadence: SimDuration::MINUTE,
             ring_capacity: 512,
+            health: Some(HealthConfig::default()),
         }
     }
 }
 
-/// The shared sink one traced run appends into.
-#[derive(Debug)]
+/// The shared sink one traced run appends into: the consumer fan-out.
 struct TraceLog {
-    ring: VecDeque<(u64, TraceEvent)>,
-    ring_capacity: usize,
-    dropped_raw: u64,
+    ring: RawRing,
     timeline: TimelineBuilder,
+    health: Option<HealthScorer>,
+    extras: Vec<Box<dyn TraceConsumer + Send>>,
     cadence_ms: u64,
 }
 
 impl TraceLog {
     fn push(&mut self, at_ms: u64, ev: TraceEvent) {
+        // Health first: this event may close a scoring window, and the
+        // derived flag events it queues are stamped at that (earlier)
+        // boundary — feeding them before the triggering event keeps every
+        // consumer's input in nondecreasing timestamp order.
+        if let Some(health) = &mut self.health {
+            health.observe(at_ms, &ev);
+            for (t, flag) in health.take_pending() {
+                self.timeline.observe(t, &flag);
+                self.ring.observe(t, &flag);
+                for c in &mut self.extras {
+                    c.observe(t, &flag);
+                }
+            }
+        }
         self.timeline.observe(at_ms, &ev);
-        if self.ring_capacity == 0 {
-            self.dropped_raw += 1;
-            return;
+        self.ring.observe(at_ms, &ev);
+        for c in &mut self.extras {
+            c.observe(at_ms, &ev);
         }
-        if self.ring.len() == self.ring_capacity {
-            self.ring.pop_front();
-            self.dropped_raw += 1;
-        }
-        self.ring.push_back((at_ms, ev));
+    }
+}
+
+impl std::fmt::Debug for TraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceLog")
+            .field("cadence_ms", &self.cadence_ms)
+            .field("health", &self.health.is_some())
+            .field("extras", &self.extras.len())
+            .finish_non_exhaustive()
     }
 }
 
@@ -66,7 +101,7 @@ impl TraceLog {
 ///
 /// Cloning shares the sink: the world hands clones to every scheduler,
 /// engine and service station of one run, and they all append to the same
-/// timeline.
+/// consumer fan-out.
 #[derive(Clone)]
 pub struct Recorder {
     inner: Option<Arc<Mutex<TraceLog>>>,
@@ -82,10 +117,10 @@ impl Recorder {
         let cadence_ms = cfg.cadence.as_millis().max(1);
         Recorder {
             inner: Some(Arc::new(Mutex::new(TraceLog {
-                ring: VecDeque::with_capacity(cfg.ring_capacity.min(4096)),
-                ring_capacity: cfg.ring_capacity,
-                dropped_raw: 0,
+                ring: RawRing::new(cfg.ring_capacity),
                 timeline: TimelineBuilder::new(cadence_ms),
+                health: cfg.health.map(HealthScorer::new),
+                extras: Vec::new(),
                 cadence_ms,
             }))),
         }
@@ -104,6 +139,16 @@ impl Recorder {
     #[inline]
     pub fn is_enabled(&self) -> bool {
         self.inner.is_some()
+    }
+
+    /// Attaches an external consumer to the fan-out. It observes every
+    /// emission from this point on (plus derived health flags). No-op on
+    /// a disabled recorder.
+    pub fn attach(&self, consumer: Box<dyn TraceConsumer + Send>) {
+        if let Some(log) = &self.inner {
+            let mut log = log.lock().unwrap_or_else(|e| e.into_inner());
+            log.extras.push(consumer);
+        }
     }
 
     /// Records one event at simulated time `at`. The closure only runs —
@@ -132,8 +177,9 @@ impl Recorder {
             sim_samples,
             dp_totals,
             totals,
-            recent: log.ring.iter().copied().collect(),
-            dropped_raw: log.dropped_raw,
+            recent: log.ring.snapshot(),
+            dropped_raw: log.ring.dropped(),
+            health: log.health.as_ref().map(|h| h.finish(end.as_millis())),
         })
     }
 }
@@ -189,6 +235,7 @@ mod tests {
         let rec = Recorder::new(TraceConfig {
             cadence: SimDuration::from_secs(60),
             ring_capacity: 4,
+            ..TraceConfig::default()
         });
         for i in 0..10u64 {
             rec.emit(SimTime(i), || TraceEvent::QueryIssued {
@@ -212,5 +259,54 @@ mod tests {
         assert_eq!(a, b);
         rec.emit(SimTime(2), || TraceEvent::DpRecovered { dp: DpId(0) });
         assert_eq!(rec.finish(SimTime(50)).unwrap().totals.recoveries, 1);
+    }
+
+    /// An attached consumer sees primary events *and* derived flags.
+    #[test]
+    fn attached_consumer_observes_stream_and_derived_flags() {
+        #[derive(Default)]
+        struct Tap(Arc<Mutex<Vec<(u64, &'static str)>>>);
+        impl TraceConsumer for Tap {
+            fn observe(&mut self, at_ms: u64, ev: &TraceEvent) {
+                self.0.lock().unwrap().push((at_ms, ev.kind()));
+            }
+        }
+        let rec = Recorder::new(TraceConfig::default());
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        rec.attach(Box::new(Tap(seen.clone())));
+        rec.emit(SimTime(1_000), || TraceEvent::DpFailed { dp: DpId(0) });
+        // Advance the stream across two 60 s scoring windows so the
+        // scorer raises a Degrading flag for the downed point.
+        rec.emit(SimTime(130_000), || TraceEvent::QueryIssued {
+            client: ClientId(0),
+            dp: DpId(1),
+        });
+        let seen = seen.lock().unwrap().clone();
+        assert_eq!(
+            seen,
+            vec![
+                (1_000, "dp_failed"),
+                (120_000, "health_flag"),
+                (130_000, "query_issued"),
+            ]
+        );
+        // And the same flag reached the timeline counters and the report.
+        let tl = rec.finish(SimTime(130_000)).unwrap();
+        assert_eq!(tl.totals.health_degrades, 1);
+        assert_eq!(tl.health.as_ref().unwrap().flags.len(), 1);
+    }
+
+    /// `health: None` switches the consumer off: no report, no flags.
+    #[test]
+    fn health_can_be_disabled() {
+        let rec = Recorder::new(TraceConfig {
+            health: None,
+            ..TraceConfig::default()
+        });
+        rec.emit(SimTime(1_000), || TraceEvent::DpFailed { dp: DpId(0) });
+        rec.emit(SimTime(200_000), || TraceEvent::DpRecovered { dp: DpId(0) });
+        let tl = rec.finish(SimTime(300_000)).unwrap();
+        assert!(tl.health.is_none());
+        assert_eq!(tl.totals.health_degrades, 0);
     }
 }

@@ -202,6 +202,10 @@ pub struct DpTotals {
     pub wal_replayed: u64,
     /// Largest modeled recovery-replay latency, ms (a maximum, not a sum).
     pub recovery_ms: u64,
+    /// `Degrading` flags the health scorer raised on this point.
+    pub health_degrades: u64,
+    /// `Recovered` flags the health scorer raised on this point.
+    pub health_recovers: u64,
     /// Response-time histogram (answered + late).
     pub hist: ResponseHistogram,
 }
@@ -241,6 +245,8 @@ impl Default for DpTotals {
             snapshots: 0,
             wal_replayed: 0,
             recovery_ms: 0,
+            health_degrades: 0,
+            health_recovers: 0,
             hist: ResponseHistogram {
                 buckets: [0; ResponseHistogram::BUCKETS],
             },
@@ -307,6 +313,10 @@ pub struct RunTotals {
     pub wal_replayed: u64,
     /// Largest modeled recovery-replay latency, ms.
     pub max_recovery_ms: u64,
+    /// `Degrading` flags raised by the online health scorer.
+    pub health_degrades: u64,
+    /// `Recovered` flags raised by the online health scorer.
+    pub health_recovers: u64,
 }
 
 /// Per-point rolling state inside the builder.
@@ -605,6 +615,16 @@ impl TimelineBuilder {
                 self.totals.max_recovery_ms =
                     self.totals.max_recovery_ms.max(u64::from(dur_ms));
             }
+            TraceEvent::HealthFlag { dp, degrading, .. } => {
+                let st = self.dp(dp);
+                if degrading {
+                    st.tot.health_degrades += 1;
+                    self.totals.health_degrades += 1;
+                } else {
+                    st.tot.health_recovers += 1;
+                    self.totals.health_recovers += 1;
+                }
+            }
         }
     }
 
@@ -658,6 +678,9 @@ pub struct RunTimeline {
     pub recent: Vec<(u64, TraceEvent)>,
     /// Raw events the ring evicted (aggregates above still include them).
     pub dropped_raw: u64,
+    /// The online health scorer's report (`None` when the consumer was
+    /// disabled via [`crate::TraceConfig::health`]).
+    pub health: Option<crate::health::HealthReport>,
 }
 
 impl RunTimeline {

@@ -35,6 +35,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p dpstore
 echo "==> cargo doc -p desim (engine + calendar-queue docs stay warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p desim
 
+echo "==> cargo doc -p obs (trace-consumer + health-scorer docs stay warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p obs
+
 echo "==> experiments degradation --fast (fault-injection smoke)"
 ./target/release/experiments degradation --fast > /dev/null
 test -s BENCH_degradation.json || { echo "ci.sh: BENCH_degradation.json missing"; exit 1; }
@@ -54,9 +57,16 @@ test -s results/timeline_scale.txt || { echo "ci.sh: scale timelines missing"; e
 grep -q 'digruber-bench-scale/1' BENCH_scale.json \
   || { echo "ci.sh: BENCH_scale.json has wrong schema"; exit 1; }
 
-echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS exists)"
+echo "==> experiments health --fast (online health-scoring smoke)"
+./target/release/experiments health --fast > /dev/null
+test -s BENCH_health.json || { echo "ci.sh: BENCH_health.json missing"; exit 1; }
+test -s results/timeline_health.txt || { echo "ci.sh: health timelines missing"; exit 1; }
+grep -q 'digruber-bench-health/1' BENCH_health.json \
+  || { echo "ci.sh: BENCH_health.json has wrong schema"; exit 1; }
+
+echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS/OBSERVABILITY exists)"
 missing=0
-for doc in README.md ARCHITECTURE.md FAULTS.md; do
+for doc in README.md ARCHITECTURE.md FAULTS.md OBSERVABILITY.md; do
   # Markdown link targets that look like local paths (skip URLs and anchors).
   for target in $(grep -o '](\([^)#]*\))' "$doc" | sed 's/](\(.*\))/\1/' \
                   | grep -v '^[a-z][a-z0-9+.-]*:' | sort -u); do

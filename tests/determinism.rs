@@ -176,6 +176,36 @@ fn trace_totals_reconcile_with_report() {
         assert_eq!(tl.sum_dp(|d| d.denied), t.denied);
         // …the histogram covers exactly the answered + late responses…
         assert_eq!(tl.response_histogram().count(), t.answered + t.late);
+        // …the health report's flag list and the timeline's flag counters
+        // tally the same derived events (±0, two independent paths)…
+        let health = tl.health.as_ref().expect("default trace config scores");
+        let degrading = health.flags.iter().filter(|f| f.degrading).count() as u64;
+        let recovered = health.flags.iter().filter(|f| !f.degrading).count() as u64;
+        assert_eq!(t.health_degrades, degrading, "{}", out.label);
+        assert_eq!(t.health_recovers, recovered, "{}", out.label);
+        assert_eq!(
+            tl.sum_dp(|d| d.health_degrades),
+            degrading,
+            "{}",
+            out.label
+        );
+        assert_eq!(
+            tl.sum_dp(|d| d.health_recovers),
+            recovered,
+            "{}",
+            out.label
+        );
+        // …and every scored window stays in the 0–100 band with the
+        // score/penalty arithmetic intact.
+        for s in &health.samples {
+            assert!(s.score <= 100, "{}: {s:?}", out.label);
+            let penalties = s.p_timeout + s.p_stale + s.p_retry + s.p_queue + s.p_recover;
+            if s.down {
+                assert_eq!(s.score, 0, "{}: {s:?}", out.label);
+            } else {
+                assert_eq!(s.score, 100u32.saturating_sub(penalties), "{}: {s:?}", out.label);
+            }
+        }
         // …and the per-bin samples sum back to the per-DP totals.
         for d in &tl.dp_totals {
             let bins = |f: &dyn Fn(&obs::DpSample) -> u64| -> u64 {
@@ -263,6 +293,16 @@ fn fault_plans_stay_deterministic_across_jobs() {
             "{:?}: trace bytes diverged across --jobs",
             spec.label
         );
+        // Health flag transitions — window boundaries, scores, ordering —
+        // are part of the traced output and must be byte-identical too.
+        let s_health = s_tl.health.as_ref().expect("traced runs score");
+        let p_health = p_tl.health.as_ref().expect("traced runs score");
+        assert_eq!(
+            s_health.flags, p_health.flags,
+            "{:?}: health flags diverged across --jobs",
+            spec.label
+        );
+        assert_eq!(s_health, p_health, "{:?}", spec.label);
     }
     // The plans actually bit: each spec's signature fault shows in its
     // trace totals (a plan that never fires pins nothing).
@@ -282,20 +322,23 @@ fn fault_plans_stay_deterministic_across_jobs() {
 }
 
 /// The recorded fingerprints of the traced sweep and the three fault
-/// plans, pinned when the engine ran on a binary heap (PR 5). The
-/// calendar-queue scheduler must reproduce them byte-for-byte: obs only
-/// ever serializes event *effects* in `(time, seq)` order, so any queue
-/// backend that pops the same order produces the same bytes — and any
-/// divergence here means the wheel reordered, dropped, or duplicated an
-/// event.
+/// plans. First pinned when the engine ran on a binary heap (PR 5);
+/// re-pinned when the health scorer joined the traced output (PR 7 —
+/// traced `Debug` now includes the `HealthReport`, so the *traced*
+/// fingerprints legitimately moved while the untraced sweep fingerprints
+/// stayed put). The calendar-queue scheduler must reproduce them
+/// byte-for-byte: obs only ever serializes event *effects* in
+/// `(time, seq)` order, so any queue backend that pops the same order
+/// produces the same bytes — and any divergence here means the wheel
+/// reordered, dropped, or duplicated an event.
 const PINNED_FINGERPRINTS: [(&str, &str); 7] = [
-    ("reduced fig5: Gt3 x1 DPs", "21dfa0783a697369"),
-    ("reduced fig5: Gt3 x3 DPs", "4e09b9a56dafa555"),
-    ("reduced fig5: Gt3 x10 DPs", "0f652d6207b3dede"),
-    ("reduced fig5: Gt4Prerelease x3 DPs", "0b02f3dd9df1f083"),
-    ("faults: partition", "78ba9f5abfa44b84"),
-    ("faults: loss+expjitter", "7195ecbe74790679"),
-    ("faults: kitchen-sink+fixed", "3c405bf2182777b2"),
+    ("reduced fig5: Gt3 x1 DPs", "a089d390012a6a23"),
+    ("reduced fig5: Gt3 x3 DPs", "a4ff125b991cf099"),
+    ("reduced fig5: Gt3 x10 DPs", "cb7e053fb315d981"),
+    ("reduced fig5: Gt4Prerelease x3 DPs", "b0d7da9329815d5f"),
+    ("faults: partition", "42558ec8dd23509b"),
+    ("faults: loss+expjitter", "5be5bae80e734443"),
+    ("faults: kitchen-sink+fixed", "af70df36a21018d7"),
 ];
 
 /// Reports the first line where two JSONL timelines diverge — the first
