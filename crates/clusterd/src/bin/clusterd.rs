@@ -1,0 +1,305 @@
+//! The `clusterd` binary: serve one decision point, or fork a local
+//! cluster.
+//!
+//! Serve mode (the default) runs one decision point until a `shutdown`
+//! control frame arrives, printing `LISTEN <addr>` once bound — the
+//! banner supervisors and the spawn-local harness read to learn the
+//! actual port. `--spawn-local n` instead forks an n-process loopback
+//! cluster, drives a ground-truth workload through it (optionally
+//! crashing and respawning a point mid-run), and reports. See
+//! DEPLOYMENT.md for the operator walkthrough.
+
+use clusterd::{config, harness, Server, ServerConfig, SpawnOpts};
+use gruber_types::{DpId, SimTime};
+use obs::{Recorder, TraceConfig};
+use parking_lot::Mutex;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+use workload::uslas::equal_shares;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:
+  clusterd [--config FILE] [--id N] [--n-dps N] [--listen ADDR]
+           [--sites N] [--cpus N] [--vos N] [--groups N]
+           [--data-dir DIR] [--snapshot-records N] [--sync-ms N]
+           [--trace FILE] [--allow-crash-exit]
+  clusterd --spawn-local N [--jobs N] [--crash] [--data-root DIR]
+           [--trace-dir DIR] [--sites N] [--cpus N] [--vos N] [--groups N]"
+    );
+    std::process::exit(2)
+}
+
+/// Flat flag parser: every option takes one value except the listed
+/// booleans. Unknown flags abort with usage.
+struct Args {
+    kv: Vec<(String, String)>,
+}
+
+impl Args {
+    fn parse() -> Args {
+        let mut kv = Vec::new();
+        let mut it = std::env::args().skip(1);
+        while let Some(flag) = it.next() {
+            let key = match flag.strip_prefix("--") {
+                Some(k) => k.to_string(),
+                None => usage(),
+            };
+            match key.as_str() {
+                "allow-crash-exit" | "crash" | "help" => {
+                    if key == "help" {
+                        usage();
+                    }
+                    kv.push((key, "true".to_string()));
+                }
+                _ => match it.next() {
+                    Some(v) => kv.push((key, v)),
+                    None => usage(),
+                },
+            }
+        }
+        Args { kv }
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.kv
+            .iter()
+            .rev()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.get(key).is_some()
+    }
+
+    fn num(&self, key: &str) -> Option<u64> {
+        self.get(key).map(|v| {
+            v.parse().unwrap_or_else(|_| {
+                eprintln!("clusterd: --{key} wants a number, got {v:?}");
+                std::process::exit(2)
+            })
+        })
+    }
+}
+
+/// Key-value view over a parsed `--config` file, merged under the flags.
+struct FileConfig {
+    kv: Vec<(String, config::TomlValue)>,
+}
+
+impl FileConfig {
+    fn load(path: Option<&str>) -> FileConfig {
+        let kv = match path {
+            Some(p) => {
+                let text = std::fs::read_to_string(p).unwrap_or_else(|e| {
+                    eprintln!("clusterd: cannot read {p}: {e}");
+                    std::process::exit(2)
+                });
+                config::parse_toml(&text).unwrap_or_else(|e| {
+                    eprintln!("clusterd: {p}: {e}");
+                    std::process::exit(2)
+                })
+            }
+            None => Vec::new(),
+        };
+        FileConfig { kv }
+    }
+
+    fn num(&self, key: &str) -> Option<u64> {
+        self.kv.iter().rev().find_map(|(k, v)| match (k == key, v) {
+            (true, config::TomlValue::Int(n)) => Some(*n),
+            _ => None,
+        })
+    }
+
+    fn str(&self, key: &str) -> Option<&str> {
+        self.kv.iter().rev().find_map(|(k, v)| match (k == key, v) {
+            (true, config::TomlValue::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    fn bool(&self, key: &str) -> Option<bool> {
+        self.kv.iter().rev().find_map(|(k, v)| match (k == key, v) {
+            (true, config::TomlValue::Bool(b)) => Some(*b),
+            _ => None,
+        })
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    if let Some(n) = args.num("spawn-local") {
+        spawn_local(&args, n as usize);
+        return;
+    }
+    serve(&args);
+}
+
+/// Serve one decision point until shutdown.
+fn serve(args: &Args) {
+    let file = FileConfig::load(args.get("config"));
+    let pick_num = |key: &str, default: u64| args.num(key).or_else(|| file.num(key)).unwrap_or(default);
+    let id = DpId(pick_num("id", 0) as u32);
+    let n_dps = pick_num("n-dps", 1).max(1) as usize;
+    let sites = config::uniform_sites(pick_num("sites", 4) as u32, pick_num("cpus", 16) as u32);
+    let uslas = equal_shares(pick_num("vos", 2) as u32, pick_num("groups", 2) as u32)
+        .expect("equal_shares");
+    let mut cfg = ServerConfig::new(id, n_dps, sites, uslas);
+    if let Some(listen) = args.get("listen").or_else(|| file.str("listen")) {
+        cfg.listen = listen.to_string();
+    }
+    cfg.data_dir = args
+        .get("data-dir")
+        .or_else(|| file.str("data_dir"))
+        .map(PathBuf::from);
+    cfg.snapshot_records = pick_num("snapshot-records", 0) as u32;
+    let sync_ms = pick_num("sync-ms", 0);
+    cfg.sync_interval = (sync_ms > 0).then(|| Duration::from_millis(sync_ms));
+    cfg.allow_process_exit =
+        args.flag("allow-crash-exit") || file.bool("allow_crash_exit").unwrap_or(false);
+    let trace_path = args
+        .get("trace")
+        .or_else(|| file.str("trace"))
+        .map(PathBuf::from);
+    let recorder = match &trace_path {
+        Some(_) => Recorder::new(TraceConfig::default()),
+        None => Recorder::OFF,
+    };
+
+    let epoch = Instant::now();
+    let server = Server::start(cfg, recorder.clone()).unwrap_or_else(|e| {
+        eprintln!("clusterd: start failed: {e}");
+        std::process::exit(1)
+    });
+    // The banner supervisors parse; flush so a piped reader sees it now.
+    println!("LISTEN {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+
+    let stats = server.join();
+    if let Some(path) = trace_path {
+        let end = SimTime(epoch.elapsed().as_millis() as u64);
+        if let Some(timeline) = recorder.finish(end) {
+            let label = format!("clusterd-dp{}", stats.dp.0);
+            if let Err(e) = std::fs::write(&path, timeline.to_jsonl(&label)) {
+                eprintln!("clusterd: writing trace {}: {e}", path.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    println!(
+        "STATS dp={} queries={} informs={} sync_rounds={} floods_sent={} \
+         records_merged={} flood_hash={:#018x} recoveries={} wal_replayed={} requeues={}",
+        stats.dp.0,
+        stats.queries,
+        stats.informs,
+        stats.sync_rounds,
+        stats.floods_sent,
+        stats.records_merged,
+        stats.flood_hash,
+        stats.recoveries,
+        stats.wal_records_replayed,
+        stats.flood_requeues,
+    );
+}
+
+/// Fork an n-process loopback cluster, drive a workload, report.
+fn spawn_local(args: &Args, n_dps: usize) {
+    assert!(n_dps > 0, "--spawn-local wants n >= 1");
+    let bin = std::env::current_exe().expect("current_exe");
+    let opts = SpawnOpts {
+        n_dps,
+        sites: args.num("sites").unwrap_or(4) as u32,
+        cpus: args.num("cpus").unwrap_or(16) as u32,
+        vos: args.num("vos").unwrap_or(2) as u32,
+        groups: args.num("groups").unwrap_or(2) as u32,
+        data_root: args.get("data-root").map(PathBuf::from).or_else(|| {
+            // A crash cycle needs durable state; default under the temp dir.
+            args.flag("crash").then(|| {
+                std::env::temp_dir().join(format!("clusterd-{}", std::process::id()))
+            })
+        }),
+        snapshot_records: args.num("snapshot-records").unwrap_or(0) as u32,
+        trace_dir: args.get("trace-dir").map(PathBuf::from),
+    };
+    if let Some(dir) = &opts.trace_dir {
+        std::fs::create_dir_all(dir).expect("create trace dir");
+    }
+    let jobs = args.num("jobs").unwrap_or(8) as u32;
+    let timeout = Duration::from_secs(5);
+
+    let mut cluster = harness::LocalCluster::spawn(&bin, opts.clone()).unwrap_or_else(|e| {
+        eprintln!("clusterd: spawn-local failed: {e}");
+        std::process::exit(1)
+    });
+    let grid = Mutex::new(
+        gridemu::Grid::new(
+            config::uniform_sites(opts.sites, opts.cpus),
+            gridemu::SitePolicy::permissive(),
+        )
+        .expect("valid grid"),
+    );
+
+    let first = harness::drive_workload(&cluster, &grid, jobs, 0, timeout, 42);
+    if args.flag("crash") && n_dps > 1 {
+        let victim = DpId(1);
+        cluster.crash(victim).expect("crash dp1");
+        cluster.respawn(victim).expect("respawn dp1");
+        // The recovered point must answer again before the second half.
+        let free = cluster
+            .query(victim, timeout)
+            .expect("query respawned dp")
+            .expect("respawned dp timed out");
+        assert_eq!(free.len(), opts.sites as usize);
+    }
+    let second =
+        harness::drive_workload(&cluster, &grid, jobs, jobs * n_dps as u32, timeout, 43);
+    cluster.force_sync().expect("force sync");
+
+    // Let the flood fan-out land, then collect stats.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let mut stats = Vec::new();
+    loop {
+        stats.clear();
+        for i in 0..n_dps {
+            stats.push(
+                cluster
+                    .stats(DpId(i as u32), timeout)
+                    .expect("stats request"),
+            );
+        }
+        let exchanges: u64 = stats.iter().map(|s| s.floods_sent).sum();
+        if n_dps == 1 || exchanges > 0 || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    cluster.shutdown().unwrap_or_else(|e| {
+        eprintln!("clusterd: shutdown failed: {e}");
+        std::process::exit(1)
+    });
+
+    let placed = first.placed_via_broker + second.placed_via_broker;
+    let random = first.placed_randomly + second.placed_randomly;
+    let exchanges: u64 = stats.iter().map(|s| s.floods_sent).sum();
+    let merged: u64 = stats.iter().map(|s| s.records_merged).sum();
+    let recoveries: u64 = stats.iter().map(|s| s.recoveries).sum();
+    for s in &stats {
+        println!(
+            "DP {} queries={} informs={} floods_sent={} records_merged={} recoveries={}",
+            s.dp.0, s.queries, s.informs, s.floods_sent, s.records_merged, s.recoveries
+        );
+    }
+    println!(
+        "SPAWN_LOCAL_OK n={n_dps} placed={placed} random={random} \
+         exchanges={exchanges} merged={merged} recoveries={recoveries}"
+    );
+    if n_dps > 1 {
+        assert!(exchanges > 0, "a multi-point run must exchange state");
+    }
+    if args.flag("crash") && n_dps > 1 {
+        assert!(recoveries > 0, "the respawned point must have recovered");
+    }
+}

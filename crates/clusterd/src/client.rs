@@ -1,0 +1,210 @@
+//! A synchronous client connection to one socket decision point.
+//!
+//! This is the paper's client in socket form: it issues availability
+//! queries with a real timeout, informs the point of dispatch decisions,
+//! and carries the operator control frames (sync, peer table, stats,
+//! crash, shutdown). One request is outstanding at a time; replies are
+//! correlated by the echoed query token so a reply that arrives after
+//! its timeout is discarded instead of answering the wrong query.
+
+use crate::proto::{self, ClusterDpStats};
+use bytes::Bytes;
+use dpnode::record_to_delta;
+use gruber::DispatchRecord;
+use gruber_types::{ClientId, DpId, JobId, SimTime};
+use obs::{Recorder, TraceEvent};
+use simnet::codec::{
+    decode_hello, encode_frame, encode_hello, encode_inform, encode_query, FrameBuf, Hello,
+    PeerKind, QueryRequest, WIRE_VERSION,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// A handshaken client connection to one decision point.
+pub struct ClusterClient {
+    stream: TcpStream,
+    fb: FrameBuf,
+    dp: DpId,
+    client: ClientId,
+    next_token: u32,
+    recorder: Recorder,
+    epoch: Instant,
+}
+
+impl ClusterClient {
+    /// Connects and handshakes as a client. Fails if the far end is not
+    /// a protocol-speaking decision point of the same wire version (a
+    /// mismatched server drops us without a hello, seen here as EOF).
+    pub fn connect(addr: &str, client: ClientId) -> std::io::Result<ClusterClient> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let hello = encode_hello(&Hello {
+            version: WIRE_VERSION,
+            kind: PeerKind::Client,
+            dp: DpId(client.0),
+        });
+        stream.write_all(hello.as_ref())?;
+        stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+        let mut buf = [0u8; Hello::WIRE_LEN];
+        stream.read_exact(&mut buf)?;
+        let theirs = decode_hello(Bytes::copy_from_slice(&buf))
+            .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("hello: {e}")))?;
+        if theirs.version != WIRE_VERSION {
+            return Err(std::io::Error::new(
+                ErrorKind::InvalidData,
+                "server speaks a different wire version",
+            ));
+        }
+        stream.set_read_timeout(None)?;
+        Ok(ClusterClient {
+            stream,
+            fb: FrameBuf::new(),
+            dp: theirs.dp,
+            client,
+            next_token: 0,
+            recorder: Recorder::OFF,
+            epoch: Instant::now(),
+        })
+    }
+
+    /// Installs a recorder for the client-side protocol events
+    /// (`query_issued`, `response_answered`, `client_timeout`).
+    pub fn set_recorder(&mut self, recorder: Recorder, epoch: Instant) {
+        self.recorder = recorder;
+        self.epoch = epoch;
+    }
+
+    /// The decision point id the server announced in its handshake.
+    pub fn dp(&self) -> DpId {
+        self.dp
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_millis() as u64)
+    }
+
+    fn send_frame(&mut self, kind: u8, payload: &[u8]) -> std::io::Result<()> {
+        let frame = encode_frame(kind, payload);
+        self.stream.write_all(frame.as_ref())
+    }
+
+    /// Reads frames until `want` arrives or the deadline passes.
+    /// Off-kind or stale frames are discarded (a late query reply from a
+    /// timed-out request, for example).
+    fn read_frame(
+        &mut self,
+        want: u8,
+        deadline: Instant,
+    ) -> std::io::Result<Option<Bytes>> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            while let Some((kind, payload)) = self
+                .fb
+                .next_frame()
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("{e}")))?
+            {
+                if kind == want {
+                    return Ok(Some(payload));
+                }
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            self.stream.set_read_timeout(Some(left))?;
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed the connection",
+                    ))
+                }
+                Ok(n) => self.fb.extend(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                    return Ok(None)
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Blocking availability query with a client-side timeout. `None`
+    /// means the timeout fired — the caller falls back to a random site,
+    /// like the paper's clients.
+    pub fn query(&mut self, timeout: Duration) -> std::io::Result<Option<Vec<u32>>> {
+        self.next_token = self.next_token.wrapping_add(1);
+        let token = self.next_token;
+        let req = encode_query(&QueryRequest {
+            client: self.client,
+            job: JobId(token),
+            cpus: 1,
+        });
+        let (dp, client) = (self.dp, self.client);
+        self.recorder
+            .emit(self.now(), || TraceEvent::QueryIssued { client, dp });
+        let sent = Instant::now();
+        self.send_frame(proto::FRAME_QUERY, req.as_ref())?;
+        let deadline = sent + timeout;
+        loop {
+            let Some(payload) = self.read_frame(proto::FRAME_QUERY_REPLY, deadline)? else {
+                self.recorder
+                    .emit(self.now(), || TraceEvent::ClientTimeout { client, dp });
+                return Ok(None);
+            };
+            let (got, free) = proto::decode_free(payload)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("{e}")))?;
+            if got != token {
+                continue; // a stale reply from a timed-out query
+            }
+            self.recorder.emit(self.now(), || TraceEvent::ResponseAnswered {
+                dp,
+                client,
+                response_ms: sent.elapsed().as_millis() as u64,
+            });
+            return Ok(Some(free));
+        }
+    }
+
+    /// Informs the point of a dispatch decision (fire-and-forget, like
+    /// the paper's clients).
+    pub fn inform(&mut self, record: &DispatchRecord) -> std::io::Result<()> {
+        let bytes = encode_inform(&record_to_delta(record));
+        self.send_frame(proto::FRAME_INFORM, bytes.as_ref())
+    }
+
+    /// Forces a sync round now.
+    pub fn sync(&mut self) -> std::io::Result<()> {
+        self.send_frame(proto::FRAME_SYNC, &[])
+    }
+
+    /// Installs the cluster's peer address table on this point.
+    pub fn set_peers(&mut self, peers: &[(DpId, String)]) -> std::io::Result<()> {
+        let payload = proto::encode_peers(peers);
+        self.send_frame(proto::FRAME_PEERS, payload.as_ref())
+    }
+
+    /// Fetches the point's statistics snapshot.
+    pub fn stats(&mut self, timeout: Duration) -> std::io::Result<ClusterDpStats> {
+        self.send_frame(proto::FRAME_STATS, &[])?;
+        let deadline = Instant::now() + timeout;
+        match self.read_frame(proto::FRAME_STATS_REPLY, deadline)? {
+            Some(payload) => proto::decode_stats(payload)
+                .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, format!("{e}"))),
+            None => Err(std::io::Error::new(
+                ErrorKind::TimedOut,
+                "stats request timed out",
+            )),
+        }
+    }
+
+    /// Hard-crashes the process serving this point (`exit(9)`).
+    pub fn crash(&mut self) -> std::io::Result<()> {
+        self.send_frame(proto::FRAME_CRASH, &[])
+    }
+
+    /// Requests a clean shutdown.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send_frame(proto::FRAME_SHUTDOWN, &[])
+    }
+}

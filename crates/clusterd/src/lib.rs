@@ -1,0 +1,58 @@
+//! Real-socket multi-process decision-point cluster: the fourth runtime.
+//!
+//! DI-GRUBER's headline claim is that decision points are *deployed
+//! services* — the paper measures 1–10 of them on real Grid3/PlanetLab
+//! hosts, over the wire. The other three runtimes in this workspace
+//! drive the same sans-IO [`dpnode::DpNode`] from a discrete-event
+//! simulator (`desim`), from OS threads over channels
+//! (`digruber::live`), and from recorded traces (`grubsim`); this crate
+//! drives it from **TCP sockets between OS processes**, hand-rolled on
+//! `std::net` — no async runtime, no registry dependencies.
+//!
+//! ## Shape
+//!
+//! * [`server`] — one decision point as a TCP server: an accept loop,
+//!   thread-per-connection readers feeding one mailbox, and a node loop
+//!   that owns the [`dpnode::DpNode`] and its `dpstore::FileStore` WAL.
+//! * `peer` (internal) — per-peer flood senders with lazy connect and
+//!   reconnect-with-backoff (`simnet::retry` policies on real sleeps);
+//!   a send that exhausts its budget requeues into the next sync round.
+//! * [`client`] — the synchronous client: queries with real timeouts,
+//!   informs, and the operator control frames (sync, peers, stats,
+//!   crash, shutdown).
+//! * [`harness`] — the `--spawn-local n` driver: forks an n-process
+//!   loopback cluster, broadcasts the peer table, drives a ground-truth
+//!   workload, injects crashes, respawns, and collects stats.
+//! * [`proto`] — frame kinds and the socket-only payloads; the
+//!   handshake and frame envelope live in [`simnet::codec`], and every
+//!   shared payload (informs, floods, queries) reuses the existing
+//!   codec byte-for-byte.
+//!
+//! ## Guarantees
+//!
+//! The node loop is the only thread touching the node, and each
+//! connection's frames reach it in FIFO order — the same per-link
+//! ordering the simulator and thread drivers provide. That is why
+//! `tests/sim_live_equivalence.rs` can demand byte-identical flood
+//! hashes across all three interactive drivers, crash-and-WAL-recovery
+//! included. A crashed process (`exit(9)`, no goodbye) recovers by
+//! replaying its own snapshot + WAL on restart, then rejoins the mesh
+//! at a fresh port once the driver rebroadcasts the peer table.
+//!
+//! Operations guide: `DEPLOYMENT.md` at the repo root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod config;
+pub mod harness;
+mod peer;
+pub mod proto;
+pub mod server;
+
+pub use client::ClusterClient;
+pub use config::{default_retry, parse_toml, uniform_sites, ServerConfig, TomlValue};
+pub use harness::{drive_workload, LocalCluster, SocketRunStats, SpawnOpts};
+pub use proto::ClusterDpStats;
+pub use server::Server;

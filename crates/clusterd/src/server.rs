@@ -1,0 +1,533 @@
+//! One decision point as a TCP server: accept loop, per-connection
+//! readers, and the node loop that drives the shared [`dpnode::DpNode`].
+//!
+//! The structure is thread-per-connection feeding one mailbox (the shape
+//! `digruber::live` proved out, with sockets in place of channels):
+//!
+//! * the **accept loop** takes connections, runs the acceptor side of the
+//!   handshake, and spawns a reader per connection;
+//! * each **connection reader** reassembles length-prefixed frames
+//!   ([`simnet::codec::FrameBuf`]) and posts typed `NodeMsg`s to the
+//!   mailbox — FIFO per connection, so a client's informs always precede
+//!   the sync control frame it sends afterwards;
+//! * the **node loop** is the only thread touching the node: it maps
+//!   mailbox messages to node inputs, node effects to socket writes
+//!   (query replies inline, floods via the per-peer senders), and owns
+//!   the WAL append + snapshot policy;
+//! * **peer senders** (the `peer` module) own outbound flood connections
+//!   and their reconnect-with-backoff lifecycle.
+//!
+//! Every protocol decision — what to flood, what merges, admission —
+//! happens inside [`dpnode::DpNode`]; this file is transport glue, which
+//! is why a socket cluster is byte-equivalent to the simulator and the
+//! thread driver (`tests/sim_live_equivalence.rs` pins it).
+
+use crate::config::ServerConfig;
+use crate::peer::{self, PeerMsg, PeerSender};
+use crate::proto::{self, ClusterDpStats};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dpnode::{delta_to_record, DpNode, Effect, FloodPayload, Input, NodeConfig};
+use dpstore::{FileStore, Store};
+use gruber_types::{DpId, SimTime};
+use obs::{Recorder, TraceEvent};
+use parking_lot::Mutex;
+use simnet::codec::{
+    decode_hello, decode_inform, encode_frame, encode_hello, FrameBuf, Hello, PeerKind,
+    WIRE_VERSION,
+};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// A connection's reply handle: the write half shared between its reader
+/// (which owns the read half) and the node loop (which writes replies).
+type ConnWriter = Arc<Mutex<TcpStream>>;
+
+/// Typed messages the node loop consumes — the socket runtime's
+/// equivalent of `digruber::live`'s channel envelopes. Payload-bearing
+/// variants carry the exact `simnet::codec` wire bytes.
+pub(crate) enum NodeMsg {
+    /// Availability query; the reply frame goes back on `reply`.
+    Query {
+        /// Correlation token echoed into the reply (the request job id).
+        token: u32,
+        /// Where to write the reply frame.
+        reply: ConnWriter,
+    },
+    /// A client's dispatch inform (`encode_inform` bytes).
+    Inform(Bytes),
+    /// A peer's flooded records (`encode_deltas` bytes).
+    PeerRecords(Bytes),
+    /// Flood the pending log to all peers.
+    SyncTick,
+    /// Install/replace the peer address table.
+    SetPeers(Vec<(DpId, String)>),
+    /// Stats snapshot request; the reply frame goes back on `reply`.
+    Stats {
+        /// Where to write the reply frame.
+        reply: ConnWriter,
+    },
+    /// A flood send exhausted its retry budget: requeue these records.
+    FloodFailed(Bytes),
+    /// In-process crash: mark the node down (the binary hard-exits
+    /// instead; see [`proto::FRAME_CRASH`]).
+    Crash,
+    /// Clean shutdown.
+    Shutdown,
+}
+
+/// A running socket decision point. Dropping the handle does not stop the
+/// server; call [`Server::stop`] and/or [`Server::join`].
+pub struct Server {
+    local_addr: SocketAddr,
+    mailbox: Sender<NodeMsg>,
+    node: Option<JoinHandle<ClusterDpStats>>,
+    accept: Option<JoinHandle<()>>,
+    ticker: Option<JoinHandle<()>>,
+    peers: Vec<Option<PeerSender>>,
+    stop: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds, recovers from the durable store if one is configured, and
+    /// spawns the accept loop, node loop and peer senders. The recorder
+    /// receives both driver-level events (exchanges, WAL appends,
+    /// recoveries, retries) and the node's own engine events.
+    pub fn start(cfg: ServerConfig, recorder: Recorder) -> std::io::Result<Server> {
+        let epoch = Instant::now();
+        let now = move || SimTime(epoch.elapsed().as_millis() as u64);
+
+        // Open the store and recover *before* accepting traffic: a
+        // recovering point must not answer queries from an empty view it
+        // is about to replace.
+        let mut store = match &cfg.data_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir)?;
+                Some(FileStore::open(dir)?)
+            }
+            None => None,
+        };
+        let node_cfg = NodeConfig {
+            id: cfg.id,
+            topology: dpnode::Topology::FullMesh,
+            dissemination: dpnode::Dissemination::UsageOnly,
+            sync_every: None,
+            gossip_seed: 0,
+            persist: store.is_some(),
+        };
+        let mut node = DpNode::new(node_cfg, &cfg.sites, &cfg.uslas);
+        let mut recoveries = 0u64;
+        let mut wal_records_replayed = 0u64;
+        if let Some(store) = &mut store {
+            let recovery = store.recover();
+            if recovery.snapshot.is_some() || !recovery.wal.is_empty() {
+                let start = Instant::now();
+                let replayed = node
+                    .recover(recovery.snapshot.as_deref(), &recovery.wal, now())
+                    .map_err(|e| std::io::Error::other(format!("recover: {e}")))?;
+                recoveries = 1;
+                wal_records_replayed = u64::from(replayed);
+                let at = now();
+                recorder.emit(at, || TraceEvent::DpRecovered { dp: cfg.id });
+                recorder.emit(at, || TraceEvent::RecoveryReplayed {
+                    dp: cfg.id,
+                    records: replayed,
+                    dur_ms: start.elapsed().as_millis() as u32,
+                });
+            }
+        }
+        // Tracer after recover: replay must not re-emit the events the
+        // pre-crash incarnation already recorded.
+        node.set_tracer(recorder.clone());
+
+        let listener = TcpListener::bind(&cfg.listen)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let (mail_tx, mail_rx) = unbounded::<NodeMsg>();
+
+        let peers: Vec<Option<PeerSender>> = (0..cfg.n_dps)
+            .map(|j| {
+                if j == cfg.id.index() {
+                    return None;
+                }
+                let (tx, rx) = unbounded::<PeerMsg>();
+                let handle = peer::spawn(
+                    cfg.id,
+                    DpId(j as u32),
+                    rx,
+                    mail_tx.clone(),
+                    cfg.retry,
+                    cfg.retry_seed,
+                    recorder.clone(),
+                    epoch,
+                );
+                Some(PeerSender { tx, handle })
+            })
+            .collect();
+        for (dp, addr) in &cfg.peers {
+            if let Some(Some(p)) = peers.get(dp.index()) {
+                let _ = p.tx.send(PeerMsg::SetAddr(addr.clone()));
+            }
+        }
+
+        let accept = {
+            let mail_tx = mail_tx.clone();
+            let stop = Arc::clone(&stop);
+            let me = cfg.id;
+            let allow_exit = cfg.allow_process_exit;
+            std::thread::Builder::new()
+                .name(format!("accept-{}", me.0))
+                .spawn(move || accept_loop(listener, mail_tx, stop, me, allow_exit))
+                .expect("spawn accept loop")
+        };
+
+        let ticker = cfg.sync_interval.map(|interval| {
+            let mail_tx = mail_tx.clone();
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name(format!("ticker-{}", cfg.id.0))
+                .spawn(move || {
+                    let step = Duration::from_millis(10).min(interval);
+                    let mut elapsed = Duration::ZERO;
+                    while !stop.load(Ordering::Relaxed) {
+                        std::thread::sleep(step);
+                        elapsed += step;
+                        if elapsed >= interval {
+                            elapsed = Duration::ZERO;
+                            let _ = mail_tx.send(NodeMsg::SyncTick);
+                        }
+                    }
+                })
+                .expect("spawn ticker")
+        });
+
+        let node_handle = {
+            let peer_txs: Vec<Option<Sender<PeerMsg>>> = peers
+                .iter()
+                .map(|p| p.as_ref().map(|p| p.tx.clone()))
+                .collect();
+            let recorder = recorder.clone();
+            let n_dps = cfg.n_dps;
+            let snapshot_records = cfg.snapshot_records;
+            std::thread::Builder::new()
+                .name(format!("node-{}", cfg.id.0))
+                .spawn(move || {
+                    node_loop(
+                        node,
+                        mail_rx,
+                        peer_txs,
+                        store,
+                        snapshot_records,
+                        n_dps,
+                        recorder,
+                        epoch,
+                        recoveries,
+                        wal_records_replayed,
+                    )
+                })
+                .expect("spawn node loop")
+        };
+
+        Ok(Server {
+            local_addr,
+            mailbox: mail_tx,
+            node: Some(node_handle),
+            accept: Some(accept),
+            ticker,
+            peers,
+            stop,
+        })
+    }
+
+    /// The actually-bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Requests a clean shutdown (same as a `shutdown` control frame).
+    pub fn stop(&self) {
+        let _ = self.mailbox.send(NodeMsg::Shutdown);
+    }
+
+    /// Blocks until the node loop exits (a `shutdown` control frame or
+    /// [`Server::stop`]), tears the transport down, and returns the
+    /// point's final statistics.
+    pub fn join(mut self) -> ClusterDpStats {
+        let stats = self
+            .node
+            .take()
+            .expect("join called once")
+            .join()
+            .expect("node loop must not panic");
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.ticker.take() {
+            let _ = h.join();
+        }
+        for p in self.peers.drain(..).flatten() {
+            let _ = p.tx.send(PeerMsg::Shutdown);
+            let _ = p.handle.join();
+        }
+        stats
+    }
+}
+
+/// Accepts connections, runs the acceptor half of the handshake, and
+/// spawns a detached reader per connection. Readers exit when their
+/// socket closes; they are not joined.
+fn accept_loop(
+    listener: TcpListener,
+    mailbox: Sender<NodeMsg>,
+    stop: Arc<AtomicBool>,
+    me: DpId,
+    allow_exit: bool,
+) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let mailbox = mailbox.clone();
+        let _ = std::thread::Builder::new()
+            .name(format!("conn-{}", me.0))
+            .spawn(move || {
+                let _ = serve_conn(stream, mailbox, me, allow_exit);
+            });
+    }
+}
+
+/// The acceptor-side connection state machine: handshake, then frames.
+///
+/// Handshake: read the initiator's 12-byte hello first and validate it
+/// *before* replying — a wrong magic, unknown kind or mismatched version
+/// drops the connection without a reply, so a bad initiator observes EOF
+/// (the behaviour the connection tests pin). Only then write our hello.
+fn serve_conn(
+    mut stream: TcpStream,
+    mailbox: Sender<NodeMsg>,
+    me: DpId,
+    allow_exit: bool,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut hello_buf = [0u8; Hello::WIRE_LEN];
+    stream.read_exact(&mut hello_buf)?;
+    let Ok(hello) = decode_hello(Bytes::copy_from_slice(&hello_buf)) else {
+        return Ok(()); // bad magic/kind: drop silently
+    };
+    if hello.version != WIRE_VERSION {
+        return Ok(()); // version mismatch: drop silently
+    }
+    let ours = encode_hello(&Hello {
+        version: WIRE_VERSION,
+        kind: PeerKind::Dp,
+        dp: me,
+    });
+    stream.write_all(ours.as_ref())?;
+    stream.set_read_timeout(None)?;
+
+    let writer: ConnWriter = Arc::new(Mutex::new(stream.try_clone()?));
+    let mut fb = FrameBuf::new();
+    let mut chunk = [0u8; 8192];
+    loop {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Ok(()); // peer closed
+        }
+        fb.extend(&chunk[..n]);
+        loop {
+            let Ok(frame) = fb.next_frame() else {
+                return Ok(()); // stream lost sync: drop
+            };
+            let Some((kind, payload)) = frame else { break };
+            match (hello.kind, kind) {
+                // Peer decision points only flood records.
+                (PeerKind::Dp, proto::FRAME_RECORDS) => {
+                    let _ = mailbox.send(NodeMsg::PeerRecords(payload));
+                }
+                (PeerKind::Client, proto::FRAME_QUERY) => {
+                    let Ok(req) = simnet::codec::decode_query(payload) else {
+                        return Ok(());
+                    };
+                    let _ = mailbox.send(NodeMsg::Query {
+                        token: req.job.0,
+                        reply: Arc::clone(&writer),
+                    });
+                }
+                (PeerKind::Client, proto::FRAME_INFORM) => {
+                    let _ = mailbox.send(NodeMsg::Inform(payload));
+                }
+                (PeerKind::Client, proto::FRAME_SYNC) => {
+                    let _ = mailbox.send(NodeMsg::SyncTick);
+                }
+                (PeerKind::Client, proto::FRAME_PEERS) => {
+                    let Ok(peers) = proto::decode_peers(payload) else {
+                        return Ok(());
+                    };
+                    let _ = mailbox.send(NodeMsg::SetPeers(peers));
+                }
+                (PeerKind::Client, proto::FRAME_STATS) => {
+                    let _ = mailbox.send(NodeMsg::Stats {
+                        reply: Arc::clone(&writer),
+                    });
+                }
+                (PeerKind::Client, proto::FRAME_CRASH) => {
+                    if allow_exit {
+                        // A hard crash: no trace flush, no WAL fsync
+                        // beyond what already happened, no goodbye. The
+                        // respawned process proves recovery works.
+                        std::process::exit(9);
+                    }
+                    let _ = mailbox.send(NodeMsg::Crash);
+                }
+                (PeerKind::Client, proto::FRAME_SHUTDOWN) => {
+                    let _ = mailbox.send(NodeMsg::Shutdown);
+                    return Ok(());
+                }
+                _ => return Ok(()), // protocol violation: drop
+            }
+        }
+    }
+}
+
+/// The node loop: the socket runtime's equivalent of `live::dp_main`.
+/// Sole owner of the node and the store; every mutation funnels through
+/// the mailbox, so per-connection FIFO order is all the ordering there
+/// is — exactly the asynchrony the paper's deployment had.
+#[allow(clippy::too_many_arguments)]
+fn node_loop(
+    mut node: DpNode,
+    mailbox: Receiver<NodeMsg>,
+    peer_txs: Vec<Option<Sender<PeerMsg>>>,
+    mut store: Option<FileStore>,
+    snapshot_records: u32,
+    n_dps: usize,
+    recorder: Recorder,
+    epoch: Instant,
+    recoveries: u64,
+    wal_records_replayed: u64,
+) -> ClusterDpStats {
+    let id = node.id();
+    let now = || SimTime(epoch.elapsed().as_millis() as u64);
+    let mut fx: Vec<Effect> = Vec::new();
+    let mut flood_requeues = 0u64;
+    for msg in mailbox.iter() {
+        let input = match msg {
+            NodeMsg::Query { token, reply } => {
+                node.handle(now(), Input::QueryArrived { admission: None }, &mut fx);
+                for effect in fx.drain(..) {
+                    if let Effect::Reply { free, .. } = effect {
+                        let frame =
+                            encode_frame(proto::FRAME_QUERY_REPLY, proto::encode_free(token, &free).as_ref());
+                        let mut w = reply.lock();
+                        let _ = w.write_all(frame.as_ref());
+                    }
+                }
+                continue;
+            }
+            NodeMsg::Inform(bytes) => match decode_inform(bytes) {
+                Ok(delta) => Input::Inform(delta_to_record(&delta)),
+                Err(_) => continue, // malformed inform: dropped whole
+            },
+            NodeMsg::PeerRecords(bytes) => Input::PeerRecords(FloodPayload::from_wire(bytes)),
+            NodeMsg::SyncTick => Input::SyncTick { n_dps },
+            NodeMsg::SetPeers(peers) => {
+                for (dp, addr) in peers {
+                    if let Some(Some(tx)) = peer_txs.get(dp.index()) {
+                        let _ = tx.send(PeerMsg::SetAddr(addr));
+                    }
+                }
+                continue;
+            }
+            NodeMsg::Stats { reply } => {
+                let stats = snapshot_stats(&node, recoveries, wal_records_replayed, flood_requeues);
+                let frame =
+                    encode_frame(proto::FRAME_STATS_REPLY, proto::encode_stats(&stats).as_ref());
+                let mut w = reply.lock();
+                let _ = w.write_all(frame.as_ref());
+                continue;
+            }
+            NodeMsg::FloodFailed(bytes) => {
+                node.requeue(&FloodPayload::from_wire(bytes));
+                flood_requeues += 1;
+                continue;
+            }
+            NodeMsg::Crash => {
+                node.set_up(false);
+                recorder.emit(now(), || TraceEvent::DpFailed { dp: id });
+                continue;
+            }
+            NodeMsg::Shutdown => break,
+        };
+        let at = now();
+        node.handle(at, input, &mut fx);
+        for effect in fx.drain(..) {
+            match effect {
+                Effect::FloodTo { peers, payload } => {
+                    for j in peers {
+                        recorder.emit(at, || TraceEvent::ExchangeSent {
+                            from: id,
+                            to: DpId(j as u32),
+                            records: payload.n_records,
+                        });
+                        if let Some(Some(tx)) = peer_txs.get(j) {
+                            let _ = tx.send(PeerMsg::Send(payload.records.clone()));
+                        }
+                    }
+                }
+                Effect::Persist(op) => {
+                    if let Some(store) = &mut store {
+                        store.append(at, &op);
+                        recorder.emit(at, || TraceEvent::WalAppended { dp: id });
+                    }
+                }
+                _ => {}
+            }
+        }
+        if let Some(store) = &mut store {
+            if snapshot_records > 0 && store.wal_len() >= snapshot_records as usize {
+                let folded = store.wal_len() as u32;
+                let (bytes, _) = node.snapshot_encode(at);
+                store.write_snapshot(&bytes);
+                recorder.emit(at, || TraceEvent::SnapshotWritten {
+                    dp: id,
+                    records: folded,
+                });
+            }
+        }
+    }
+    snapshot_stats(&node, recoveries, wal_records_replayed, flood_requeues)
+}
+
+fn snapshot_stats(
+    node: &DpNode,
+    recoveries: u64,
+    wal_records_replayed: u64,
+    flood_requeues: u64,
+) -> ClusterDpStats {
+    let s = node.stats();
+    ClusterDpStats {
+        dp: node.id(),
+        queries: s.queries,
+        informs: s.informs,
+        sync_rounds: s.sync_rounds,
+        floods_sent: s.floods_sent,
+        records_flooded: s.records_flooded,
+        floods_merged: s.floods_merged,
+        records_merged: s.records_merged,
+        decode_failures: s.decode_failures,
+        crashes: s.crashes,
+        flood_hash: s.flood_hash,
+        recoveries,
+        wal_records_replayed,
+        flood_requeues,
+    }
+}

@@ -16,7 +16,12 @@
 //!
 //! This is deliberately a small deployment harness, not a second
 //! simulator: no grid emulation, no workload loop — integration tests and
-//! the `live_cluster` example drive it directly.
+//! the `live_cluster` example drive it directly. The `clusterd` crate
+//! takes the same step again, hosting the node in one OS process per
+//! decision point with the frames on real TCP; its driver glue (mailbox,
+//! effect handling, snapshot policy) deliberately mirrors `dp_main`
+//! below so the three-way equivalence test can hold all of sim, threads
+//! and sockets to identical observables.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use dpnode::{

@@ -14,7 +14,7 @@
 //! bloat when converting to marshalling cost.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use gruber_types::{ClientId, GridError, GroupId, JobId, SimTime, SiteId, VoId};
+use gruber_types::{ClientId, DpId, GridError, GroupId, JobId, SimTime, SiteId, VoId};
 use serde::{Deserialize, Serialize};
 
 /// XML/SOAP inflates payloads ~8× over our binary framing; marshalling cost
@@ -208,6 +208,176 @@ pub fn decode_inform(mut buf: Bytes) -> Result<DispatchDelta, GridError> {
     })
 }
 
+// ---------------------------------------------------------------------------
+// Socket transport framing (the `clusterd` runtime)
+// ---------------------------------------------------------------------------
+
+/// Magic prefix of every socket handshake (`b"DGRB"` little-endian) — a
+/// stray connection speaking anything else is rejected before it can
+/// inject frames.
+pub const WIRE_MAGIC: u32 = u32::from_le_bytes(*b"DGRB");
+
+/// Wire protocol version carried in the handshake. Bump on any breaking
+/// change to the frame layout or payload encodings above; acceptors drop
+/// connections whose version differs (no negotiation — a DI-GRUBER
+/// deployment upgrades in lockstep).
+pub const WIRE_VERSION: u16 = 1;
+
+/// What kind of peer is on the far end of a socket, declared in the
+/// handshake. Decision points exchange floods; clients issue queries,
+/// informs and control frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerKind {
+    /// Another decision point (flood traffic only).
+    Dp,
+    /// A client / operator connection (queries, informs, control).
+    Client,
+}
+
+/// The fixed 12-byte handshake each side writes as its first bytes on a
+/// fresh connection: magic, version, peer kind, and the sender's
+/// decision-point id (clients send their own id space; it is
+/// informational there).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Protocol version the sender speaks.
+    pub version: u16,
+    /// What the sender is.
+    pub kind: PeerKind,
+    /// The sender's decision-point id (or a client-chosen id).
+    pub dp: DpId,
+}
+
+impl Hello {
+    /// Size of the encoded handshake on the wire.
+    pub const WIRE_LEN: usize = 12;
+}
+
+/// Encodes a handshake (12 bytes, little-endian).
+pub fn encode_hello(h: &Hello) -> Bytes {
+    let mut buf = BytesMut::with_capacity(Hello::WIRE_LEN);
+    buf.put_u32_le(WIRE_MAGIC);
+    buf.put_u16_le(h.version);
+    buf.put_u8(match h.kind {
+        PeerKind::Dp => 0,
+        PeerKind::Client => 1,
+    });
+    buf.put_u8(0); // reserved
+    buf.put_u32_le(h.dp.0);
+    buf.freeze()
+}
+
+/// Decodes a handshake. Rejects short reads, a wrong magic, and unknown
+/// peer kinds; the *version* is returned as-is — whether to accept a
+/// mismatched version is the caller's policy (the `clusterd` acceptor
+/// drops the connection).
+pub fn decode_hello(mut buf: Bytes) -> Result<Hello, GridError> {
+    if buf.remaining() < Hello::WIRE_LEN {
+        return Err(GridError::InvalidConfig(format!(
+            "hello: want {} bytes, have {}",
+            Hello::WIRE_LEN,
+            buf.remaining()
+        )));
+    }
+    let magic = buf.get_u32_le();
+    if magic != WIRE_MAGIC {
+        return Err(GridError::InvalidConfig(format!(
+            "hello: bad magic {magic:#010x}"
+        )));
+    }
+    let version = buf.get_u16_le();
+    let kind = match buf.get_u8() {
+        0 => PeerKind::Dp,
+        1 => PeerKind::Client,
+        k => {
+            return Err(GridError::InvalidConfig(format!(
+                "hello: unknown peer kind {k}"
+            )))
+        }
+    };
+    let _reserved = buf.get_u8();
+    Ok(Hello {
+        version,
+        kind,
+        dp: DpId(buf.get_u32_le()),
+    })
+}
+
+/// Hard ceiling on one frame's body (kind byte + payload). A length
+/// header above this is a protocol violation (or garbage from a
+/// non-protocol peer), not a frame we have yet to receive — the
+/// connection is dropped. 1 MiB fits a ~29k-record flood, far beyond any
+/// exchange interval's drain.
+pub const MAX_FRAME_BODY: usize = 1 << 20;
+
+/// Encodes one socket frame: `[u32 body_len][u8 kind][payload]`,
+/// little-endian. The body length covers the kind byte.
+pub fn encode_frame(kind: u8, payload: &[u8]) -> Bytes {
+    let mut buf = BytesMut::with_capacity(5 + payload.len());
+    buf.put_u32_le(1 + payload.len() as u32);
+    buf.put_u8(kind);
+    buf.put_slice(payload);
+    buf.freeze()
+}
+
+/// Reassembles length-prefixed frames from an arbitrary byte stream —
+/// TCP gives no message boundaries, so readers feed whatever `read`
+/// returned into [`FrameBuf::extend`] and pop whole frames out of
+/// [`FrameBuf::next_frame`]. A frame split across any number of reads
+/// reassembles byte-identically; a malformed length header errors and
+/// the caller must drop the connection (the stream has lost sync).
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameBuf {
+    /// An empty reassembly buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf::default()
+    }
+
+    /// Appends bytes read from the stream.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        // Compact the consumed prefix before growing, so the buffer
+        // tracks the largest in-flight frame, not the whole history.
+        if self.start > 0 && (self.start >= 4096 || self.start == self.buf.len()) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes currently buffered and not yet consumed as frames.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame as `(kind, payload)`, `Ok(None)` when
+    /// more bytes are needed. `Err` means the stream is not speaking the
+    /// protocol (zero or oversized length header) and must be dropped.
+    pub fn next_frame(&mut self) -> Result<Option<(u8, Bytes)>, GridError> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[0..4].try_into().unwrap()) as usize;
+        if len == 0 || len > MAX_FRAME_BODY {
+            return Err(GridError::InvalidConfig(format!(
+                "frame: invalid body length {len}"
+            )));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let kind = avail[4];
+        let payload = Bytes::copy_from_slice(&avail[5..4 + len]);
+        self.start += 4 + len;
+        Ok(Some((kind, payload)))
+    }
+}
+
 /// The on-the-wire size, in KB, of an availability response for `n_sites`
 /// sites, after SOAP inflation — the number fed to the marshalling model.
 pub fn availability_payload_kb(n_sites: usize) -> f64 {
@@ -290,7 +460,92 @@ mod tests {
         assert!(kb < 20.0, "delta payload {kb} KB");
     }
 
+    #[test]
+    fn hello_roundtrip_and_rejections() {
+        let h = Hello {
+            version: WIRE_VERSION,
+            kind: PeerKind::Dp,
+            dp: DpId(7),
+        };
+        let bytes = encode_hello(&h);
+        assert_eq!(bytes.len(), Hello::WIRE_LEN);
+        assert_eq!(decode_hello(bytes.clone()).unwrap(), h);
+        // A future version decodes (the *caller* rejects it).
+        let hv = Hello {
+            version: 99,
+            ..h
+        };
+        assert_eq!(decode_hello(encode_hello(&hv)).unwrap().version, 99);
+        // Wrong magic, unknown kind, and truncation all error.
+        let mut bad = bytes.to_vec();
+        bad[0] ^= 0xFF;
+        assert!(decode_hello(Bytes::from(bad)).is_err());
+        let mut bad = bytes.to_vec();
+        bad[6] = 9;
+        assert!(decode_hello(Bytes::from(bad)).is_err());
+        for cut in 0..Hello::WIRE_LEN {
+            assert!(decode_hello(bytes.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn frame_buf_rejects_zero_and_oversized_lengths() {
+        let mut fb = FrameBuf::new();
+        fb.extend(&0u32.to_le_bytes());
+        assert!(fb.next_frame().is_err(), "zero length must error");
+        let mut fb = FrameBuf::new();
+        fb.extend(&((MAX_FRAME_BODY as u32) + 1).to_le_bytes());
+        assert!(fb.next_frame().is_err(), "oversized length must error");
+    }
+
+    #[test]
+    fn frame_buf_interleaves_partial_and_whole_frames() {
+        let a = encode_frame(3, b"hello");
+        let b = encode_frame(7, &[]);
+        let mut fb = FrameBuf::new();
+        // Feed a byte at a time: no frame until the last byte lands.
+        for (i, byte) in a.as_ref().iter().enumerate() {
+            assert!(fb.next_frame().unwrap().is_none(), "early frame at {i}");
+            fb.extend(&[*byte]);
+        }
+        let (kind, payload) = fb.next_frame().unwrap().expect("frame complete");
+        assert_eq!((kind, payload.as_ref()), (3, &b"hello"[..]));
+        // Two frames in one read pop out in order.
+        let mut both = b.to_vec();
+        both.extend_from_slice(a.as_ref());
+        fb.extend(&both);
+        assert_eq!(fb.next_frame().unwrap().unwrap().0, 7);
+        assert_eq!(fb.next_frame().unwrap().unwrap().1.as_ref(), b"hello");
+        assert!(fb.next_frame().unwrap().is_none());
+        assert_eq!(fb.pending(), 0);
+    }
+
     proptest! {
+        /// Any sequence of frames survives any chunking of the byte
+        /// stream: TCP segment boundaries cannot corrupt or reorder the
+        /// reassembled frames.
+        #[test]
+        fn frames_reassemble_under_any_chunking(
+            frames in proptest::collection::vec(
+                (0u8..16, proptest::collection::vec(0u8..=255, 0..80)), 1..12),
+            chunk in 1usize..64,
+        ) {
+            let mut stream = Vec::new();
+            for (kind, payload) in &frames {
+                stream.extend_from_slice(encode_frame(*kind, payload).as_ref());
+            }
+            let mut fb = FrameBuf::new();
+            let mut got: Vec<(u8, Vec<u8>)> = Vec::new();
+            for part in stream.chunks(chunk) {
+                fb.extend(part);
+                while let Some((kind, payload)) = fb.next_frame().unwrap() {
+                    got.push((kind, payload.to_vec()));
+                }
+            }
+            prop_assert_eq!(got, frames);
+            prop_assert_eq!(fb.pending(), 0);
+        }
+
         #[test]
         fn availability_roundtrips_any(entries in proptest::collection::vec(
             (0u32..10_000, 0u32..100_000, 0u32..100_000, 0u32..10_000), 0..200)

@@ -1,0 +1,119 @@
+//! Socket mode: decision points exchanging frames over real TCP.
+//!
+//! Starts three in-process `clusterd` servers on loopback (each one the
+//! same accept/node/peer-sender loop the standalone binary runs), wires
+//! their peer tables, and drives queries, informs and sync rounds
+//! against them through `ClusterClient` connections — the paper's
+//! deployment shape without leaving one process. For the multi-process
+//! form of the same thing, run `clusterd --spawn-local 3` (see
+//! DEPLOYMENT.md).
+//!
+//! ```text
+//! cargo run --release --example socket_cluster
+//! ```
+
+use clusterd::{ClusterClient, Server, ServerConfig};
+use gruber::DispatchRecord;
+use gruber_types::{ClientId, DpId, GroupId, JobId, SimDuration, SimTime, SiteId, SiteSpec, VoId};
+use obs::Recorder;
+use std::time::Duration;
+use workload::uslas::equal_shares;
+
+const N_DPS: usize = 3;
+
+fn main() {
+    let sites: Vec<SiteSpec> = (0..8)
+        .map(|i| SiteSpec::single_cluster(SiteId(i), 32))
+        .collect();
+    let uslas = equal_shares(2, 2).expect("uslas");
+
+    // One server per decision point, each bound to an ephemeral loopback
+    // port — the OS hands out the addresses, the peer table distributes
+    // them, exactly like a real deployment.
+    let servers: Vec<Server> = (0..N_DPS)
+        .map(|i| {
+            let cfg = ServerConfig::new(DpId(i as u32), N_DPS, sites.clone(), uslas.clone());
+            Server::start(cfg, Recorder::OFF).expect("server start")
+        })
+        .collect();
+    let table: Vec<(DpId, String)> = servers
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (DpId(i as u32), s.local_addr().to_string()))
+        .collect();
+    println!("listening:");
+    for (dp, addr) in &table {
+        println!("  dp-{}: {addr}", dp.0);
+    }
+
+    // One client connection per point; install the peer table everywhere.
+    let mut clients: Vec<ClusterClient> = table
+        .iter()
+        .enumerate()
+        .map(|(i, (_, addr))| ClusterClient::connect(addr, ClientId(i as u32)).expect("connect"))
+        .collect();
+    for c in &mut clients {
+        c.set_peers(&table).expect("peer table");
+    }
+
+    // 24 informs round-robin, then one forced sync round floods each
+    // point's drained log to its two mesh peers over TCP.
+    for j in 0..24u32 {
+        let at = SimTime::from_secs(u64::from(j));
+        clients[(j % N_DPS as u32) as usize]
+            .inform(&DispatchRecord {
+                job: JobId(j),
+                site: SiteId(j % 8),
+                vo: VoId(j % 2),
+                group: GroupId(0),
+                cpus: 2,
+                dispatched_at: at,
+                est_finish: at + SimDuration::from_secs(3600),
+            })
+            .expect("inform");
+    }
+    for c in &mut clients {
+        c.sync().expect("sync");
+    }
+
+    // Poll real queries until every point reports the converged view.
+    let expect: Vec<u32> = (0..8).map(|_| 32 - 6).collect(); // 24 jobs x 2 cpus / 8 sites
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        let views: Vec<Vec<u32>> = clients
+            .iter_mut()
+            .map(|c| {
+                c.query(Duration::from_secs(5))
+                    .expect("query io")
+                    .expect("query timed out")
+            })
+            .collect();
+        if views.iter().all(|v| *v == expect) {
+            println!("\nconverged view (believed free CPUs per site):");
+            for (i, v) in views.iter().enumerate() {
+                println!("  dp-{i}: {v:?}");
+            }
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "never converged; last saw {views:?}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    for c in &mut clients {
+        c.shutdown().expect("shutdown");
+    }
+    println!("\nper-decision-point statistics:");
+    let mut total_merged = 0;
+    for server in servers {
+        let s = server.join();
+        println!(
+            "  dp-{}: {} queries, {} informs, {} peer records merged, {} floods sent ({} sync rounds)",
+            s.dp.0, s.queries, s.informs, s.records_merged, s.floods_sent, s.sync_rounds
+        );
+        total_merged += s.records_merged;
+    }
+    println!("\ntotal peer records merged across the mesh: {total_merged} (expect 48 = 24 informs x 2 peers)");
+}

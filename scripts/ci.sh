@@ -14,8 +14,11 @@ cargo build --release --offline --workspace
 echo "==> cargo test -q (tier-1, whole workspace)"
 cargo test -q --workspace --offline
 
-echo "==> sim/live equivalence (same script, byte-identical floods)"
+echo "==> sim/live/socket equivalence (same script, byte-identical floods)"
 cargo test -q --offline --test sim_live_equivalence
+
+echo "==> clusterd unit + connection state-machine tests (handshake, reassembly, requeue)"
+cargo test -q --offline -p clusterd
 
 echo "==> dpstore unit + proptests (WAL round-trip, torn-tail truncation)"
 cargo test -q --offline -p dpstore
@@ -37,6 +40,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p desim
 
 echo "==> cargo doc -p obs (trace-consumer + health-scorer docs stay warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p obs
+
+echo "==> cargo doc -p clusterd (socket-runtime docs stay warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p clusterd
 
 echo "==> experiments degradation --fast (fault-injection smoke)"
 ./target/release/experiments degradation --fast > /dev/null
@@ -64,9 +70,30 @@ test -s results/timeline_health.txt || { echo "ci.sh: health timelines missing";
 grep -q 'digruber-bench-health/1' BENCH_health.json \
   || { echo "ci.sh: BENCH_health.json has wrong schema"; exit 1; }
 
-echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS/OBSERVABILITY exists)"
+echo "==> clusterd 3-process loopback smoke (real TCP, clean shutdown, state exchanged)"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+# Bounded wall-clock: a wedged cluster (half-open peer, lost shutdown)
+# must fail CI loudly, not hang it.
+timeout 120 ./target/release/clusterd --spawn-local 3 --jobs 8 \
+    --trace-dir "$smoke_dir" > "$smoke_dir/run.log" \
+  || { echo "ci.sh: clusterd spawn-local smoke failed (or timed out)"; cat "$smoke_dir/run.log"; exit 1; }
+grep -q 'SPAWN_LOCAL_OK n=3' "$smoke_dir/run.log" \
+  || { echo "ci.sh: spawn-local smoke did not report success"; cat "$smoke_dir/run.log"; exit 1; }
+for i in 0 1 2; do
+  test -s "$smoke_dir/dp$i.jsonl" \
+    || { echo "ci.sh: dp$i wrote no trace (unclean shutdown?)"; exit 1; }
+  grep -q 'digruber-trace/4' "$smoke_dir/dp$i.jsonl" \
+    || { echo "ci.sh: dp$i trace has wrong schema"; exit 1; }
+done
+# The traces must show actual peer exchanges — a run that never flooded
+# would still print SPAWN_LOCAL_OK-shaped stdout if the asserts regressed.
+grep -q '"exchanges_out":[1-9]' "$smoke_dir"/dp*.jsonl \
+  || { echo "ci.sh: no decision point recorded an outgoing exchange"; exit 1; }
+
+echo "==> doc links (every file referenced from README/ARCHITECTURE/FAULTS/OBSERVABILITY/DEPLOYMENT exists)"
 missing=0
-for doc in README.md ARCHITECTURE.md FAULTS.md OBSERVABILITY.md; do
+for doc in README.md ARCHITECTURE.md FAULTS.md OBSERVABILITY.md DEPLOYMENT.md; do
   # Markdown link targets that look like local paths (skip URLs and anchors).
   for target in $(grep -o '](\([^)#]*\))' "$doc" | sed 's/](\(.*\))/\1/' \
                   | grep -v '^[a-z][a-z0-9+.-]*:' | sort -u); do

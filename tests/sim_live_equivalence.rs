@@ -1,10 +1,12 @@
-//! Sim/live equivalence: one protocol state machine, two drivers.
+//! Sim/live/socket equivalence: one protocol state machine, three drivers.
 //!
 //! The same input script — dispatch informs with *fixed* timestamps, two
 //! sync rounds, and availability queries — runs through (a) the
 //! discrete-event driver (`desim` scheduler delivering effects at
-//! simulated times) and (b) the live thread cluster (`digruber::live`,
-//! real OS threads + crossbeam channels). Because both drivers host the
+//! simulated times), (b) the live thread cluster (`digruber::live`,
+//! real OS threads + crossbeam channels), and (c) the socket cluster
+//! (`clusterd`, one OS process per point exchanging `simnet::codec`
+//! frames over loopback TCP). Because all three drivers host the
 //! identical [`dpnode::DpNode`] state machine and ship the identical
 //! `simnet::codec` wire bytes, every protocol-visible observable must
 //! match exactly:
@@ -224,13 +226,104 @@ fn run_live_side() -> Vec<Observed> {
         .collect()
 }
 
+/// Runs the identical script over real TCP: an n-process loopback
+/// cluster of `clusterd` serve-mode children. Per-point ordering
+/// (informs before the sync control frame) is guaranteed by the
+/// connection's byte stream; cross-point convergence is awaited by
+/// polling real queries, exactly like the live side.
+fn run_socket_side(opts: clusterd::SpawnOpts, crash_between_rounds: bool) -> Vec<Observed> {
+    use clusterd::harness::{dev_binary, LocalCluster};
+
+    let mut cluster = LocalCluster::spawn(&dev_binary(), opts).expect("spawn socket cluster");
+
+    let await_views = |cluster: &LocalCluster, expect: &[Vec<u32>]| {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let views: Vec<Vec<u32>> = (0..N_DPS)
+                .map(|i| {
+                    cluster
+                        .query(DpId(i as u32), Duration::from_secs(5))
+                        .expect("socket query io error")
+                        .expect("socket query timed out")
+                })
+                .collect();
+            if views == expect {
+                return views;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "socket cluster never reached {expect:?}, last saw {views:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+    };
+
+    for (dp, rec) in round1_informs() {
+        cluster.inform(DpId(dp as u32), &rec).expect("inform");
+    }
+    // Stream FIFO puts the sync frame behind the informs on every point.
+    cluster.force_sync().expect("sync");
+    await_views(&cluster, &vec![vec![12, 14, 8, 16]; N_DPS]);
+
+    if crash_between_rounds {
+        // Kill the process (`exit(9)`, no cleanup), then respawn it on a
+        // fresh port against the same WAL/snapshot directory. Convergence
+        // above guarantees its store already journaled everything round
+        // one applied; respawn rebroadcasts the peer table.
+        cluster.crash(DpId(1)).expect("crash dp1");
+        cluster.respawn(DpId(1)).expect("respawn dp1");
+    }
+
+    for (dp, rec) in round2_informs() {
+        cluster.inform(DpId(dp as u32), &rec).expect("inform");
+    }
+    cluster.force_sync().expect("sync");
+    let final_views = await_views(&cluster, &vec![vec![12, 14, 8, 15]; N_DPS]);
+
+    let stats: Vec<_> = (0..N_DPS)
+        .map(|i| {
+            cluster
+                .stats(DpId(i as u32), Duration::from_secs(5))
+                .expect("socket stats")
+        })
+        .collect();
+    cluster.shutdown().expect("clean socket shutdown");
+    if crash_between_rounds {
+        assert_eq!(stats[1].recoveries, 1, "the respawned process recovered");
+        // The snapshot policy truncates the WAL, so the tail can be empty
+        // at crash time; recovery must have restored state either way.
+        assert!(
+            stats[1].wal_records_replayed > 0 || stats[1].informs > 0,
+            "recovery restored state from the on-disk store: {:?}",
+            stats[1]
+        );
+    }
+    stats
+        .into_iter()
+        .zip(final_views)
+        .map(|(s, final_view)| Observed {
+            informs: s.informs,
+            sync_rounds: s.sync_rounds,
+            floods_sent: s.floods_sent,
+            records_merged: s.records_merged,
+            flood_hash: s.flood_hash,
+            final_view,
+        })
+        .collect()
+}
+
 #[test]
 fn same_script_same_observables_across_drivers() {
     let sim = run_sim_side();
     let live = run_live_side();
+    let sockets = run_socket_side(clusterd::SpawnOpts::small(N_DPS), false);
     assert_eq!(
         sim, live,
         "sim and live drivers diverged over the identical input script"
+    );
+    assert_eq!(
+        sim, sockets,
+        "sim and socket drivers diverged over the identical input script"
     );
 
     // Pin the expected values so a symmetric bug in both runtimes cannot
@@ -483,13 +576,37 @@ fn run_live_side_crash() -> Vec<Observed> {
         .collect()
 }
 
+/// Runs the crash script over TCP: point 1's *process* is killed with
+/// `exit(9)` between the rounds and respawned against its own on-disk
+/// `dpstore::FileStore` WAL + snapshot.
+fn run_socket_side_crash() -> Vec<Observed> {
+    let data_root = std::env::temp_dir().join(format!(
+        "digruber-eq-crash-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&data_root);
+    let opts = clusterd::SpawnOpts {
+        data_root: Some(data_root.clone()),
+        snapshot_records: SNAPSHOT_RECORDS,
+        ..clusterd::SpawnOpts::small(N_DPS)
+    };
+    let observed = run_socket_side(opts, true);
+    let _ = std::fs::remove_dir_all(&data_root);
+    observed
+}
+
 #[test]
 fn crash_recovery_matches_across_drivers_with_persistence_on() {
     let sim = run_sim_side_crash();
     let live = run_live_side_crash();
+    let sockets = run_socket_side_crash();
     assert_eq!(
         sim, live,
         "sim and live drivers diverged across a crash + store recovery"
+    );
+    assert_eq!(
+        sim, sockets,
+        "sim and socket drivers diverged across a process kill + WAL recovery"
     );
 
     // The recovered point must look exactly like it never crashed: the

@@ -49,6 +49,11 @@ impl Bytes {
         Bytes::copy_from_slice(&self.as_ref()[range])
     }
 
+    /// Copies the unread bytes into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.as_ref().to_vec()
+    }
+
     fn take(&mut self, n: usize) -> &[u8] {
         let s = &self.data[self.pos..self.pos + n];
         self.pos += n;
@@ -82,6 +87,8 @@ impl Eq for Bytes {}
 pub trait Buf {
     /// Bytes left to read.
     fn remaining(&self) -> usize;
+    /// Reads a little-endian `u16`, advancing the cursor.
+    fn get_u16_le(&mut self) -> u16;
     /// Reads a little-endian `u32`, advancing the cursor.
     fn get_u32_le(&mut self) -> u32;
     /// Reads a little-endian `u64`, advancing the cursor.
@@ -93,6 +100,10 @@ pub trait Buf {
 impl Buf for Bytes {
     fn remaining(&self) -> usize {
         self.len()
+    }
+
+    fn get_u16_le(&mut self) -> u16 {
+        u16::from_le_bytes(self.take(2).try_into().expect("2 bytes"))
     }
 
     fn get_u32_le(&mut self) -> u32 {
@@ -140,6 +151,8 @@ impl BytesMut {
 
 /// Write access to a byte builder.
 pub trait BufMut {
+    /// Appends a little-endian `u16`.
+    fn put_u16_le(&mut self, v: u16);
     /// Appends a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32);
     /// Appends a little-endian `u64`.
@@ -151,6 +164,10 @@ pub trait BufMut {
 }
 
 impl BufMut for BytesMut {
+    fn put_u16_le(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_le_bytes());
+    }
+
     fn put_u32_le(&mut self, v: u32) {
         self.data.extend_from_slice(&v.to_le_bytes());
     }
