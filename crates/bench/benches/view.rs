@@ -1,0 +1,128 @@
+//! Grid-view backend micro-benchmarks: the struct-of-arrays [`GridView`]
+//! head-to-head against the reference map-of-heaps [`RefView`] on the
+//! access patterns a DI-GRUBER decision point actually produces.
+//!
+//! Three patterns at 30/300/3000 sites (Grid3×1/×10/×100) bracket the
+//! state side:
+//!   * `merge_flood` — exchange-interval ingestion: batches of peer
+//!     dispatch records merged with dedup against everything seen.
+//!   * `expire_scan` — availability queries walking forward through time
+//!     as observed jobs finish (the engine's per-query hot path).
+//!   * `demand_probe` — per-site demand lookups between dispatches, the
+//!     USLA-aware selector's inner loop.
+//!
+//! The same driver runs both backends, so a regression in either shows
+//! up as a ratio change, not just a slowdown.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gruber::{DispatchRecord, GridView, RefView, ViewStore};
+use gruber_types::{GroupId, JobId, SimTime, SiteId, SiteSpec, VoId};
+
+const N: u64 = 30_000;
+
+/// Cheap deterministic stream (SplitMix64 finalizer) so both backends
+/// see an identical, non-trivial schedule.
+fn mix(i: u64) -> u64 {
+    let mut z = i.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn sites(n: usize) -> Vec<SiteSpec> {
+    (0..n)
+        .map(|i| SiteSpec::single_cluster(SiteId(i as u32), 32))
+        .collect()
+}
+
+fn record(i: u64, n_sites: usize) -> DispatchRecord {
+    let r = mix(i);
+    DispatchRecord {
+        job: JobId(i as u32),
+        site: SiteId((r % n_sites as u64) as u32),
+        vo: VoId((r >> 8) as u32 % 10),
+        group: GroupId((r >> 16) as u32 % 10),
+        cpus: 1 + (r >> 24) as u32 % 4,
+        dispatched_at: SimTime(i),
+        est_finish: SimTime(i + 60_000 + (r >> 32) % 3_600_000),
+    }
+}
+
+fn merge_flood<V: ViewStore>(n_sites: usize) {
+    let s = sites(n_sites);
+    let mut v = V::new(&s);
+    let mut batch = Vec::with_capacity(64);
+    let mut i = 0u64;
+    while i < N {
+        batch.clear();
+        for _ in 0..64 {
+            batch.push(record(i, n_sites));
+            // Every other batch replays half its ids: peer floods overlap,
+            // so dedup is on the hot path, not a corner case.
+            i += if i % 128 < 64 { 1 } else { 2 };
+        }
+        v.merge(&batch, SimTime(i));
+    }
+    assert!(v.idle_cpus(SimTime(i)) <= v.grid_cpus());
+}
+
+fn expire_scan<V: ViewStore>(n_sites: usize) {
+    let s = sites(n_sites);
+    let mut v = V::new(&s);
+    for i in 0..N {
+        v.observe(&record(i, n_sites), SimTime(0));
+    }
+    // Walk availability forward through the whole horizon: every observed
+    // job expires across these scans, as a run's query stream would see.
+    let mut buf = Vec::new();
+    let mut live = 0u64;
+    for step in 0..200u64 {
+        let now = SimTime(step * 20_000);
+        v.free_per_site_into(now, &mut buf);
+        live += buf.iter().map(|&f| u64::from(f)).sum::<u64>();
+    }
+    assert!(live > 0);
+}
+
+fn demand_probe<V: ViewStore>(n_sites: usize) {
+    let s = sites(n_sites);
+    let mut v = V::new(&s);
+    let mut acc = 0u64;
+    for i in 0..N {
+        v.observe(&record(i, n_sites), SimTime(i));
+        // Selector inner loop: a handful of per-site probes per dispatch.
+        for k in 0..4 {
+            acc += v.demand(SiteId(((mix(i ^ k) as usize) % n_sites) as u32), SimTime(i));
+        }
+    }
+    assert!(acc > 0);
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("soa_vs_ref_view");
+    g.throughput(Throughput::Elements(N));
+    for n_sites in [30usize, 300, 3000] {
+        g.bench_function(format!("merge_flood/{n_sites}/soa"), |b| {
+            b.iter(|| merge_flood::<GridView>(n_sites))
+        });
+        g.bench_function(format!("merge_flood/{n_sites}/ref"), |b| {
+            b.iter(|| merge_flood::<RefView>(n_sites))
+        });
+        g.bench_function(format!("expire_scan/{n_sites}/soa"), |b| {
+            b.iter(|| expire_scan::<GridView>(n_sites))
+        });
+        g.bench_function(format!("expire_scan/{n_sites}/ref"), |b| {
+            b.iter(|| expire_scan::<RefView>(n_sites))
+        });
+        g.bench_function(format!("demand_probe/{n_sites}/soa"), |b| {
+            b.iter(|| demand_probe::<GridView>(n_sites))
+        });
+        g.bench_function(format!("demand_probe/{n_sites}/ref"), |b| {
+            b.iter(|| demand_probe::<RefView>(n_sites))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

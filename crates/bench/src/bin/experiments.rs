@@ -19,9 +19,9 @@ use bench::recovery::RecoveryRow;
 use bench::render::{render_accuracy, render_figure, render_table_block};
 use bench::scale::ScaleRow;
 use bench::{
-    accuracy_rows, accuracy_specs, capacity_model, crossover_rows, default_jobs,
-    degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, health_cells,
-    health_json, recovery_cells, recovery_json, render_degradation, render_health,
+    accuracy_rows, accuracy_specs, capacity_model, client_scale_cells, crossover_rows,
+    default_jobs, degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, health_cells,
+    health_json, peak_rss_bytes, recovery_cells, recovery_json, render_degradation, render_health,
     render_recovery, render_scale, run_specs, scale_cells,
     scale_json, SEED,
 };
@@ -445,7 +445,7 @@ fn run(id: &str) {
             let (metas, specs): (Vec<_>, Vec<_>) =
                 cells.into_iter().map(|c| (c.meta, c.spec)).unzip();
             let measurements = run_specs(&specs, jobs());
-            let rows: Vec<ScaleRow> = metas
+            let mut rows: Vec<ScaleRow> = metas
                 .iter()
                 .zip(&measurements)
                 .map(|(meta, m)| {
@@ -453,14 +453,43 @@ fn run(id: &str) {
                     ScaleRow::from_output(meta, out, m.wall)
                 })
                 .collect();
+            let mut outs: Vec<ExperimentOutput> = measurements
+                .into_iter()
+                .map(|m| m.output.expect("scale cell failed"))
+                .collect();
+            // The client-scale ramp runs sequentially, smallest first:
+            // VmHWM is process-monotone, so the per-cell growth is this
+            // cell's own footprint exactly because every earlier cell was
+            // smaller. Running it after the parallel grid sweep keeps the
+            // baseline sample honest about what was already resident.
+            let ccells = client_scale_cells(fast, SEED);
+            println!("[scale] client ramp: {} cells, sequential", ccells.len());
+            for c in ccells {
+                let before = peak_rss_bytes();
+                let start = std::time::Instant::now();
+                let out = c.spec.run().expect("client-scale cell failed");
+                let wall = start.elapsed();
+                let mut row = ScaleRow::from_output(&c.meta, &out, wall);
+                row.attach_memory(before, peak_rss_bytes());
+                eprintln!(
+                    "  {} clients: {:.1}s, {}",
+                    c.meta.n_clients,
+                    wall.as_secs_f64(),
+                    row.bytes_per_client
+                        .map_or("bytes/client unavailable".into(), |b| format!(
+                            "{b:.0} bytes/client"
+                        )),
+                );
+                rows.push(row);
+                outs.push(out);
+            }
             let json = scale_json(jobs(), fast, &rows);
             std::fs::write("BENCH_scale.json", json).expect("write BENCH_scale.json");
             eprintln!("scale snapshot -> BENCH_scale.json");
             let mut text = String::new();
             {
                 let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
-                for m in &measurements {
-                    let out = m.output.as_ref().expect("scale cell failed");
+                for out in &outs {
                     let tl = out.timeline.as_ref().expect("scale cells trace");
                     if tracing_on() {
                         jsonl.push_str(&tl.to_jsonl(&out.label));

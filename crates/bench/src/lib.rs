@@ -20,7 +20,9 @@ pub mod snapshot;
 pub use degradation::{degradation_cells, degradation_json, render_degradation, DegradationRow};
 pub use health::{health_cells, health_json, render_health, HealthRow};
 pub use recovery::{recovery_cells, recovery_json, render_recovery, RecoveryRow};
-pub use scale::{render_scale, scale_cells, scale_json, ScaleRow};
+pub use scale::{
+    client_scale_cells, peak_rss_bytes, render_scale, scale_cells, scale_json, ScaleRow,
+};
 pub use drivers::*;
 pub use parallel::{default_jobs, run_specs, RunMeasurement};
 pub use snapshot::{output_fingerprint, SweepSnapshot};

@@ -17,6 +17,15 @@
 //! — the scale knob the calibrated sweeps deliberately do not use, since
 //! batching reorders same-millisecond seeding sequence numbers and would
 //! therefore move their pinned fingerprints.
+//!
+//! Alongside the paper-shaped grid sweep, a **client-scale ramp**
+//! ([`client_scale_cells`]) runs 10k/100k (and, in full mode, 1M)
+//! submission hosts over Grid3×10 using [`WorkloadSpec::scaled`], whose
+//! think-time-dominated shape keeps the footprint proportional to the
+//! client population rather than to closed-loop depth. Those cells run
+//! sequentially so per-cell peak-RSS growth (`VmHWM`) is attributable,
+//! and the snapshot pins **bytes per client** next to events/second —
+//! the memory half of the struct-of-arrays grid-view story.
 
 use crate::snapshot::{json_f64, json_str, output_fingerprint};
 use digruber::config::DigruberConfig;
@@ -26,10 +35,13 @@ use std::time::Duration;
 use workload::WorkloadSpec;
 
 /// Schema identifier embedded in `BENCH_scale.json`, bumped on breaking
-/// layout changes.
-pub const SCHEMA: &str = "digruber-bench-scale/1";
+/// layout changes. `/2` added the client-scale cells and the per-cell
+/// memory columns (`n_clients`, `peak_rss_bytes`, `rss_growth_bytes`,
+/// `bytes_per_client`).
+pub const SCHEMA: &str = "digruber-bench-scale/2";
 
-/// Clients seeded per arrival batch.
+/// Clients seeded per arrival batch (paper-shaped grid cells; the
+/// client-scale cells use [`WorkloadSpec::scaled`]'s own batch size).
 const ARRIVAL_BATCH: u32 = 16;
 
 /// The axes of one scale cell.
@@ -39,6 +51,9 @@ pub struct ScaleCellMeta {
     pub grid_factor: usize,
     /// Decision points deployed.
     pub n_dps: usize,
+    /// Submission hosts (120 = the paper's workload; the client-scale
+    /// cells ramp this to 10k/100k/1M).
+    pub n_clients: u32,
 }
 
 /// One runnable cell of the scale study.
@@ -60,13 +75,56 @@ fn cell(seed: u64, grid_factor: usize, n_dps: usize) -> ScaleCell {
         ..WorkloadSpec::paper_default()
     };
     ScaleCell {
-        meta: ScaleCellMeta { grid_factor, n_dps },
+        meta: ScaleCellMeta {
+            grid_factor,
+            n_dps,
+            n_clients: wl.n_clients,
+        },
         spec: RunSpec::new(
             format!("scale: Grid3x{grid_factor} {n_dps} DPs"),
             cfg,
             wl,
         ),
     }
+}
+
+fn client_cell(seed: u64, grid_factor: usize, n_dps: usize, n_clients: u32) -> ScaleCell {
+    let mut cfg = DigruberConfig::paper(n_dps, ServiceKind::Gt3, seed);
+    cfg.grid_factor = grid_factor;
+    // Client cells reconcile against the timeline too.
+    cfg.trace = Some(obs::TraceConfig::default());
+    let wl = WorkloadSpec::scaled(n_clients);
+    ScaleCell {
+        meta: ScaleCellMeta {
+            grid_factor,
+            n_dps,
+            n_clients,
+        },
+        spec: RunSpec::new(
+            format!("scale: Grid3x{grid_factor} {n_dps} DPs {n_clients} clients"),
+            cfg,
+            wl,
+        ),
+    }
+}
+
+/// Builds the client-scale ramp: 10k and 100k submission hosts over the
+/// full-fidelity Grid3×10 grid with 3 decision points, plus a 1M-client
+/// smoke when not `fast`. The cells are returned in increasing client
+/// order and the driver runs them **sequentially on one thread**: peak
+/// RSS (`VmHWM`) is process-monotone, so the per-cell RSS growth is only
+/// attributable if each cell's footprint eclipses everything run before
+/// it — which increasing client counts guarantee for the cells that
+/// matter.
+pub fn client_scale_cells(fast: bool, seed: u64) -> Vec<ScaleCell> {
+    let mut counts = vec![10_000u32, 100_000];
+    if !fast {
+        counts.push(1_000_000);
+    }
+    counts
+        .into_iter()
+        .map(|n| client_cell(seed, 10, 3, n))
+        .collect()
 }
 
 /// Builds the study: the full-fidelity Grid3×10 decision-point sweep
@@ -113,6 +171,25 @@ pub struct ScaleRow {
     /// Deterministic output fingerprint (FNV-1a, see
     /// [`output_fingerprint`]).
     pub fingerprint: String,
+    /// Process peak RSS (`VmHWM`) right after the cell, bytes. `None`
+    /// for cells run in parallel (growth not attributable) or off Linux.
+    pub peak_rss_bytes: Option<u64>,
+    /// Peak-RSS growth across the cell, bytes. `VmHWM` is monotone for
+    /// the process, so this is the cell's own footprint only when cells
+    /// run sequentially in increasing size (see [`client_scale_cells`]).
+    pub rss_growth_bytes: Option<u64>,
+    /// [`ScaleRow::rss_growth_bytes`] divided by the client count — the
+    /// headline memory metric for the client-scale ramp.
+    pub bytes_per_client: Option<f64>,
+}
+
+/// This process's peak resident set (`VmHWM` from `/proc/self/status`),
+/// in bytes. `None` when the field is unavailable (non-Linux).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
 }
 
 impl ScaleRow {
@@ -151,6 +228,22 @@ impl ScaleRow {
             executed_delta,
             cancel_delta,
             fingerprint: output_fingerprint(out),
+            peak_rss_bytes: None,
+            rss_growth_bytes: None,
+            bytes_per_client: None,
+        }
+    }
+
+    /// Attaches the peak-RSS samples taken around a sequentially-run
+    /// cell. Growth clamps at zero: a cell smaller than everything run
+    /// before it never raises `VmHWM`, and a zero growth honestly says
+    /// "fits in memory already spent".
+    pub fn attach_memory(&mut self, before: Option<u64>, after: Option<u64>) {
+        self.peak_rss_bytes = after;
+        if let (Some(b), Some(a)) = (before, after) {
+            let growth = a.saturating_sub(b);
+            self.rss_growth_bytes = Some(growth);
+            self.bytes_per_client = Some(growth as f64 / f64::from(self.meta.n_clients.max(1)));
         }
     }
 }
@@ -169,6 +262,7 @@ pub fn scale_json(jobs: usize, fast: bool, rows: &[ScaleRow]) -> String {
         s.push_str("    {\n");
         let _ = writeln!(s, "      \"grid_factor\": {},", r.meta.grid_factor);
         let _ = writeln!(s, "      \"n_dps\": {},", r.meta.n_dps);
+        let _ = writeln!(s, "      \"n_clients\": {},", r.meta.n_clients);
         let _ = writeln!(s, "      \"label\": {},", json_str(&r.label));
         let _ = writeln!(s, "      \"events\": {},", r.events);
         let _ = writeln!(s, "      \"wall_ms\": {},", json_f64(r.wall_ms));
@@ -178,6 +272,14 @@ pub fn scale_json(jobs: usize, fast: bool, rows: &[ScaleRow]) -> String {
         let _ = writeln!(s, "      \"peak_qps\": {},", json_f64(r.peak_qps));
         let _ = writeln!(s, "      \"executed_delta\": {},", r.executed_delta);
         let _ = writeln!(s, "      \"cancel_delta\": {},", r.cancel_delta);
+        let opt_u64 = |v: Option<u64>| v.map_or("null".into(), |v| v.to_string());
+        let _ = writeln!(s, "      \"peak_rss_bytes\": {},", opt_u64(r.peak_rss_bytes));
+        let _ = writeln!(s, "      \"rss_growth_bytes\": {},", opt_u64(r.rss_growth_bytes));
+        let _ = writeln!(
+            s,
+            "      \"bytes_per_client\": {},",
+            r.bytes_per_client.map_or("null".into(), json_f64)
+        );
         let _ = writeln!(s, "      \"fingerprint\": {}", json_str(&r.fingerprint));
         s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
     }
@@ -191,20 +293,24 @@ pub fn render_scale(rows: &[ScaleRow]) -> String {
     let mut s = String::new();
     let _ = writeln!(
         s,
-        "  {:>10}  {:>4}  {:>9}  {:>9}  {:>11}  {:>12}  {:>7}  {:>9}",
-        "grid", "DPs", "events", "wall", "events/s", "peak_pending", "handled", "reconcile"
+        "  {:>10}  {:>4}  {:>8}  {:>9}  {:>9}  {:>11}  {:>12}  {:>7}  {:>9}  {:>9}",
+        "grid", "DPs", "clients", "events", "wall", "events/s", "peak_pending", "handled",
+        "B/client", "reconcile"
     );
     for r in rows {
         let _ = writeln!(
             s,
-            "  {:>10}  {:>4}  {:>9}  {:>7.0}ms  {:>11.0}  {:>12}  {:>6.1}%  {:>9}",
+            "  {:>10}  {:>4}  {:>8}  {:>9}  {:>7.0}ms  {:>11.0}  {:>12}  {:>6.1}%  {:>9}  {:>9}",
             format!("Grid3x{}", r.meta.grid_factor),
             r.meta.n_dps,
+            r.meta.n_clients,
             r.events,
             r.wall_ms,
             r.events_per_sec,
             r.peak_pending,
             r.handled_fraction * 100.0,
+            r.bytes_per_client
+                .map_or("-".to_string(), |b| format!("{b:.0}")),
             if r.executed_delta == 0 && r.cancel_delta == 0 {
                 "±0"
             } else {
@@ -236,8 +342,53 @@ mod tests {
                 c.spec.workload.validate().expect("cell workload invalid");
                 assert!(c.spec.cfg.trace.is_some(), "cells must trace");
                 assert_eq!(c.spec.workload.arrival_batch, Some(ARRIVAL_BATCH));
+                assert_eq!(c.meta.n_clients, c.spec.workload.n_clients);
+                assert_eq!(c.meta.n_clients, 120, "grid cells are paper-shaped");
             }
         }
+    }
+
+    #[test]
+    fn client_cells_ramp_in_increasing_order() {
+        // Sequential increasing order is what makes per-cell VmHWM growth
+        // attributable (the helper's doc contract).
+        for fast in [false, true] {
+            let cells = client_scale_cells(fast, 2005);
+            assert_eq!(cells.len(), if fast { 2 } else { 3 });
+            let counts: Vec<u32> = cells.iter().map(|c| c.meta.n_clients).collect();
+            assert!(counts.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(counts[0], 10_000);
+            assert_eq!(*counts.last().unwrap(), if fast { 100_000 } else { 1_000_000 });
+            for c in &cells {
+                c.spec.cfg.validate().expect("cell config invalid");
+                c.spec.workload.validate().expect("cell workload invalid");
+                assert!(c.spec.cfg.trace.is_some(), "cells must trace");
+                assert!(c.spec.workload.arrival_batch.is_some(), "wide ramps batch");
+            }
+        }
+    }
+
+    #[test]
+    fn client_cell_runs_and_reports_memory() {
+        // A trimmed client-scale cell end-to-end: the scaled() workload
+        // must drive real traffic, the reconciliation must hold, and the
+        // VmHWM plumbing must produce a bytes-per-client figure on Linux.
+        let c = client_cell(2005, 10, 3, 2_000);
+        let before = peak_rss_bytes();
+        let start = std::time::Instant::now();
+        let out = c.spec.run().expect("client cell runs");
+        let mut row = ScaleRow::from_output(&c.meta, &out, start.elapsed());
+        row.attach_memory(before, peak_rss_bytes());
+        assert_eq!(row.meta.n_clients, 2_000);
+        assert!(row.events > 2_000, "only {} events", row.events);
+        if before.is_some() {
+            assert!(row.peak_rss_bytes.is_some());
+            assert!(row.bytes_per_client.is_some());
+        }
+        let json = scale_json(1, true, &[row]);
+        assert!(json.contains("\"n_clients\": 2000"));
+        assert!(json.contains("\"bytes_per_client\":"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -255,7 +406,7 @@ mod tests {
         assert!(row.peak_pending > 1_000);
         assert!(row.handled_fraction > 0.0);
         let json = scale_json(1, true, &[row]);
-        assert!(json.contains("\"schema\": \"digruber-bench-scale/1\""));
+        assert!(json.contains("\"schema\": \"digruber-bench-scale/2\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 

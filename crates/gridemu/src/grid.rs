@@ -13,7 +13,6 @@ use crate::spep::SitePolicy;
 use gruber_types::{
     GridError, GridResult, JobId, JobRecord, JobSpec, JobState, SimTime, SiteId, SiteSpec, VoId,
 };
-use std::collections::HashMap;
 
 /// A job that began executing; the caller schedules its completion event.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -26,11 +25,52 @@ pub struct Started {
     pub finish_at: SimTime,
 }
 
+/// Dense job ledger: records live in a `Vec` slot indexed by job id.
+/// Job ids are sequential (the workload factory hands them out in order),
+/// so this is an exact-fit slab — no hashing on the per-dispatch hot path
+/// and ~half the bytes per job of a `HashMap` entry, which is what keeps
+/// million-job runs resident. Iteration is id-ordered (deterministic),
+/// where the old map's order was unspecified.
+#[derive(Debug, Default)]
+struct JobLedger {
+    slots: Vec<Option<JobRecord>>,
+    len: usize,
+}
+
+impl JobLedger {
+    fn contains(&self, job: JobId) -> bool {
+        matches!(self.slots.get(job.index()), Some(Some(_)))
+    }
+
+    /// Inserts a fresh record; the caller has checked for duplicates.
+    fn insert(&mut self, job: JobId, record: JobRecord) {
+        let idx = job.index();
+        if idx >= self.slots.len() {
+            self.slots.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.slots[idx].is_none());
+        self.slots[idx] = Some(record);
+        self.len += 1;
+    }
+
+    fn get(&self, job: JobId) -> Option<&JobRecord> {
+        self.slots.get(job.index()).and_then(|s| s.as_ref())
+    }
+
+    fn get_mut(&mut self, job: JobId) -> Option<&mut JobRecord> {
+        self.slots.get_mut(job.index()).and_then(|s| s.as_mut())
+    }
+
+    fn values(&self) -> impl Iterator<Item = &JobRecord> {
+        self.slots.iter().flatten()
+    }
+}
+
 /// The emulated grid: sites + job ledger.
 #[derive(Debug)]
 pub struct Grid {
     sites: Vec<SiteState>,
-    jobs: HashMap<JobId, JobRecord>,
+    jobs: JobLedger,
     total_cpus: u64,
 }
 
@@ -63,7 +103,7 @@ impl Grid {
                 .into_iter()
                 .map(|s| SiteState::with_discipline(s, policy.clone(), discipline))
                 .collect(),
-            jobs: HashMap::new(),
+            jobs: JobLedger::default(),
             total_cpus,
         })
     }
@@ -100,13 +140,14 @@ impl Grid {
 
     /// Registers a newly submitted job (state 1: at the submission host).
     pub fn submit(&mut self, spec: JobSpec) -> GridResult<()> {
-        if self.jobs.contains_key(&spec.id) {
+        if self.jobs.contains(spec.id) {
             return Err(GridError::InvalidConfig(format!(
                 "duplicate job id {}",
                 spec.id
             )));
         }
-        self.jobs.insert(spec.id, JobRecord::new(spec));
+        let id = spec.id;
+        self.jobs.insert(id, JobRecord::new(spec));
         Ok(())
     }
 
@@ -121,7 +162,7 @@ impl Grid {
         now: SimTime,
         handled_by_gruber: bool,
     ) -> GridResult<Vec<Started>> {
-        let record = self.jobs.get(&job).ok_or(GridError::UnknownJob(job))?;
+        let record = self.jobs.get(job).ok_or(GridError::UnknownJob(job))?;
         if record.state != JobState::AtSubmissionHost {
             return Err(GridError::InvalidTransition {
                 job,
@@ -135,7 +176,7 @@ impl Grid {
             .ok_or(GridError::UnknownSite(site))?;
         let started = site_state.enqueue(&spec, now)?;
 
-        let record = self.jobs.get_mut(&job).expect("checked");
+        let record = self.jobs.get_mut(job).expect("checked");
         record.state = JobState::QueuedAtSite;
         record.site = Some(site);
         record.dispatched_at = Some(now);
@@ -147,7 +188,7 @@ impl Grid {
     /// Marks a running job finished (state 3 → 4) and returns newly started
     /// queued jobs.
     pub fn complete(&mut self, job: JobId, now: SimTime) -> GridResult<Vec<Started>> {
-        let record = self.jobs.get(&job).ok_or(GridError::UnknownJob(job))?;
+        let record = self.jobs.get(job).ok_or(GridError::UnknownJob(job))?;
         if record.state != JobState::Running {
             return Err(GridError::InvalidTransition {
                 job,
@@ -156,7 +197,7 @@ impl Grid {
         }
         let site = record.site.expect("running job has a site");
         let started = self.sites[site.index()].complete(job, now)?;
-        let record = self.jobs.get_mut(&job).expect("checked");
+        let record = self.jobs.get_mut(job).expect("checked");
         record.state = JobState::Completed;
         record.completed_at = Some(now);
         Ok(self.apply_started(site, started, now))
@@ -165,7 +206,7 @@ impl Grid {
     /// Fails a dispatched job (queued or running), freeing its resources.
     /// Euryale replans failed jobs via [`Grid::resubmit`].
     pub fn fail(&mut self, job: JobId, now: SimTime) -> GridResult<Vec<Started>> {
-        let record = self.jobs.get(&job).ok_or(GridError::UnknownJob(job))?;
+        let record = self.jobs.get(job).ok_or(GridError::UnknownJob(job))?;
         if !matches!(record.state, JobState::QueuedAtSite | JobState::Running) {
             return Err(GridError::InvalidTransition {
                 job,
@@ -174,7 +215,7 @@ impl Grid {
         }
         let site = record.site.expect("dispatched job has a site");
         let started = self.sites[site.index()].kill(job, now)?;
-        let record = self.jobs.get_mut(&job).expect("checked");
+        let record = self.jobs.get_mut(job).expect("checked");
         record.state = JobState::Failed;
         Ok(self.apply_started(site, started, now))
     }
@@ -182,7 +223,7 @@ impl Grid {
     /// Returns a failed job to its submission host for replanning
     /// (state Failed → 1), clearing placement bookkeeping.
     pub fn resubmit(&mut self, job: JobId, now: SimTime) -> GridResult<()> {
-        let record = self.jobs.get_mut(&job).ok_or(GridError::UnknownJob(job))?;
+        let record = self.jobs.get_mut(job).ok_or(GridError::UnknownJob(job))?;
         if record.state != JobState::Failed {
             return Err(GridError::InvalidTransition {
                 job,
@@ -201,7 +242,7 @@ impl Grid {
         started
             .into_iter()
             .map(|s| {
-                let record = self.jobs.get_mut(&s.job).expect("site knows this job");
+                let record = self.jobs.get_mut(s.job).expect("site knows this job");
                 debug_assert_eq!(record.state, JobState::QueuedAtSite);
                 record.state = JobState::Running;
                 record.started_at = Some(now);
@@ -216,17 +257,17 @@ impl Grid {
 
     /// One job's record.
     pub fn record(&self, job: JobId) -> GridResult<&JobRecord> {
-        self.jobs.get(&job).ok_or(GridError::UnknownJob(job))
+        self.jobs.get(job).ok_or(GridError::UnknownJob(job))
     }
 
-    /// All records (iteration order unspecified).
+    /// All records, in job-id order.
     pub fn records(&self) -> impl Iterator<Item = &JobRecord> {
         self.jobs.values()
     }
 
     /// Number of registered jobs.
     pub fn n_jobs(&self) -> usize {
-        self.jobs.len()
+        self.jobs.len
     }
 
     /// CPUs currently held (running) by a VO across the grid — the usage

@@ -9,15 +9,19 @@
 //! * *admission* — may this job start another CPU, under the USLAs, given
 //!   the believed per-VO/group usage?
 
-use crate::view::{DispatchRecord, GridView};
+use crate::view::{DispatchRecord, GridView, ViewStore};
 use gruber_types::{DpId, JobSpec, SimDuration, SimTime, SiteSpec};
 use obs::{Recorder, TraceEvent, TraceVerdict};
 use usla::{AdmissionVerdict, EntitlementEngine, Principal, ResourceKind, UslaSet, UslaStore};
 
 /// A decision point's brokering core.
+///
+/// Generic over the view backend: the struct-of-arrays [`GridView`] by
+/// default, or any other [`ViewStore`] (the differential suites run the
+/// reference backend through the same engine).
 #[derive(Debug)]
-pub struct GruberEngine {
-    view: GridView,
+pub struct GruberEngine<V: ViewStore = GridView> {
+    view: V,
     uslas: UslaStore,
     outgoing: Vec<DispatchRecord>,
     dispatches_recorded: u64,
@@ -32,11 +36,20 @@ pub struct GruberEngine {
     dp: DpId,
 }
 
-impl GruberEngine {
-    /// Builds an engine with full static site knowledge and a USLA set.
+impl GruberEngine<GridView> {
+    /// Builds an engine with full static site knowledge and a USLA set,
+    /// over the default struct-of-arrays view backend.
     pub fn new(sites: &[SiteSpec], uslas: &UslaSet) -> Self {
+        GruberEngine::with_backend(sites, uslas)
+    }
+}
+
+impl<V: ViewStore> GruberEngine<V> {
+    /// Builds an engine over an explicit view backend (the differential
+    /// suites run [`crate::view::RefView`] through the full engine).
+    pub fn with_backend(sites: &[SiteSpec], uslas: &UslaSet) -> Self {
         GruberEngine {
-            view: GridView::new(sites),
+            view: V::new(sites),
             uslas: UslaStore::from_set(uslas),
             outgoing: Vec::new(),
             dispatches_recorded: 0,
@@ -58,6 +71,13 @@ impl GruberEngine {
     /// Believed free CPUs per site — the availability response payload.
     pub fn availability(&mut self, now: SimTime) -> Vec<u32> {
         self.view.free_per_site(now)
+    }
+
+    /// Writes the availability vector into `out` (cleared first) — the
+    /// allocation-free form for callers that serve many queries from a
+    /// reusable buffer.
+    pub fn availability_into(&mut self, now: SimTime, out: &mut Vec<u32>) {
+        self.view.free_per_site_into(now, out);
     }
 
     /// Records a dispatch this decision point just brokered: folds it into
@@ -214,7 +234,7 @@ impl GruberEngine {
     }
 
     /// The underlying grid view.
-    pub fn view_mut(&mut self) -> &mut GridView {
+    pub fn view_mut(&mut self) -> &mut V {
         &mut self.view
     }
 

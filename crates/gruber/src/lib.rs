@@ -64,4 +64,4 @@ pub use selectors::{
     LeastRecentlyUsedSelector, LeastUsedSelector, RandomSelector, RoundRobinSelector,
     SelectorKind, SiteSelector, UslaAwareSelector,
 };
-pub use view::{DispatchRecord, GridView};
+pub use view::{DispatchRecord, GridView, RefView, ViewStore};

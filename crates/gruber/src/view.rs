@@ -13,6 +13,28 @@
 //! dispatches, mis-estimated finish times, invisible site queues — is
 //! precisely what degrades the paper's Accuracy metric at long exchange
 //! intervals.
+//!
+//! # Backends
+//!
+//! Two implementations share the [`ViewStore`] trait, mirroring the
+//! calendar-queue-vs-reference-heap pattern in `desim`:
+//!
+//! * [`GridView`] — the default: a struct-of-arrays layout with flat
+//!   `SiteId`-indexed demand columns, dense `(VoId, GroupId)`-indexed
+//!   principal tables, a paged-bitset job-dedup set and one merged expiry
+//!   heap keyed `(est_finish, site, …)`. Built for 3000-site grids and
+//!   million-job runs: the availability hot path is two array scans.
+//! * [`RefView`] — the original `HashMap`/`HashSet`/per-site-`BinaryHeap`
+//!   model, kept as the executable specification. The differential tests
+//!   (unit + proptest below) drive both backends op-for-op and require
+//!   identical answers.
+//!
+//! Both backends assume query timestamps are **monotone nondecreasing**
+//! across calls — true of every runtime (the desim event loop, the live
+//! and socket clocks, trace replay). Under monotone time the single
+//! merged expiry heap and `RefView`'s lazy per-site heaps observe exactly
+//! the same record sets, which is what keeps run fingerprints
+//! byte-identical across backends.
 
 use gruber_types::{GroupId, JobId, SimTime, SiteId, SiteSpec, VoId};
 use serde::{Deserialize, Serialize};
@@ -39,6 +61,392 @@ pub struct DispatchRecord {
     pub est_finish: SimTime,
 }
 
+/// The contract a grid-view backend fulfils: fold dispatch records in,
+/// expire them at their estimated finish, answer demand/availability
+/// queries. All query methods take `&mut self` because expiry is lazy —
+/// answering advances bookkeeping to `now`.
+///
+/// Timestamps passed to a store must be monotone nondecreasing across
+/// calls (see the module docs); a store may expire globally on any call.
+pub trait ViewStore: std::fmt::Debug {
+    /// Builds a view with full static knowledge of the given sites.
+    fn new(sites: &[SiteSpec]) -> Self
+    where
+        Self: Sized;
+
+    /// Number of sites the view covers.
+    fn n_sites(&self) -> usize;
+
+    /// Total CPUs of one site (static knowledge, always exact).
+    fn total_cpus(&self, site: SiteId) -> u32;
+
+    /// Grid-wide CPU total.
+    fn grid_cpus(&self) -> u64;
+
+    /// Folds one dispatch record into the view (idempotent per job id).
+    /// Returns `true` if the record was new.
+    fn observe(&mut self, rec: &DispatchRecord, now: SimTime) -> bool;
+
+    /// Folds a batch of peer records; returns how many were new.
+    fn merge(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
+        records.iter().filter(|r| self.observe(r, now)).count()
+    }
+
+    /// Advances expiry bookkeeping to `now`.
+    fn expire(&mut self, now: SimTime);
+
+    /// Believed CPU demand at a site (may exceed capacity).
+    fn demand(&mut self, site: SiteId, now: SimTime) -> u64;
+
+    /// Believed free CPUs at a site.
+    fn free_cpus(&mut self, site: SiteId, now: SimTime) -> u32 {
+        let total = u64::from(self.total_cpus(site));
+        total.saturating_sub(self.demand(site, now)) as u32
+    }
+
+    /// Believed queued jobs at a site (demand beyond capacity, in CPUs;
+    /// single-CPU jobs make this a job count).
+    fn queued(&mut self, site: SiteId, now: SimTime) -> u32 {
+        let total = u64::from(self.total_cpus(site));
+        self.demand(site, now).saturating_sub(total) as u32
+    }
+
+    /// Believed grid-wide CPUs held by a VO.
+    fn vo_demand(&mut self, vo: VoId, now: SimTime) -> u64;
+
+    /// Believed grid-wide CPUs held by a VO group.
+    fn group_demand(&mut self, vo: VoId, group: GroupId, now: SimTime) -> u64;
+
+    /// Believed grid-wide idle CPUs.
+    fn idle_cpus(&mut self, now: SimTime) -> u64 {
+        (0..self.n_sites())
+            .map(|i| u64::from(self.free_cpus(SiteId::from_index(i), now)))
+            .sum()
+    }
+
+    /// Writes the believed per-site free-CPU vector into `out` (cleared
+    /// first). The allocation-free form of [`ViewStore::free_per_site`]:
+    /// callers that answer many availability queries reuse one buffer.
+    fn free_per_site_into(&mut self, now: SimTime, out: &mut Vec<u32>) {
+        out.clear();
+        for i in 0..self.n_sites() {
+            out.push(self.free_cpus(SiteId::from_index(i), now));
+        }
+    }
+
+    /// Full believed per-site free-CPU vector (the availability response).
+    fn free_per_site(&mut self, now: SimTime) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.n_sites());
+        self.free_per_site_into(now, &mut out);
+        out
+    }
+}
+
+/// Merged expiry entry: `(est_finish, site, vo, group, cpus)`. One entry
+/// per record serves both the per-site and the per-principal counters —
+/// half the heap traffic of the two-heap reference layout.
+type Expiry = Reverse<(SimTime, u32, u32, u32, u32)>;
+
+/// A paged bitset over job ids: the compact replacement for
+/// `HashSet<JobId>`. Job ids are dense sequential `u32`s (the workload
+/// factory hands them out in order), so a bitset costs one bit per id in
+/// the touched range — 8 KiB per 65 536-id page, ~2 MB for ten million
+/// jobs — versus ~48 bytes per entry in a hash set. Pages materialize
+/// lazily, so sparse id ranges (trace replay, tests) stay cheap.
+#[derive(Default)]
+struct JobSet {
+    pages: Vec<Option<Box<[u64; JobSet::PAGE_WORDS]>>>,
+    len: usize,
+}
+
+impl JobSet {
+    /// 64-bit words per page: 1024 words = 65 536 ids = 8 KiB.
+    const PAGE_WORDS: usize = 1024;
+    const PAGE_BITS: usize = Self::PAGE_WORDS * 64;
+
+    /// Inserts `job`; returns `true` if it was not already present.
+    fn insert(&mut self, job: JobId) -> bool {
+        let id = job.index();
+        let page = id / Self::PAGE_BITS;
+        let bit = id % Self::PAGE_BITS;
+        if page >= self.pages.len() {
+            self.pages.resize_with(page + 1, || None);
+        }
+        let words = self.pages[page].get_or_insert_with(|| {
+            let zeroed: Box<[u64]> = vec![0u64; Self::PAGE_WORDS].into_boxed_slice();
+            zeroed.try_into().expect("page is exactly PAGE_WORDS long")
+        });
+        let mask = 1u64 << (bit % 64);
+        let word = &mut words[bit / 64];
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.len += 1;
+        true
+    }
+
+    #[cfg(test)]
+    fn contains(&self, job: JobId) -> bool {
+        let id = job.index();
+        match self.pages.get(id / Self::PAGE_BITS).and_then(|p| p.as_ref()) {
+            Some(words) => {
+                let bit = id % Self::PAGE_BITS;
+                words[bit / 64] & (1u64 << (bit % 64)) != 0
+            }
+            None => false,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len
+    }
+}
+
+impl std::fmt::Debug for JobSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobSet")
+            .field("len", &self.len)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+/// A (possibly stale) model of grid utilization — the struct-of-arrays
+/// default backend.
+///
+/// Layout: per-site `totals`/`demand` as flat `SiteId`-indexed columns
+/// (availability is a two-column scan, no pointer chasing), per-principal
+/// demand as dense `VoId`/`GroupId`-indexed tables, job dedup as a paged
+/// bitset, and a single merged expiry heap whose entries decrement all
+/// three at once. See the module docs for the backend contract.
+#[derive(Debug)]
+pub struct GridView {
+    /// Static per-site capacity column.
+    totals: Vec<u32>,
+    /// Believed per-site demand column (parallel to `totals`).
+    demand: Vec<u64>,
+    /// Cached sum of `totals`.
+    grid_total: u64,
+    /// Dense per-VO demand, indexed by `VoId::index()`.
+    vo_demand: Vec<i64>,
+    /// Dense per-group demand, indexed `[vo][group]`.
+    group_demand: Vec<Vec<i64>>,
+    /// Jobs already folded in (idempotent merging across floods).
+    seen: JobSet,
+    /// The merged expiry heap (min by `est_finish`).
+    expiries: BinaryHeap<Expiry>,
+}
+
+fn dense_slot(v: &mut Vec<i64>, idx: usize) -> &mut i64 {
+    if idx >= v.len() {
+        v.resize(idx + 1, 0);
+    }
+    &mut v[idx]
+}
+
+impl GridView {
+    /// Builds a view with full static knowledge of the given sites.
+    pub fn new(sites: &[SiteSpec]) -> Self {
+        let totals: Vec<u32> = sites.iter().map(|s| s.total_cpus()).collect();
+        let grid_total = totals.iter().map(|&c| u64::from(c)).sum();
+        GridView {
+            demand: vec![0; totals.len()],
+            totals,
+            grid_total,
+            vo_demand: Vec::new(),
+            group_demand: Vec::new(),
+            seen: JobSet::default(),
+            expiries: BinaryHeap::new(),
+        }
+    }
+
+    /// Number of sites the view covers.
+    pub fn n_sites(&self) -> usize {
+        self.totals.len()
+    }
+
+    /// Total CPUs of one site (static knowledge, always exact).
+    pub fn total_cpus(&self, site: SiteId) -> u32 {
+        self.totals[site.index()]
+    }
+
+    /// Grid-wide CPU total.
+    pub fn grid_cpus(&self) -> u64 {
+        self.grid_total
+    }
+
+    /// Number of distinct jobs ever folded in (dedup set cardinality).
+    pub fn jobs_seen(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Folds one dispatch record into the view (idempotent per job id).
+    /// Returns `true` if the record was new.
+    pub fn observe(&mut self, rec: &DispatchRecord, now: SimTime) -> bool {
+        self.expire(now);
+        if rec.est_finish <= now || !self.seen.insert(rec.job) {
+            return false; // already expired or already known
+        }
+        self.demand[rec.site.index()] += u64::from(rec.cpus);
+        *dense_slot(&mut self.vo_demand, rec.vo.index()) += i64::from(rec.cpus);
+        let vo_groups = {
+            let idx = rec.vo.index();
+            if idx >= self.group_demand.len() {
+                self.group_demand.resize_with(idx + 1, Vec::new);
+            }
+            &mut self.group_demand[idx]
+        };
+        *dense_slot(vo_groups, rec.group.index()) += i64::from(rec.cpus);
+        self.expiries.push(Reverse((
+            rec.est_finish,
+            rec.site.0,
+            rec.vo.0,
+            rec.group.0,
+            rec.cpus,
+        )));
+        true
+    }
+
+    /// Folds a batch of peer records; returns how many were new.
+    pub fn merge(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
+        records.iter().filter(|r| self.observe(r, now)).count()
+    }
+
+    /// Advances expiry bookkeeping to `now`: pops every merged-heap entry
+    /// with `est_finish <= now` and decrements the site and principal
+    /// columns it was counted in.
+    pub fn expire(&mut self, now: SimTime) {
+        while let Some(&Reverse((t, site, vo, group, cpus))) = self.expiries.peek() {
+            if t > now {
+                break;
+            }
+            self.expiries.pop();
+            self.demand[site as usize] -= u64::from(cpus);
+            self.vo_demand[vo as usize] -= i64::from(cpus);
+            self.group_demand[vo as usize][group as usize] -= i64::from(cpus);
+        }
+    }
+
+    /// Believed CPU demand at a site (may exceed capacity).
+    pub fn demand(&mut self, site: SiteId, now: SimTime) -> u64 {
+        self.expire(now);
+        self.demand[site.index()]
+    }
+
+    /// Believed free CPUs at a site.
+    pub fn free_cpus(&mut self, site: SiteId, now: SimTime) -> u32 {
+        let total = u64::from(self.totals[site.index()]);
+        total.saturating_sub(self.demand(site, now)) as u32
+    }
+
+    /// Believed queued jobs at a site (demand beyond capacity, in CPUs;
+    /// single-CPU jobs make this a job count).
+    pub fn queued(&mut self, site: SiteId, now: SimTime) -> u32 {
+        let total = u64::from(self.totals[site.index()]);
+        self.demand(site, now).saturating_sub(total) as u32
+    }
+
+    /// Believed grid-wide CPUs held by a VO.
+    pub fn vo_demand(&mut self, vo: VoId, now: SimTime) -> u64 {
+        self.expire(now);
+        self.vo_demand
+            .get(vo.index())
+            .copied()
+            .unwrap_or(0)
+            .max(0) as u64
+    }
+
+    /// Believed grid-wide CPUs held by a VO group.
+    pub fn group_demand(&mut self, vo: VoId, group: GroupId, now: SimTime) -> u64 {
+        self.expire(now);
+        self.group_demand
+            .get(vo.index())
+            .and_then(|g| g.get(group.index()))
+            .copied()
+            .unwrap_or(0)
+            .max(0) as u64
+    }
+
+    /// Believed grid-wide idle CPUs.
+    pub fn idle_cpus(&mut self, now: SimTime) -> u64 {
+        self.expire(now);
+        self.totals
+            .iter()
+            .zip(&self.demand)
+            .map(|(&t, &d)| u64::from(t).saturating_sub(d))
+            .sum()
+    }
+
+    /// Writes the believed per-site free-CPU vector into `out` (cleared
+    /// first): one expiry advance, then a two-column scan.
+    pub fn free_per_site_into(&mut self, now: SimTime, out: &mut Vec<u32>) {
+        self.expire(now);
+        out.clear();
+        out.extend(
+            self.totals
+                .iter()
+                .zip(&self.demand)
+                .map(|(&t, &d)| u64::from(t).saturating_sub(d) as u32),
+        );
+    }
+
+    /// Full believed per-site free-CPU vector (the availability response).
+    pub fn free_per_site(&mut self, now: SimTime) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.totals.len());
+        self.free_per_site_into(now, &mut out);
+        out
+    }
+}
+
+impl ViewStore for GridView {
+    fn new(sites: &[SiteSpec]) -> Self {
+        GridView::new(sites)
+    }
+    fn n_sites(&self) -> usize {
+        GridView::n_sites(self)
+    }
+    fn total_cpus(&self, site: SiteId) -> u32 {
+        GridView::total_cpus(self, site)
+    }
+    fn grid_cpus(&self) -> u64 {
+        GridView::grid_cpus(self)
+    }
+    fn observe(&mut self, rec: &DispatchRecord, now: SimTime) -> bool {
+        GridView::observe(self, rec, now)
+    }
+    fn merge(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
+        GridView::merge(self, records, now)
+    }
+    fn expire(&mut self, now: SimTime) {
+        GridView::expire(self, now)
+    }
+    fn demand(&mut self, site: SiteId, now: SimTime) -> u64 {
+        GridView::demand(self, site, now)
+    }
+    fn free_cpus(&mut self, site: SiteId, now: SimTime) -> u32 {
+        GridView::free_cpus(self, site, now)
+    }
+    fn queued(&mut self, site: SiteId, now: SimTime) -> u32 {
+        GridView::queued(self, site, now)
+    }
+    fn vo_demand(&mut self, vo: VoId, now: SimTime) -> u64 {
+        GridView::vo_demand(self, vo, now)
+    }
+    fn group_demand(&mut self, vo: VoId, group: GroupId, now: SimTime) -> u64 {
+        GridView::group_demand(self, vo, group, now)
+    }
+    fn idle_cpus(&mut self, now: SimTime) -> u64 {
+        GridView::idle_cpus(self, now)
+    }
+    fn free_per_site_into(&mut self, now: SimTime, out: &mut Vec<u32>) {
+        GridView::free_per_site_into(self, now, out)
+    }
+    fn free_per_site(&mut self, now: SimTime) -> Vec<u32> {
+        GridView::free_per_site(self, now)
+    }
+}
+
 #[derive(Debug, Default)]
 struct SiteDemand {
     /// CPUs demanded by un-expired records (may exceed capacity — the
@@ -60,9 +468,12 @@ impl SiteDemand {
     }
 }
 
-/// A (possibly stale) model of grid utilization.
+/// The original `HashMap`/`HashSet`/per-site-`BinaryHeap` view, kept as
+/// the reference backend the struct-of-arrays [`GridView`] is
+/// differentially tested against. Not used by any runtime; its answers
+/// define correctness.
 #[derive(Debug)]
-pub struct GridView {
+pub struct RefView {
     totals: Vec<u32>,
     sites: Vec<SiteDemand>,
     vo_demand: HashMap<VoId, i64>,
@@ -73,10 +484,10 @@ pub struct GridView {
     principal_expiries: BinaryHeap<Reverse<(SimTime, VoId, GroupId, u32)>>,
 }
 
-impl GridView {
+impl RefView {
     /// Builds a view with full static knowledge of the given sites.
     pub fn new(sites: &[SiteSpec]) -> Self {
-        GridView {
+        RefView {
             totals: sites.iter().map(|s| s.total_cpus()).collect(),
             sites: sites.iter().map(|_| SiteDemand::default()).collect(),
             vo_demand: HashMap::new(),
@@ -84,21 +495,6 @@ impl GridView {
             seen: std::collections::HashSet::new(),
             principal_expiries: BinaryHeap::new(),
         }
-    }
-
-    /// Number of sites the view covers.
-    pub fn n_sites(&self) -> usize {
-        self.totals.len()
-    }
-
-    /// Total CPUs of one site (static knowledge, always exact).
-    pub fn total_cpus(&self, site: SiteId) -> u32 {
-        self.totals[site.index()]
-    }
-
-    /// Grid-wide CPU total.
-    pub fn grid_cpus(&self) -> u64 {
-        self.totals.iter().map(|&c| u64::from(c)).sum()
     }
 
     /// Folds one dispatch record into the view (idempotent per job id).
@@ -121,11 +517,6 @@ impl GridView {
         true
     }
 
-    /// Folds a batch of peer records; returns how many were new.
-    pub fn merge(&mut self, records: &[DispatchRecord], now: SimTime) -> usize {
-        records.iter().filter(|r| self.observe(r, now)).count()
-    }
-
     /// Advances expiry bookkeeping to `now`.
     pub fn expire(&mut self, now: SimTime) {
         for s in &mut self.sites {
@@ -146,48 +537,49 @@ impl GridView {
         self.sites[site.index()].expire(now);
         self.sites[site.index()].demand
     }
+}
 
-    /// Believed free CPUs at a site.
-    pub fn free_cpus(&mut self, site: SiteId, now: SimTime) -> u32 {
-        let total = u64::from(self.totals[site.index()]);
-        total.saturating_sub(self.demand(site, now)) as u32
+impl ViewStore for RefView {
+    fn new(sites: &[SiteSpec]) -> Self {
+        RefView::new(sites)
     }
 
-    /// Believed queued jobs at a site (demand beyond capacity, in CPUs;
-    /// single-CPU jobs make this a job count).
-    pub fn queued(&mut self, site: SiteId, now: SimTime) -> u32 {
-        let total = u64::from(self.totals[site.index()]);
-        self.demand(site, now).saturating_sub(total) as u32
+    fn n_sites(&self) -> usize {
+        self.totals.len()
     }
 
-    /// Believed grid-wide CPUs held by a VO.
-    pub fn vo_demand(&mut self, vo: VoId, now: SimTime) -> u64 {
+    fn total_cpus(&self, site: SiteId) -> u32 {
+        self.totals[site.index()]
+    }
+
+    fn grid_cpus(&self) -> u64 {
+        self.totals.iter().map(|&c| u64::from(c)).sum()
+    }
+
+    fn observe(&mut self, rec: &DispatchRecord, now: SimTime) -> bool {
+        RefView::observe(self, rec, now)
+    }
+
+    fn expire(&mut self, now: SimTime) {
+        RefView::expire(self, now)
+    }
+
+    fn demand(&mut self, site: SiteId, now: SimTime) -> u64 {
+        RefView::demand(self, site, now)
+    }
+
+    fn vo_demand(&mut self, vo: VoId, now: SimTime) -> u64 {
         self.expire(now);
         self.vo_demand.get(&vo).copied().unwrap_or(0).max(0) as u64
     }
 
-    /// Believed grid-wide CPUs held by a VO group.
-    pub fn group_demand(&mut self, vo: VoId, group: GroupId, now: SimTime) -> u64 {
+    fn group_demand(&mut self, vo: VoId, group: GroupId, now: SimTime) -> u64 {
         self.expire(now);
         self.group_demand
             .get(&(vo, group))
             .copied()
             .unwrap_or(0)
             .max(0) as u64
-    }
-
-    /// Believed grid-wide idle CPUs.
-    pub fn idle_cpus(&mut self, now: SimTime) -> u64 {
-        (0..self.totals.len())
-            .map(|i| u64::from(self.free_cpus(SiteId::from_index(i), now)))
-            .sum()
-    }
-
-    /// Full believed per-site free-CPU vector (the availability response).
-    pub fn free_per_site(&mut self, now: SimTime) -> Vec<u32> {
-        (0..self.totals.len())
-            .map(|i| self.free_cpus(SiteId::from_index(i), now))
-            .collect()
     }
 }
 
@@ -215,17 +607,15 @@ mod tests {
         }
     }
 
-    #[test]
-    fn static_knowledge_is_exact() {
-        let v = GridView::new(&sites());
+    fn static_knowledge_is_exact<V: ViewStore>() {
+        let v = V::new(&sites());
         assert_eq!(v.n_sites(), 2);
         assert_eq!(v.total_cpus(SiteId(1)), 20);
         assert_eq!(v.grid_cpus(), 30);
     }
 
-    #[test]
-    fn observe_updates_free_cpus_until_expiry() {
-        let mut v = GridView::new(&sites());
+    fn observe_updates_free_cpus_until_expiry<V: ViewStore>() {
+        let mut v = V::new(&sites());
         let now = SimTime::from_secs(10);
         assert!(v.observe(&rec(1, 0, 4, 10, 100), now));
         assert_eq!(v.free_cpus(SiteId(0), now), 6);
@@ -236,9 +626,8 @@ mod tests {
         assert_eq!(v.vo_demand(VoId(1), later), 0);
     }
 
-    #[test]
-    fn observe_is_idempotent_per_job() {
-        let mut v = GridView::new(&sites());
+    fn observe_is_idempotent_per_job<V: ViewStore>() {
+        let mut v = V::new(&sites());
         let now = SimTime::from_secs(0);
         let r = rec(1, 0, 4, 0, 100);
         assert!(v.observe(&r, now));
@@ -248,16 +637,14 @@ mod tests {
         assert_eq!(v.free_cpus(SiteId(0), now), 4);
     }
 
-    #[test]
-    fn already_expired_records_are_ignored() {
-        let mut v = GridView::new(&sites());
+    fn already_expired_records_are_ignored<V: ViewStore>() {
+        let mut v = V::new(&sites());
         assert!(!v.observe(&rec(1, 0, 4, 0, 5), SimTime::from_secs(10)));
         assert_eq!(v.free_cpus(SiteId(0), SimTime::from_secs(10)), 10);
     }
 
-    #[test]
-    fn demand_beyond_capacity_shows_as_queue() {
-        let mut v = GridView::new(&sites());
+    fn demand_beyond_capacity_shows_as_queue<V: ViewStore>() {
+        let mut v = V::new(&sites());
         let now = SimTime::ZERO;
         for j in 0..13u32 {
             v.observe(&rec(j, 0, 1, 0, 1000), now);
@@ -267,9 +654,8 @@ mod tests {
         assert_eq!(v.demand(SiteId(0), now), 13);
     }
 
-    #[test]
-    fn principal_demand_tracks_vo_and_group() {
-        let mut v = GridView::new(&sites());
+    fn principal_demand_tracks_vo_and_group<V: ViewStore>() {
+        let mut v = V::new(&sites());
         let now = SimTime::ZERO;
         v.observe(&rec(2, 0, 3, 0, 50), now); // vo 0
         v.observe(&rec(3, 1, 5, 0, 80), now); // vo 1
@@ -281,16 +667,68 @@ mod tests {
         assert_eq!(v.vo_demand(VoId(1), later), 5);
     }
 
+    fn idle_and_free_vectors<V: ViewStore>() {
+        let mut v = V::new(&sites());
+        let now = SimTime::ZERO;
+        v.observe(&rec(1, 1, 8, 0, 100), now);
+        assert_eq!(v.free_per_site(now), vec![10, 12]);
+        assert_eq!(v.idle_cpus(now), 22);
+        let mut buf = vec![99u32; 7];
+        v.free_per_site_into(now, &mut buf);
+        assert_eq!(buf, vec![10, 12]);
+    }
+
+    macro_rules! both_backends {
+        ($($name:ident),* $(,)?) => {$(
+            #[test]
+            fn $name() {
+                super::$name::<GridView>();
+                super::$name::<RefView>();
+            }
+        )*};
+    }
+
+    mod on_both {
+        use super::super::{GridView, RefView};
+        both_backends!(
+            static_knowledge_is_exact,
+            observe_updates_free_cpus_until_expiry,
+            observe_is_idempotent_per_job,
+            already_expired_records_are_ignored,
+            demand_beyond_capacity_shows_as_queue,
+            principal_demand_tracks_vo_and_group,
+            idle_and_free_vectors,
+        );
+    }
+
+    #[test]
+    fn job_set_inserts_and_dedups_across_pages() {
+        let mut s = JobSet::default();
+        // Spread across three pages, including page boundaries.
+        for id in [0u32, 1, 63, 64, 65_535, 65_536, 200_000] {
+            assert!(!s.contains(JobId(id)));
+            assert!(s.insert(JobId(id)), "first insert of {id}");
+            assert!(!s.insert(JobId(id)), "second insert of {id}");
+            assert!(s.contains(JobId(id)));
+        }
+        assert_eq!(s.len(), 7);
+        // Untouched ids in materialized and unmaterialized pages.
+        assert!(!s.contains(JobId(2)));
+        assert!(!s.contains(JobId(1_000_000)));
+    }
+
     #[test]
     fn property_view_matches_reference_model() {
         // Reference: free(site, t) = total - sum of active records, computed
-        // from scratch each query. The incremental view must always agree.
+        // from scratch each query. The incremental SoA view and RefView
+        // must both always agree with it — and with each other.
         use desim::DetRng;
         let mut rng = DetRng::new(77, 0);
         let specs: Vec<SiteSpec> = (0..5)
             .map(|i| SiteSpec::single_cluster(SiteId(i), 50))
             .collect();
         let mut view = GridView::new(&specs);
+        let mut refv = RefView::new(&specs);
         let mut records: Vec<DispatchRecord> = Vec::new();
         for step in 0..400u64 {
             let now = SimTime::from_secs(step * 10);
@@ -305,7 +743,9 @@ mod tests {
                     est_finish: now
                         + gruber_types::SimDuration::from_secs(1 + rng.next_u64() % 2000),
                 };
-                if view.observe(&r, now) {
+                let fresh = view.observe(&r, now);
+                assert_eq!(fresh, refv.observe(&r, now), "backends split at step {step}");
+                if fresh {
                     records.push(r);
                 }
             }
@@ -321,15 +761,142 @@ mod tests {
                 reference,
                 "view diverged at step {step}"
             );
+            assert_eq!(
+                ViewStore::demand(&mut refv, probe, now),
+                reference,
+                "refview diverged at step {step}"
+            );
+        }
+    }
+
+    /// Drives both backends through an identical randomized interleaving
+    /// of every `ViewStore` operation and requires identical answers.
+    fn differential_interleaving(seed: u64, steps: u64, n_sites: usize) {
+        use desim::DetRng;
+        let mut rng = DetRng::new(seed, 0xD1FF);
+        let specs: Vec<SiteSpec> = (0..n_sites)
+            .map(|i| SiteSpec::single_cluster(SiteId(i as u32), 16 + (i as u32 % 5) * 8))
+            .collect();
+        let mut soa = GridView::new(&specs);
+        let mut refv = RefView::new(&specs);
+        let mut now = SimTime::ZERO;
+        let mut batch: Vec<DispatchRecord> = Vec::new();
+        for step in 0..steps {
+            // Monotone nondecreasing time, sometimes repeating.
+            if rng.chance(0.8) {
+                now = now + gruber_types::SimDuration::from_secs(rng.next_u64() % 300);
+            }
+            let r = DispatchRecord {
+                job: JobId((rng.next_u64() % (steps / 2 + 1)) as u32),
+                site: SiteId(rng.index(n_sites) as u32),
+                vo: VoId(rng.index(4) as u32),
+                group: GroupId(rng.index(3) as u32),
+                cpus: 1 + rng.index(8) as u32,
+                dispatched_at: now,
+                est_finish: now + gruber_types::SimDuration::from_secs(rng.next_u64() % 1200),
+            };
+            match rng.index(6) {
+                0 | 1 => {
+                    assert_eq!(soa.observe(&r, now), refv.observe(&r, now), "step {step}");
+                }
+                2 => {
+                    batch.push(r);
+                    if batch.len() >= 4 || rng.chance(0.5) {
+                        assert_eq!(
+                            soa.merge(&batch, now),
+                            refv.merge(&batch, now),
+                            "merge at step {step}"
+                        );
+                        batch.clear();
+                    }
+                }
+                3 => {
+                    ViewStore::expire(&mut soa, now);
+                    ViewStore::expire(&mut refv, now);
+                }
+                4 => {
+                    let s = SiteId(rng.index(n_sites) as u32);
+                    assert_eq!(soa.demand(s, now), ViewStore::demand(&mut refv, s, now));
+                    assert_eq!(soa.queued(s, now), ViewStore::queued(&mut refv, s, now));
+                }
+                _ => {
+                    let vo = VoId(rng.index(5) as u32);
+                    let g = GroupId(rng.index(4) as u32);
+                    assert_eq!(
+                        soa.vo_demand(vo, now),
+                        ViewStore::vo_demand(&mut refv, vo, now)
+                    );
+                    assert_eq!(
+                        soa.group_demand(vo, g, now),
+                        ViewStore::group_demand(&mut refv, vo, g, now)
+                    );
+                    assert_eq!(soa.idle_cpus(now), ViewStore::idle_cpus(&mut refv, now));
+                }
+            }
+            if step % 16 == 0 {
+                assert_eq!(
+                    soa.free_per_site(now),
+                    ViewStore::free_per_site(&mut refv, now),
+                    "availability split at step {step}"
+                );
+            }
         }
     }
 
     #[test]
-    fn idle_and_free_vectors() {
-        let mut v = GridView::new(&sites());
-        let now = SimTime::ZERO;
-        v.observe(&rec(1, 1, 8, 0, 100), now);
-        assert_eq!(v.free_per_site(now), vec![10, 12]);
-        assert_eq!(v.idle_cpus(now), 22);
+    fn differential_interleavings_agree() {
+        for seed in 0..8u64 {
+            differential_interleaving(1000 + seed, 600, 7);
+        }
+    }
+
+    mod proptests {
+        use super::super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Arbitrary op interleavings under monotone time: the SoA
+            /// view and the reference view answer identically.
+            #[test]
+            fn prop_backends_agree(
+                seed in 0u64..1_000_000,
+                steps in 50u64..400,
+                n_sites in 2usize..12,
+            ) {
+                super::differential_interleaving(seed, steps, n_sites);
+            }
+
+            /// Observing any record set then expiring far in the future
+            /// drains both backends back to full availability.
+            #[test]
+            fn prop_full_expiry_restores_capacity(
+                jobs in proptest::collection::vec((0u32..500, 0u32..4, 1u32..6, 1u64..3000), 0..60),
+            ) {
+                let specs: Vec<SiteSpec> = (0..4)
+                    .map(|i| SiteSpec::single_cluster(SiteId(i), 32))
+                    .collect();
+                let mut soa = GridView::new(&specs);
+                let mut refv = RefView::new(&specs);
+                for &(job, site, cpus, end) in &jobs {
+                    let r = DispatchRecord {
+                        job: JobId(job),
+                        site: SiteId(site),
+                        vo: VoId(job % 3),
+                        group: GroupId(job % 2),
+                        cpus,
+                        dispatched_at: SimTime::ZERO,
+                        est_finish: SimTime::from_secs(end),
+                    };
+                    prop_assert_eq!(
+                        soa.observe(&r, SimTime::ZERO),
+                        refv.observe(&r, SimTime::ZERO)
+                    );
+                }
+                let end = SimTime::from_secs(1_000_000);
+                prop_assert_eq!(soa.free_per_site(end), ViewStore::free_per_site(&mut refv, end));
+                prop_assert_eq!(soa.idle_cpus(end), 4 * 32);
+                prop_assert_eq!(ViewStore::idle_cpus(&mut refv, end), 4 * 32);
+            }
+        }
     }
 }

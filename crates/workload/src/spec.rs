@@ -75,6 +75,33 @@ impl WorkloadSpec {
         }
     }
 
+    /// A beyond-paper client-scale configuration: `n_clients` submission
+    /// hosts ramping over a two-minute experiment, 10 VOs × 10 groups.
+    ///
+    /// The shape is chosen so memory, not throughput, is what grows with
+    /// the client count: think time (~5 min mean) is long relative to the
+    /// two-minute duration, so each client issues roughly one query — its
+    /// initial synchronous query on arrival — and the in-flight work per
+    /// client stays O(1). That keeps 10k/100k/1M-client ramps bounded by
+    /// per-client bookkeeping (client state, one job record, one dispatch
+    /// observation) rather than by an ever-deepening closed loop. Arrivals
+    /// are seeded in batches to amortize scheduler insertion cost at very
+    /// wide client counts.
+    pub fn scaled(n_clients: u32) -> Self {
+        WorkloadSpec {
+            n_vos: 10,
+            groups_per_vo: 10,
+            n_clients,
+            think_time: Dist::lognormal_mean_cv(300.0, 0.5),
+            job_runtime: Dist::lognormal_mean_cv(2400.0, 1.0),
+            job_cpus: 1,
+            job_storage_mb: Dist::Constant(0.0),
+            duration: SimDuration::from_mins(2),
+            departure_fraction: 0.0,
+            arrival_batch: Some(256),
+        }
+    }
+
     /// Sanity-checks the spec.
     pub fn validate(&self) -> Result<(), gruber_types::GridError> {
         if self.n_vos == 0
@@ -115,6 +142,20 @@ mod tests {
         // Demand must exceed a single GT3 decision point's ~2 q/s capacity
         // (that is what drives the paper's 1-DP saturation).
         assert!(w.peak_demand_qps() > 5.0);
+    }
+
+    #[test]
+    fn scaled_shape_is_memory_bounded() {
+        let w = WorkloadSpec::scaled(100_000);
+        w.validate().unwrap();
+        assert_eq!(w.n_clients, 100_000);
+        // Think time must dominate the duration so each client issues ~1
+        // query and the run's footprint scales with population, not with
+        // closed-loop depth.
+        assert!(w.think_time.mean() > w.duration.as_secs_f64());
+        // Wide ramps must seed in batches, or event-queue insertion at 1M
+        // clients dominates the run.
+        assert!(w.arrival_batch.is_some());
     }
 
     #[test]

@@ -26,6 +26,9 @@ cargo test -q --offline -p dpstore
 echo "==> desim unit + differential proptests (calendar queue vs reference heap)"
 cargo test -q --offline -p desim
 
+echo "==> gruber unit + differential proptests (SoA grid view vs reference view)"
+cargo test -q --offline -p gruber
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
@@ -56,12 +59,16 @@ test -s results/timeline_recovery.txt || { echo "ci.sh: recovery timelines missi
 grep -q 'digruber-bench-recovery/1' BENCH_recovery.json \
   || { echo "ci.sh: BENCH_recovery.json has wrong schema"; exit 1; }
 
-echo "==> experiments scale --fast (paper-scale throughput smoke, counters reconcile)"
+echo "==> experiments scale --fast (paper-scale throughput + client-ramp memory smoke)"
 ./target/release/experiments scale --fast > /dev/null
 test -s BENCH_scale.json || { echo "ci.sh: BENCH_scale.json missing"; exit 1; }
 test -s results/timeline_scale.txt || { echo "ci.sh: scale timelines missing"; exit 1; }
-grep -q 'digruber-bench-scale/1' BENCH_scale.json \
+grep -q 'digruber-bench-scale/2' BENCH_scale.json \
   || { echo "ci.sh: BENCH_scale.json has wrong schema"; exit 1; }
+grep -q '"n_clients": 100000' BENCH_scale.json \
+  || { echo "ci.sh: BENCH_scale.json is missing the 100k-client cell"; exit 1; }
+grep -q '"bytes_per_client":' BENCH_scale.json \
+  || { echo "ci.sh: BENCH_scale.json is missing the memory columns"; exit 1; }
 
 echo "==> experiments health --fast (online health-scoring smoke)"
 ./target/release/experiments health --fast > /dev/null
