@@ -83,7 +83,7 @@ fn bench_ablations(c: &mut Criterion) {
     for (name, topo) in [
         ("topology_full_mesh", SyncTopology::FullMesh),
         ("topology_ring", SyncTopology::Ring),
-        ("topology_star", SyncTopology::Star),
+        ("topology_star", SyncTopology::Star { hub: 0 }),
         ("topology_gossip_2", SyncTopology::Gossip { fanout: 2 }),
     ] {
         g.bench_function(name, |b| {

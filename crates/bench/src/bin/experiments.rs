@@ -7,7 +7,7 @@
 //! Ids: `fig1 fig5 fig6 fig7 table1 fig8 fig9 fig10 fig11 table2 table3 all`.
 //!
 //! `--trace PATH` switches structured tracing on for every run: the
-//! per-decision-point JSONL stream (schema `digruber-trace/3`, see the
+//! per-decision-point JSONL stream (schema `digruber-trace/5`, see the
 //! `obs` crate docs) of all runs is concatenated into PATH, and each id
 //! additionally gets a human-readable timeline summary under
 //! `results/timeline_<id>.txt`. Tracing never changes the figures — the
@@ -18,12 +18,13 @@ use bench::health::HealthRow;
 use bench::recovery::RecoveryRow;
 use bench::render::{render_accuracy, render_figure, render_table_block};
 use bench::scale::ScaleRow;
+use bench::topology::TopologyRow;
 use bench::{
     accuracy_rows, accuracy_specs, capacity_model, client_scale_cells, crossover_rows,
     default_jobs, degradation_cells, degradation_json, dp_scaling_spec, fig1_spec, health_cells,
     health_json, peak_rss_bytes, recovery_cells, recovery_json, render_degradation, render_health,
-    render_recovery, render_scale, run_specs, scale_cells,
-    scale_json, SEED,
+    render_recovery, render_scale, render_topology, run_specs, scale_cells,
+    scale_json, topology_cells, topology_json, SEED,
 };
 use digruber::{ExperimentOutput, RunSpec, ServiceKind};
 use gruber_types::{SimDuration, SimTime};
@@ -137,7 +138,7 @@ fn main() {
     };
     FAST.set(fast).expect("set once");
     if args.is_empty() {
-        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|health|scale|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
+        eprintln!("usage: experiments <fig1|fig5|fig6|fig7|table1|fig8|fig9|fig10|fig11|table2|fig12|table3|fairness|crossover|degradation|recovery|health|scale|topology|all>... [--save-traces DIR] [--jobs N] [--trace PATH] [--fast]");
         std::process::exit(2);
     }
     let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
@@ -503,6 +504,53 @@ fn run(id: &str) {
                 .expect("write timeline summary");
             eprintln!("saved timeline summary to results/timeline_scale.txt");
             println!("{}", render_scale(&rows));
+        }
+        "topology" => {
+            // The topology × elasticity study (EXPERIMENTS.md § Elastic
+            // membership): accuracy-vs-staleness per exchange topology ×
+            // pool size, plus the elastic scenario pack (flash crowd,
+            // diurnal, regional outage) with membership-counter
+            // reconciliation. Always traced; snapshotted into
+            // BENCH_topology.json — which is deterministic and carries no
+            // jobs field, so it is byte-identical across --jobs.
+            let fast = *FAST.get().expect("set in main");
+            let cells = topology_cells(fast, SEED);
+            println!(
+                "[topology] {} cells{}",
+                cells.len(),
+                if fast { " (--fast)" } else { "" }
+            );
+            let (metas, specs): (Vec<_>, Vec<_>) =
+                cells.into_iter().map(|c| (c.meta, c.spec)).unzip();
+            let outs: Vec<ExperimentOutput> = run_specs(&specs, jobs())
+                .into_iter()
+                .map(|m| m.output.expect("topology cell failed"))
+                .collect();
+            let rows: Vec<TopologyRow> = metas
+                .iter()
+                .zip(&outs)
+                .map(|(m, o)| TopologyRow::from_output(m, o))
+                .collect();
+            let json = topology_json(fast, &rows);
+            std::fs::write("BENCH_topology.json", json).expect("write BENCH_topology.json");
+            eprintln!("topology snapshot -> BENCH_topology.json");
+            let mut text = String::new();
+            {
+                let mut jsonl = TRACE_JSONL.lock().unwrap_or_else(|e| e.into_inner());
+                for out in &outs {
+                    let tl = out.timeline.as_ref().expect("topology cells trace");
+                    if tracing_on() {
+                        jsonl.push_str(&tl.to_jsonl(&out.label));
+                    }
+                    text.push_str(&tl.render(&out.label));
+                    text.push('\n');
+                }
+            }
+            std::fs::create_dir_all("results").expect("create results/");
+            std::fs::write("results/timeline_topology.txt", text)
+                .expect("write timeline summary");
+            eprintln!("saved timeline summary to results/timeline_topology.txt");
+            println!("{}", render_topology(&rows));
         }
         other => {
             eprintln!("unknown experiment id {other:?}");

@@ -17,7 +17,7 @@
 //! --duration-mins N     experiment length, minutes         (default 60)
 //! --grid-factor N       Grid3 × N sites                    (default 10)
 //! --seed N              RNG seed                           (default 2005)
-//! --topology mesh|ring|star|gossip:K                       (default mesh)
+//! --topology mesh|ring|star[:H]|gossip:K|tree:B|hybrid:K   (default mesh)
 //! --selector least-used|round-robin|random|lru|usla-aware  (default least-used)
 //! --discipline fifo|backfill|fairshare                     (default fifo)
 //! --loss P              per-message loss probability       (default 0)
@@ -39,7 +39,7 @@
 //! --bench-out PATH      perf snapshot destination          (default BENCH_sweep.json;
 //!                       "none" disables)
 //! --trace PATH          structured tracing: per-decision-point JSONL
-//!                       (schema digruber-trace/3, one run per `meta` line)
+//!                       (schema digruber-trace/5, one run per `meta` line)
 //!                       appended for every run, byte-identical for any
 //!                       --jobs value                       (default off)
 //! ```
@@ -102,11 +102,26 @@ fn main() {
     let topology = match args.value_of("--topology").unwrap_or("mesh") {
         "mesh" => SyncTopology::FullMesh,
         "ring" => SyncTopology::Ring,
-        "star" => SyncTopology::Star,
+        "star" => SyncTopology::Star { hub: 0 },
+        s if s.starts_with("star:") => SyncTopology::Star {
+            hub: s["star:".len()..]
+                .parse()
+                .unwrap_or_else(|_| die("bad star hub")),
+        },
         g if g.starts_with("gossip:") => SyncTopology::Gossip {
             fanout: g["gossip:".len()..]
                 .parse()
                 .unwrap_or_else(|_| die("bad gossip fanout")),
+        },
+        t if t.starts_with("tree:") => SyncTopology::Hierarchical {
+            branching: t["tree:".len()..]
+                .parse()
+                .unwrap_or_else(|_| die("bad tree branching")),
+        },
+        h if h.starts_with("hybrid:") => SyncTopology::HybridEpidemic {
+            fanout: h["hybrid:".len()..]
+                .parse()
+                .unwrap_or_else(|_| die("bad hybrid fanout")),
         },
         other => die(&format!("unknown topology {other:?}")),
     };

@@ -16,8 +16,10 @@ pub mod recovery;
 pub mod render;
 pub mod scale;
 pub mod snapshot;
+pub mod topology;
 
 pub use degradation::{degradation_cells, degradation_json, render_degradation, DegradationRow};
+pub use topology::{render_topology, topology_cells, topology_json, TopologyRow};
 pub use health::{health_cells, health_json, render_health, HealthRow};
 pub use recovery::{recovery_cells, recovery_json, render_recovery, RecoveryRow};
 pub use scale::{

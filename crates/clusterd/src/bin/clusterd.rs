@@ -20,7 +20,7 @@ use workload::uslas::equal_shares;
 fn usage() -> ! {
     eprintln!(
         "usage:
-  clusterd [--config FILE] [--id N] [--n-dps N] [--listen ADDR]
+  clusterd [--config FILE] [--id N] [--n-dps N] [--bind ADDR]
            [--sites N] [--cpus N] [--vos N] [--groups N]
            [--data-dir DIR] [--snapshot-records N] [--sync-ms N]
            [--trace FILE] [--allow-crash-exit]
@@ -147,7 +147,13 @@ fn serve(args: &Args) {
     let uslas = equal_shares(pick_num("vos", 2) as u32, pick_num("groups", 2) as u32)
         .expect("equal_shares");
     let mut cfg = ServerConfig::new(id, n_dps, sites, uslas);
-    if let Some(listen) = args.get("listen").or_else(|| file.str("listen")) {
+    // `--bind` is the documented spelling; `--listen` stays as an alias
+    // for older wrappers, and both override the config file's `listen`.
+    if let Some(listen) = args
+        .get("bind")
+        .or_else(|| args.get("listen"))
+        .or_else(|| file.str("listen"))
+    {
         cfg.listen = listen.to_string();
     }
     cfg.data_dir = args

@@ -221,6 +221,12 @@ pub struct DigruberConfig {
     /// and the output carries a per-decision-point timeline. `None` (the
     /// default) costs one untaken branch per instrumented call.
     pub trace: Option<obs::TraceConfig>,
+    /// Optional elastic membership: consistent-hash client homing plus
+    /// the `membership` autoscaler control loop driving dynamic decision
+    /// point join/leave. `None` (the default) keeps the paper's static
+    /// random binding and a fixed pool — runs are byte-identical to
+    /// builds without the subsystem.
+    pub membership: Option<membership::MembershipConfig>,
 }
 
 impl DigruberConfig {
@@ -252,6 +258,7 @@ impl DigruberConfig {
             grid_factor: 10,
             seed,
             trace: None,
+            membership: None,
         }
     }
 
@@ -290,12 +297,28 @@ impl DigruberConfig {
                 "message loss out of [0,1)".into(),
             ));
         }
-        if let SyncTopology::Gossip { fanout } = self.topology {
-            if fanout == 0 {
+        match self.topology {
+            SyncTopology::Gossip { fanout: 0 } => {
                 return Err(gruber_types::GridError::InvalidConfig(
                     "gossip with zero fanout".into(),
                 ));
             }
+            SyncTopology::Hierarchical { branching: 0 } => {
+                return Err(gruber_types::GridError::InvalidConfig(
+                    "hierarchical with zero branching".into(),
+                ));
+            }
+            SyncTopology::HybridEpidemic { fanout: 0 } => {
+                return Err(gruber_types::GridError::InvalidConfig(
+                    "hybrid epidemic with zero fanout".into(),
+                ));
+            }
+            // Star hubs beyond the pool clamp to the last point by design
+            // (see `dpnode::Topology::Star`), so any hub index is valid.
+            _ => {}
+        }
+        if let Some(m) = &self.membership {
+            m.validate()?;
         }
         if let Some(plan) = &self.fault_plan {
             plan.validate(self.n_dps)?;

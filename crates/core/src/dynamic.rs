@@ -207,6 +207,49 @@ mod tests {
     }
 
     #[test]
+    fn scale_down_rebinds_clients_and_loses_no_requests() {
+        // A full experiment that grows under early pressure and retires
+        // during the departure tail: scale-down must leave every client
+        // bound to a live point and every issued request accounted for
+        // (answered or timed out — none dropped with the retired point).
+        let mut cfg = DigruberConfig::small(1, 11);
+        cfg.dynamic = Some(DynamicConfig {
+            overload_backlog: 1,
+            consecutive_strikes: 1,
+            idle_strikes_to_retire: 2,
+            max_dps: 4,
+            ..DynamicConfig::default()
+        });
+        let wl = workload::WorkloadSpec {
+            n_clients: 24,
+            departure_fraction: 0.5,
+            ..workload::WorkloadSpec::small()
+        };
+        let out = crate::run::run_experiment(cfg.clone(), wl.clone(), "updown").unwrap();
+        assert!(
+            !out.reconfig_log.is_empty(),
+            "pressure never provisioned a point"
+        );
+        assert!(
+            !out.retire_log.is_empty(),
+            "departure tail never retired a point"
+        );
+        // No request vanishes with a retirement: every issued request is
+        // in the trace set, answered or timed out.
+        assert_eq!(out.traces.len(), out.report.issued);
+        assert_eq!(
+            out.report.issued,
+            out.traces.iter().filter(|t| t.timed_out).count()
+                + out.traces.iter().filter(|t| !t.timed_out).count()
+        );
+        // Per-DP accounting covers retired points too.
+        assert_eq!(out.timeouts_by_dp.len(), out.final_dps);
+        // And the run stays deterministic through grow + shrink.
+        let again = crate::run::run_experiment(cfg, wl, "updown").unwrap();
+        assert_eq!(format!("{out:?}"), format!("{again:?}"));
+    }
+
+    #[test]
     fn no_dynamic_config_is_inert() {
         let w = World::new(DigruberConfig::small(1, 3), WorkloadSpec::small()).unwrap();
         let mut sim = Simulation::new(w);

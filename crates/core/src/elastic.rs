@@ -1,0 +1,506 @@
+//! Elastic membership: the desim driver for the [`membership`] crate.
+//!
+//! The paper's deployment is static: a fixed pool of decision points and
+//! clients "selected randomly in the beginning". [`crate::dynamic`] is the
+//! Section 5 first cut (add a point when one saturates, retire the newest
+//! when everything idles). This module is the grown-up subsystem on top of
+//! the sans-IO `membership` crate:
+//!
+//! * **Epoch-stamped membership** — every join/leave bumps
+//!   [`membership::MembershipTable`]'s epoch; the traced
+//!   [`obs::TraceEvent::DpJoined`]/[`obs::TraceEvent::DpLeft`] events carry
+//!   it, so a timeline can be replayed into the exact pool history.
+//! * **Consistent-hash client homing** — clients bind to
+//!   [`membership::HashRing::home_of`] instead of the paper's static random
+//!   draw. A join re-homes only the ~`1/n` clients whose arc the newcomer
+//!   claims; a leave re-homes only the leaver's own clients. Every move is
+//!   traced as [`obs::TraceEvent::ClientRehomed`].
+//! * **Join bootstrap** — a newcomer receives a sponsor's live dispatch
+//!   records as an ordinary [`dpnode::Input::PeerRecords`] flood
+//!   ([`dpnode::DpNode::state_transfer`]), over the simulated WAN like any
+//!   exchange, so its view starts warm without inheriting the sponsor's
+//!   protocol counters.
+//! * **Drain-then-leave** — a leaver flushes its outgoing flood log with a
+//!   final sync tick (routed through the normal exchange path, so latency,
+//!   loss and partitions all apply) before going dark; records it learned
+//!   are not lost with it.
+//! * **Autoscaler** — [`membership_tick`] samples the pool (service
+//!   backlogs plus the `obs` health scorer's degraded flags, via the
+//!   attached [`HealthWatch`] consumer) and executes
+//!   [`membership::Autoscaler`] decisions.
+//!
+//! Everything here is gated on [`crate::config::DigruberConfig::membership`]
+//! — `None` (the default) runs the paper's static binding with a byte-
+//! identical event stream to pre-membership builds.
+
+use crate::events::send_exchange;
+use crate::world::{make_node, DecisionPoint, World};
+use desim::{EventQueue, Scheduler};
+use dpnode::{Effect, Input};
+use dpstore::SimStore;
+use gruber_types::{ClientId, DpId};
+use membership::{
+    Autoscaler, HashRing, MembershipConfig, MembershipTable, PoolSample, ScaleDecision,
+};
+use parking_lot::Mutex;
+use simnet::ServiceStation;
+use std::sync::Arc;
+
+/// Shared degraded-point flags: written by the [`HealthWatch`] trace
+/// consumer (under the recorder lock), read by the autoscaler tick.
+pub type DegradedFlags = Arc<Mutex<Vec<bool>>>;
+
+/// A [`obs::TraceConsumer`] that mirrors the online health scorer's
+/// `Degrading`/`Recovered` flag transitions into a bitmap the autoscaler
+/// samples. Attached to the recorder iff membership is configured; when
+/// tracing (or health scoring) is off it simply never observes a flag and
+/// the scaler runs on backlog alone.
+pub struct HealthWatch {
+    degraded: DegradedFlags,
+}
+
+impl HealthWatch {
+    /// A watcher feeding the given shared bitmap.
+    pub fn new(degraded: DegradedFlags) -> Self {
+        HealthWatch { degraded }
+    }
+}
+
+impl obs::TraceConsumer for HealthWatch {
+    fn observe(&mut self, _at_ms: u64, ev: &obs::TraceEvent) {
+        if let obs::TraceEvent::HealthFlag { dp, degrading, .. } = ev {
+            let mut flags = self.degraded.lock();
+            let i = dp.index();
+            if flags.len() <= i {
+                flags.resize(i + 1, false);
+            }
+            flags[i] = *degrading;
+        }
+    }
+}
+
+/// The elastic-membership state a [`World`] carries when
+/// [`crate::config::DigruberConfig::membership`] is set.
+pub struct MembershipRuntime {
+    /// The subsystem configuration.
+    pub cfg: MembershipConfig,
+    /// Epoch-stamped member list.
+    pub table: MembershipTable,
+    /// Consistent-hash client homing.
+    pub ring: HashRing,
+    /// The control loop (`None` keeps the pool fixed; explicit
+    /// [`join_decision_point`]/[`leave_decision_point`] still work).
+    pub scaler: Option<Autoscaler>,
+    /// Degraded flags shared with the attached [`HealthWatch`].
+    pub degraded: DegradedFlags,
+    /// Joins executed.
+    pub dp_joins: u64,
+    /// Leaves executed.
+    pub dp_leaves: u64,
+    /// Client re-homings executed (join and leave combined).
+    pub clients_rehomed: u64,
+}
+
+impl MembershipRuntime {
+    /// Builds the runtime for an initial pool of `n_dps` points.
+    pub fn new(cfg: MembershipConfig, seed: u64, n_dps: usize) -> Self {
+        MembershipRuntime {
+            table: MembershipTable::with_initial(n_dps),
+            ring: HashRing::with_members(seed, cfg.vnodes, n_dps),
+            scaler: cfg.scaler.map(Autoscaler::new),
+            degraded: Arc::new(Mutex::new(vec![false; n_dps])),
+            dp_joins: 0,
+            dp_leaves: 0,
+            clients_rehomed: 0,
+            cfg,
+        }
+    }
+
+    /// The ring's home for a client (initial binding and re-homing use
+    /// the same lookup). Panics only on an empty ring, which
+    /// [`membership::MembershipConfig::validate`] plus a non-empty
+    /// deployment rule out.
+    pub fn home_of(&self, c: ClientId) -> DpId {
+        self.ring.home_of(c).expect("non-empty ring")
+    }
+}
+
+/// Reads one [`PoolSample`] off the world: live membership count, service
+/// backlogs over live-and-up points, and the health scorer's current
+/// degraded count.
+pub fn pool_sample(w: &World) -> PoolSample {
+    let Some(m) = &w.membership else {
+        return PoolSample::default();
+    };
+    let mut max_backlog = 0u32;
+    let mut total_backlog = 0u32;
+    let mut degraded = 0u32;
+    let flags = m.degraded.lock();
+    for dp in m.table.live() {
+        let i = dp.index();
+        if i >= w.dps.len() || !w.dps[i].up() {
+            continue;
+        }
+        let b = w.dps[i].station.backlog_len() as u32;
+        max_backlog = max_backlog.max(b);
+        total_backlog += b;
+        if flags.get(i).copied().unwrap_or(false) {
+            degraded += 1;
+        }
+    }
+    PoolSample {
+        live: m.table.live_count() as u32,
+        max_backlog,
+        total_backlog,
+        degraded,
+    }
+}
+
+/// Joins one fresh decision point into the elastic pool: spins up the
+/// node, bootstraps its view from the lowest-indexed live sponsor's
+/// records (over the WAN, through the ordinary exchange path), claims its
+/// arcs on the ring and re-homes exactly the clients whose home the ring
+/// now maps to the newcomer. Returns the new id, or `None` when
+/// membership is off.
+pub fn join_decision_point<Q: EventQueue>(
+    w: &mut World,
+    s: &mut Scheduler<World, Q>,
+) -> Option<DpId> {
+    w.membership.as_ref()?;
+    let now = s.now();
+    let new_id = DpId(w.dps.len() as u32);
+    let mut node = make_node(&w.cfg, &w.site_specs, &w.uslas, new_id);
+    let mut station = ServiceStation::new(w.cfg.service.profile());
+    node.set_tracer(w.trace.clone());
+    station.set_tracer(w.trace.clone(), new_id);
+    w.dps.push(DecisionPoint {
+        id: new_id,
+        node,
+        station,
+    });
+    w.dp_strikes.push(0);
+    w.stores.push(SimStore::new());
+    w.last_snapshot.push(now);
+    let sponsor = (0..w.dps.len() - 1).find(|&i| {
+        w.dps[i].up() && w.membership.as_ref().is_some_and(|m| m.table.is_live(DpId(i as u32)))
+    });
+    let m = w.membership.as_mut().expect("checked above");
+    let epoch = m.table.join(new_id);
+    m.ring.insert(new_id);
+    m.dp_joins += 1;
+    w.trace.emit(now, || obs::TraceEvent::DpJoined {
+        dp: new_id,
+        epoch: epoch as u32,
+    });
+    // Re-home exactly the clients whose arc the newcomer claimed.
+    let mut moved = 0u64;
+    for ci in 0..w.clients.len() {
+        let id = w.clients[ci].id;
+        let home = w.membership.as_ref().expect("checked").home_of(id);
+        let from = w.clients[ci].dp;
+        if home == new_id && from != new_id {
+            w.clients[ci].dp = new_id;
+            moved += 1;
+            w.trace.emit(now, || obs::TraceEvent::ClientRehomed {
+                client: id,
+                from,
+                to: new_id,
+            });
+        }
+    }
+    w.membership.as_mut().expect("checked").clients_rehomed += moved;
+    w.reconfig_log.push((now, new_id));
+    // Warm the newcomer's view from a sponsor, as a normal peer flood.
+    if let Some(sp) = sponsor {
+        if w.exchanges_state() {
+            let payload = w.dps[sp].node.state_transfer(now);
+            if payload.n_records > 0 {
+                send_exchange(w, s, sp, new_id.index(), payload, 0);
+            }
+        }
+    }
+    Some(new_id)
+}
+
+/// Drains and removes the highest-indexed live member: its outgoing flood
+/// log is flushed with a final sync tick (through the normal exchange
+/// path — latency, loss and partitions apply), the point goes dark, its
+/// arcs leave the ring and its clients re-home to their new ring homes.
+/// Returns the leaver, or `None` when membership is off or the pool is a
+/// single point.
+pub fn leave_decision_point<Q: EventQueue>(
+    w: &mut World,
+    s: &mut Scheduler<World, Q>,
+) -> Option<DpId> {
+    let m = w.membership.as_ref()?;
+    if m.table.live_count() <= 1 {
+        return None;
+    }
+    let leaver = *m.table.live().last()?;
+    let now = s.now();
+    let idx = leaver.index();
+    if w.dps[idx].up() {
+        // Final drain: flush the outgoing flood log before going dark.
+        // Persist effects are dropped — the leaver will never recover, so
+        // its durable state is moot.
+        let n_dps = w.dps.len();
+        let mut fx = Vec::new();
+        w.dps[idx]
+            .node
+            .handle(now, Input::SyncTick { n_dps }, &mut fx);
+        for effect in fx {
+            if let Effect::FloodTo { peers, payload } = effect {
+                for j in peers {
+                    send_exchange(w, s, idx, j, payload.clone(), 0);
+                }
+            }
+        }
+    }
+    w.dps[idx].node.set_up(false);
+    w.dps[idx].station.crash_at(now);
+    let m = w.membership.as_mut().expect("checked above");
+    let epoch = m.table.leave(leaver);
+    m.ring.remove(leaver);
+    m.dp_leaves += 1;
+    w.trace.emit(now, || obs::TraceEvent::DpLeft {
+        dp: leaver,
+        epoch: epoch as u32,
+    });
+    // Only the leaver's own clients move; everyone else's home is stable.
+    let mut moved = 0u64;
+    for ci in 0..w.clients.len() {
+        if w.clients[ci].dp != leaver {
+            continue;
+        }
+        let id = w.clients[ci].id;
+        let home = w.membership.as_ref().expect("checked").home_of(id);
+        w.clients[ci].dp = home;
+        moved += 1;
+        w.trace.emit(now, || obs::TraceEvent::ClientRehomed {
+            client: id,
+            from: leaver,
+            to: home,
+        });
+    }
+    w.membership.as_mut().expect("checked").clients_rehomed += moved;
+    w.retire_log.push((now, leaver));
+    Some(leaver)
+}
+
+/// The autoscaler's periodic tick: sample the pool, consult the policy,
+/// execute the decision, reschedule. Seeded by the runner iff
+/// [`crate::config::DigruberConfig::membership`] carries a scaler.
+pub fn membership_tick<Q: EventQueue>(w: &mut World, s: &mut Scheduler<World, Q>) {
+    let Some(m) = &w.membership else {
+        return;
+    };
+    if m.scaler.is_none() {
+        return;
+    }
+    let interval = m.cfg.check_interval;
+    let sample = pool_sample(w);
+    let decision = w
+        .membership
+        .as_mut()
+        .expect("checked above")
+        .scaler
+        .as_mut()
+        .expect("checked above")
+        .observe(sample);
+    match decision {
+        ScaleDecision::Hold => {}
+        ScaleDecision::Grow => {
+            join_decision_point(w, s);
+        }
+        ScaleDecision::Shrink => {
+            leave_decision_point(w, s);
+        }
+    }
+    if s.now() < w.end {
+        s.schedule_in(interval, membership_tick);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DigruberConfig;
+    use desim::Simulation;
+    use gruber_types::SimTime;
+    use membership::ScalerConfig;
+    use workload::WorkloadSpec;
+
+    fn elastic_cfg(n_dps: usize, scaler: Option<ScalerConfig>) -> DigruberConfig {
+        let mut cfg = DigruberConfig::small(n_dps, 11);
+        cfg.membership = Some(MembershipConfig {
+            scaler,
+            ..MembershipConfig::default()
+        });
+        cfg
+    }
+
+    fn elastic_world(n_dps: usize, n_clients: u32) -> World {
+        World::new(
+            elastic_cfg(n_dps, None),
+            WorkloadSpec {
+                n_clients,
+                ..WorkloadSpec::small()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ring_binding_is_deterministic_and_covers_the_pool() {
+        let a = elastic_world(4, 64);
+        let b = elastic_world(4, 64);
+        let mut used = std::collections::HashSet::new();
+        for (x, y) in a.clients.iter().zip(&b.clients) {
+            assert_eq!(x.dp, y.dp);
+            assert!(x.dp.index() < 4);
+            used.insert(x.dp);
+        }
+        assert_eq!(used.len(), 4, "ring binding should cover all DPs");
+    }
+
+    #[test]
+    fn join_rehomes_a_minority_and_counts_them() {
+        let mut sim = Simulation::new(elastic_world(4, 64));
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), |w: &mut World, s| {
+                let id = join_decision_point(w, s).unwrap();
+                assert_eq!(id, DpId(4));
+            });
+        sim.run_until(SimTime::from_secs(6));
+        let w = sim.world();
+        assert_eq!(w.dps.len(), 5);
+        let m = w.membership.as_ref().unwrap();
+        assert_eq!(m.dp_joins, 1);
+        assert_eq!(m.table.live_count(), 5);
+        let moved = w.clients.iter().filter(|c| c.dp == DpId(4)).count() as u64;
+        assert_eq!(m.clients_rehomed, moved);
+        assert!(moved > 0, "newcomer claimed no clients");
+        assert!(
+            moved < 64 / 2,
+            "a join must re-home a minority, moved {moved}"
+        );
+        // Everyone sits at their ring home.
+        for c in &w.clients {
+            assert_eq!(c.dp, m.home_of(c.id));
+        }
+    }
+
+    #[test]
+    fn leave_moves_only_the_leavers_clients() {
+        let mut sim = Simulation::new(elastic_world(4, 64));
+        let before: Vec<DpId> = sim.world().clients.iter().map(|c| c.dp).collect();
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), |w: &mut World, s| {
+                assert_eq!(leave_decision_point(w, s), Some(DpId(3)));
+            });
+        sim.run_until(SimTime::from_secs(6));
+        let w = sim.world();
+        let m = w.membership.as_ref().unwrap();
+        assert_eq!(m.dp_leaves, 1);
+        assert_eq!(m.table.live_count(), 3);
+        assert!(!w.dps[3].up(), "leaver still up");
+        for (c, &was) in w.clients.iter().zip(&before) {
+            assert_ne!(c.dp, DpId(3), "client still bound to the leaver");
+            if was != DpId(3) {
+                assert_eq!(c.dp, was, "non-leaver client moved");
+            }
+        }
+        assert_eq!(
+            m.clients_rehomed,
+            before.iter().filter(|&&d| d == DpId(3)).count() as u64
+        );
+    }
+
+    #[test]
+    fn leave_refuses_to_empty_the_pool() {
+        let mut sim = Simulation::new(elastic_world(1, 8));
+        sim.scheduler()
+            .schedule_at(SimTime::from_secs(5), |w: &mut World, s| {
+                assert_eq!(leave_decision_point(w, s), None);
+            });
+        sim.run_until(SimTime::from_secs(6));
+        assert!(sim.world().dps[0].up());
+    }
+
+    #[test]
+    fn saturation_grows_the_pool_through_the_tick() {
+        let mut cfg = elastic_cfg(
+            1,
+            Some(ScalerConfig {
+                grow_backlog: 2,
+                grow_windows: 2,
+                cooldown: 0,
+                ..ScalerConfig::default()
+            }),
+        );
+        cfg.membership.as_mut().unwrap().check_interval =
+            gruber_types::SimDuration::from_secs(10);
+        let mut sim = Simulation::new(World::new(cfg, WorkloadSpec::small()).unwrap());
+        {
+            let w = sim.world_mut();
+            for t in 0..10 {
+                w.dps[0].station.arrive(t, 1.0, &mut w.svc_rng);
+            }
+        }
+        sim.scheduler()
+            .schedule_at(SimTime::ZERO, membership_tick);
+        sim.run_until(SimTime::from_secs(45));
+        let w = sim.world();
+        assert!(
+            w.dps.len() >= 2,
+            "sustained backlog did not grow the pool ({} DPs)",
+            w.dps.len()
+        );
+        assert!(w.membership.as_ref().unwrap().dp_joins >= 1);
+    }
+
+    #[test]
+    fn idleness_shrinks_back_to_min() {
+        let mut cfg = elastic_cfg(
+            3,
+            Some(ScalerConfig {
+                shrink_windows: 2,
+                cooldown: 0,
+                min_dps: 2,
+                ..ScalerConfig::default()
+            }),
+        );
+        cfg.membership.as_mut().unwrap().check_interval =
+            gruber_types::SimDuration::from_secs(10);
+        let mut sim = Simulation::new(
+            World::new(
+                cfg,
+                WorkloadSpec {
+                    n_clients: 16,
+                    ..WorkloadSpec::small()
+                },
+            )
+            .unwrap(),
+        );
+        sim.scheduler()
+            .schedule_at(SimTime::ZERO, membership_tick);
+        sim.run_until(SimTime::from_secs(120));
+        let w = sim.world();
+        let m = w.membership.as_ref().unwrap();
+        assert_eq!(m.table.live_count(), 2, "idle pool should shrink to min_dps");
+        assert_eq!(m.dp_leaves, 1);
+        assert!(w.clients.iter().all(|c| w.dps[c.dp.index()].up()));
+    }
+
+    #[test]
+    fn pool_sample_reads_backlogs() {
+        let mut w = elastic_world(2, 8);
+        for t in 0..6 {
+            w.dps[1].station.arrive(t, 1.0, &mut w.svc_rng);
+        }
+        let s = pool_sample(&w);
+        assert_eq!(s.live, 2);
+        assert!(s.max_backlog > 0);
+        assert_eq!(s.degraded, 0);
+    }
+}

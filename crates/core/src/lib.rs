@@ -47,6 +47,7 @@
 
 pub mod config;
 pub mod dynamic;
+pub mod elastic;
 pub mod events;
 pub mod faults;
 pub mod live;

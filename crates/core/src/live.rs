@@ -56,6 +56,13 @@ enum LiveMsg {
     /// A peer's encoded dispatch records
     /// ([`simnet::codec::encode_deltas`] bytes).
     PeerRecords(bytes::Bytes),
+    /// Elastic membership: the peer list changed (a point joined or the
+    /// pool widened); replaces the thread's sender table so future floods
+    /// reach the whole pool.
+    Peers(Vec<Sender<LiveMsg>>),
+    /// Elastic membership: reply with this point's live records in wire
+    /// form ([`dpnode::DpNode::state_transfer`]) to bootstrap a newcomer.
+    StateTransfer { reply: Sender<bytes::Bytes> },
     /// Crash the point: it drops every input until restored.
     Crash,
     /// Restart the point. In a persistent cluster
@@ -107,6 +114,17 @@ pub struct LiveCluster {
     epoch: Instant,
     queries_sent: AtomicU64,
     recorder: Recorder,
+    /// The live peer list, shared with the ticker; [`LiveCluster::join_dp`]
+    /// grows it and broadcasts the new table to every thread.
+    senders: Arc<Mutex<Vec<Sender<LiveMsg>>>>,
+    /// Everything needed to spin up additional points after start.
+    sites: Vec<SiteSpec>,
+    uslas: UslaSet,
+    persist: Option<u32>,
+    /// Epoch-stamped elastic membership (every point starts live).
+    table: membership::MembershipTable,
+    /// Consistent-hash client homing for [`LiveCluster::home_of`].
+    ring: membership::HashRing,
 }
 
 impl LiveCluster {
@@ -196,6 +214,8 @@ impl LiveCluster {
                     persist: persist.is_some(),
                 };
                 let mut node = DpNode::new(cfg, &sites, uslas);
+                // Any member may sponsor a later joiner's state transfer.
+                node.set_track_live(true);
                 node.set_tracer(recorder.clone());
                 let durability = persist.map(|snapshot_records| LivePersist {
                     store: SimStore::new(),
@@ -215,9 +235,12 @@ impl LiveCluster {
             .collect::<Vec<_>>();
 
         // The sync ticker stands in for each container's periodic task.
+        // It reads the peer list through the shared handle so points that
+        // join later get ticked too.
+        let shared_senders = Arc::new(Mutex::new(senders));
         let ticker = {
             let stop = Arc::clone(&stop);
-            let senders = senders.clone();
+            let senders = Arc::clone(&shared_senders);
             std::thread::Builder::new()
                 .name("sync-ticker".into())
                 .spawn(move || {
@@ -228,7 +251,7 @@ impl LiveCluster {
                         elapsed += step;
                         if elapsed >= sync_interval {
                             elapsed = Duration::ZERO;
-                            for s in &senders {
+                            for s in senders.lock().iter() {
                                 let _ = s.send(LiveMsg::SyncTick);
                             }
                         }
@@ -244,6 +267,12 @@ impl LiveCluster {
             epoch,
             queries_sent: AtomicU64::new(0),
             recorder,
+            senders: shared_senders,
+            sites,
+            uslas: uslas.clone(),
+            persist,
+            table: membership::MembershipTable::with_initial(n_dps),
+            ring: membership::HashRing::with_members(0, 64, n_dps),
         }
     }
 
@@ -335,6 +364,106 @@ impl LiveCluster {
     /// persistent cluster).
     pub fn restore(&self, dp: DpId) {
         let _ = self.dps[dp.index()].sender.send(LiveMsg::Restore);
+    }
+
+    /// The membership table's current epoch (bumped by every join/leave).
+    pub fn membership_epoch(&self) -> u64 {
+        self.table.epoch()
+    }
+
+    /// The consistent-hash home for a client over the current pool.
+    pub fn home_of(&self, client: ClientId) -> DpId {
+        self.ring.home_of(client).expect("non-empty pool")
+    }
+
+    /// Elastic join: spawns one fresh decision point, broadcasts the
+    /// widened peer list to every thread, bootstraps the newcomer's view
+    /// from the lowest-indexed live member's records
+    /// ([`DpNode::state_transfer`] over the ordinary `PeerRecords` path)
+    /// and claims the newcomer's arcs on the client-homing ring. Returns
+    /// the new id.
+    pub fn join_dp(&mut self) -> DpId {
+        let i = self.dps.len();
+        let new_id = DpId(i as u32);
+        let cfg = NodeConfig {
+            id: new_id,
+            topology: Topology::FullMesh,
+            dissemination: Dissemination::UsageOnly,
+            sync_every: None,
+            gossip_seed: 0,
+            persist: self.persist.is_some(),
+        };
+        let mut node = DpNode::new(cfg, &self.sites, &self.uslas);
+        node.set_track_live(true);
+        node.set_tracer(self.recorder.clone());
+        let durability = self.persist.map(|snapshot_records| LivePersist {
+            store: SimStore::new(),
+            snapshot_records,
+            cfg,
+            sites: self.sites.clone(),
+            uslas: self.uslas.clone(),
+        });
+        let (sender, receiver) = unbounded();
+        let peers = {
+            let mut s = self.senders.lock();
+            s.push(sender.clone());
+            s.clone()
+        };
+        let epoch = self.epoch;
+        let rec = self.recorder.clone();
+        let thread_peers = peers.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("dp-{i}"))
+            .spawn(move || dp_main(node, receiver, thread_peers, epoch, durability, rec))
+            .expect("spawn dp thread");
+        // Existing threads learn the widened pool before the newcomer can
+        // appear in anyone's flood fan-out.
+        for dp in &self.dps {
+            let _ = dp.sender.send(LiveMsg::Peers(peers.clone()));
+        }
+        self.dps.push(DpThread { sender, handle });
+        let epoch_no = self.table.join(new_id);
+        self.ring.insert(new_id);
+        self.recorder.emit(self.now(), || TraceEvent::DpJoined {
+            dp: new_id,
+            epoch: epoch_no as u32,
+        });
+        // Warm the newcomer from a sponsor's live records.
+        if let Some(sponsor) = self.table.live().iter().find(|&&d| d != new_id) {
+            let (reply_tx, reply_rx) = bounded(1);
+            let _ = self.dps[sponsor.index()]
+                .sender
+                .send(LiveMsg::StateTransfer { reply: reply_tx });
+            if let Ok(bytes) = reply_rx.recv_timeout(Duration::from_secs(5)) {
+                let _ = self.dps[new_id.index()]
+                    .sender
+                    .send(LiveMsg::PeerRecords(bytes));
+            }
+        }
+        new_id
+    }
+
+    /// Elastic leave: the highest-indexed live member flushes its
+    /// outgoing flood log with a final sync tick, then goes dark (its
+    /// thread keeps draining the channel but drops every input, exactly
+    /// like a crash), and its arcs leave the client-homing ring. Returns
+    /// the leaver, or `None` when the pool is a single point.
+    pub fn leave_dp(&mut self) -> Option<DpId> {
+        if self.table.live_count() <= 1 {
+            return None;
+        }
+        let leaver = *self.table.live().last()?;
+        let s = &self.dps[leaver.index()].sender;
+        // Channel order guarantees the drain lands before the crash.
+        let _ = s.send(LiveMsg::SyncTick);
+        let _ = s.send(LiveMsg::Crash);
+        let epoch_no = self.table.leave(leaver);
+        self.ring.remove(leaver);
+        self.recorder.emit(self.now(), || TraceEvent::DpLeft {
+            dp: leaver,
+            epoch: epoch_no as u32,
+        });
+        Some(leaver)
     }
 
     /// Stops every thread and returns their statistics.
@@ -477,12 +606,11 @@ struct LivePersist {
 fn dp_main(
     mut node: DpNode,
     receiver: Receiver<LiveMsg>,
-    peers: Vec<Sender<LiveMsg>>,
+    mut peers: Vec<Sender<LiveMsg>>,
     epoch: Instant,
     mut durability: Option<LivePersist>,
     recorder: Recorder,
 ) -> LiveDpStats {
-    let n_dps = peers.len();
     let id = node.id();
     let now = || SimTime(epoch.elapsed().as_millis() as u64);
     let mut fx: Vec<Effect> = Vec::new();
@@ -503,8 +631,18 @@ fn dp_main(
                 Ok(delta) => Input::Inform(delta_to_record(&delta)),
                 Err(_) => continue, // malformed inform: dropped whole
             },
-            LiveMsg::SyncTick => Input::SyncTick { n_dps },
+            LiveMsg::SyncTick => Input::SyncTick {
+                n_dps: peers.len(),
+            },
             LiveMsg::PeerRecords(bytes) => Input::PeerRecords(FloodPayload::from_wire(bytes)),
+            LiveMsg::Peers(new_peers) => {
+                peers = new_peers;
+                continue;
+            }
+            LiveMsg::StateTransfer { reply } => {
+                let _ = reply.send(node.state_transfer(now()).records);
+                continue;
+            }
             LiveMsg::Crash => {
                 node.set_up(false);
                 recorder.emit(now(), || TraceEvent::DpFailed { dp: id });
@@ -768,6 +906,69 @@ mod tests {
         // Flag counters reconcile between report and timeline totals.
         let degrades = health.flags.iter().filter(|f| f.degrading).count() as u64;
         assert_eq!(tl.totals.health_degrades, degrades);
+    }
+
+    #[test]
+    fn join_bootstraps_view_and_leave_goes_dark() {
+        let mut cluster = LiveCluster::start(
+            2,
+            sites(),
+            &equal_shares(2, 2).unwrap(),
+            Duration::from_secs(3600), // ticker effectively off
+        );
+        assert_eq!(cluster.membership_epoch(), 2, "each seed member is one join");
+        cluster.inform(DpId(0), record(1, 0, 8, cluster.now()));
+        // Wait until DP 0 holds the record, so the join bootstrap has
+        // something to transfer.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let free = cluster.query(DpId(0), Duration::from_secs(5)).unwrap();
+            if free[0] == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "inform never applied");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // Join: the newcomer's very first answer must already reflect the
+        // sponsor's record — the state transfer, not a later sync round.
+        let new_id = cluster.join_dp();
+        assert_eq!(new_id, DpId(2));
+        assert_eq!(cluster.n_dps(), 3);
+        assert_eq!(cluster.membership_epoch(), 3);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let free = cluster.query(new_id, Duration::from_secs(5)).unwrap();
+            if free[0] == 8 {
+                break;
+            }
+            assert!(Instant::now() < deadline, "join bootstrap never arrived");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The ring homes clients somewhere live, including the newcomer's
+        // arcs.
+        for c in 0..64 {
+            assert!(cluster.home_of(ClientId(c)).index() < 3);
+        }
+        // Leave: the newcomer drains and goes dark; queries to it now
+        // time out and its arcs leave the ring.
+        assert_eq!(cluster.leave_dp(), Some(DpId(2)));
+        assert_eq!(cluster.membership_epoch(), 4);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            if cluster.query(DpId(2), Duration::from_millis(20)).is_none() {
+                break;
+            }
+            assert!(Instant::now() < deadline, "left point still answering");
+        }
+        for c in 0..64 {
+            assert!(cluster.home_of(ClientId(c)).index() < 2, "client homed on leaver");
+        }
+        // The survivors still answer.
+        assert!(cluster.query(DpId(0), Duration::from_secs(5)).is_some());
+        let stats = cluster.shutdown();
+        assert_eq!(stats.len(), 3);
+        // The bootstrap arrived as an ordinary peer merge.
+        assert_eq!(stats[2].records_merged, 1);
     }
 
     #[test]

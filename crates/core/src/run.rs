@@ -119,6 +119,14 @@ pub struct ExperimentOutput {
     /// suite asserts it reconciles ±0 with the traced timeline's
     /// cancellation total.
     pub sched_cancellations: u64,
+    /// Elastic-membership joins executed (zero unless
+    /// [`crate::config::DigruberConfig::membership`] is set).
+    pub dp_joins: u64,
+    /// Elastic-membership drain-and-leaves executed.
+    pub dp_leaves: u64,
+    /// Clients moved by consistent-hash re-homing across all pool
+    /// changes.
+    pub clients_rehomed: u64,
 }
 
 impl ExperimentOutput {
@@ -169,6 +177,13 @@ impl std::fmt::Debug for ExperimentOutput {
             d.field("recoveries", &self.recoveries)
                 .field("wal_records_replayed", &self.wal_records_replayed)
                 .field("max_recovery_ms", &self.max_recovery_ms);
+        }
+        // Same pattern for the membership counters: static deployments
+        // (membership off) keep their pre-subsystem fingerprints.
+        if self.dp_joins + self.dp_leaves + self.clients_rehomed > 0 {
+            d.field("dp_joins", &self.dp_joins)
+                .field("dp_leaves", &self.dp_leaves)
+                .field("clients_rehomed", &self.clients_rehomed);
         }
         d.finish()
     }
@@ -263,6 +278,14 @@ pub fn run_experiment_with_queue<Q: EventQueue>(
         let tick = sim.world().cfg.dynamic.expect("checked").check_interval;
         sim.scheduler()
             .schedule_at(SimTime(tick.as_millis()), crate::dynamic::monitor_tick);
+    }
+    if let Some(m) = sim.world().cfg.membership {
+        if m.scaler.is_some() {
+            sim.scheduler().schedule_at(
+                SimTime(m.check_interval.as_millis()),
+                crate::elastic::membership_tick,
+            );
+        }
     }
 
     let end = sim.world().end;
@@ -379,6 +402,9 @@ fn finalize(
         wal_records_replayed: w.wal_records_replayed,
         max_recovery_ms: w.max_recovery_ms,
         sched_cancellations,
+        dp_joins: w.membership.as_ref().map_or(0, |m| m.dp_joins),
+        dp_leaves: w.membership.as_ref().map_or(0, |m| m.dp_leaves),
+        clients_rehomed: w.membership.as_ref().map_or(0, |m| m.clients_rehomed),
         timeline: w.trace.finish(end),
     }
 }

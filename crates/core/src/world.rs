@@ -150,6 +150,10 @@ pub struct World {
     /// `cfg.trace` is set); clones of it live in every scheduler, engine
     /// and service station of this run.
     pub trace: obs::Recorder,
+    /// Elastic-membership state (`None` unless `cfg.membership` is set):
+    /// the epoch-stamped table, the consistent-hash ring the clients are
+    /// homed on, the autoscaler, and the join/leave/re-home counters.
+    pub membership: Option<crate::elastic::MembershipRuntime>,
 }
 
 /// Builds one decision-point protocol node for this configuration. Shared
@@ -162,7 +166,7 @@ pub fn make_node(
     uslas: &UslaSet,
     id: DpId,
 ) -> DpNode {
-    DpNode::new(
+    let mut node = DpNode::new(
         NodeConfig {
             id,
             topology: cfg.topology,
@@ -175,7 +179,11 @@ pub fn make_node(
         },
         site_specs,
         uslas,
-    )
+    );
+    // Elastic pools keep the live-record map on every node so any member
+    // can sponsor a joiner's state transfer.
+    node.set_track_live(cfg.membership.is_some());
+    node
 }
 
 /// WAN address of a client.
@@ -214,14 +222,28 @@ impl World {
                 DecisionPoint { id, node, station }
             })
             .collect();
+        let membership = cfg
+            .membership
+            .map(|mc| crate::elastic::MembershipRuntime::new(mc, cfg.seed, cfg.n_dps));
+        if let Some(m) = &membership {
+            // Mirror the health scorer's degraded flags into the bitmap
+            // the autoscaler samples (no-op on a disabled recorder).
+            trace.attach(Box::new(crate::elastic::HealthWatch::new(
+                m.degraded.clone(),
+            )));
+        }
         let mut misc_rng = DetRng::new(cfg.seed, 0xB1AD);
         let clients: Vec<ClientState> = (0..workload.n_clients)
             .map(|c| ClientState {
                 id: ClientId(c),
                 // "selected randomly in the beginning — simulating a
                 // scenario in which each submission site is associated
-                // statically with a single decision point".
-                dp: DpId(misc_rng.index(cfg.n_dps) as u32),
+                // statically with a single decision point" — or, under
+                // elastic membership, the consistent-hash ring home.
+                dp: match &membership {
+                    Some(m) => m.home_of(ClientId(c)),
+                    None => DpId(misc_rng.index(cfg.n_dps) as u32),
+                },
                 selector: cfg.selector.build(cfg.seed, u64::from(c)),
                 fallback_rng: DetRng::new(cfg.seed, 0xFA11 ^ (u64::from(c) << 16)),
                 active: false,
@@ -230,8 +252,11 @@ impl World {
                 blocked_on_queue: false,
             })
             .collect();
-        let schedule = RampSchedule::paper_default(workload.n_clients, workload.duration)
-            .with_departure(workload.departure_fraction);
+        let schedule = match workload.ramp_fraction {
+            Some(f) => RampSchedule::new(workload.n_clients, workload.duration, f),
+            None => RampSchedule::paper_default(workload.n_clients, workload.duration),
+        }
+        .with_departure(workload.departure_fraction);
         let end = schedule.end();
         let n_dps = cfg.n_dps;
         Ok(World {
@@ -268,6 +293,7 @@ impl World {
             wal_records_replayed: 0,
             max_recovery_ms: 0,
             trace,
+            membership,
         })
     }
 

@@ -40,7 +40,8 @@
 //!   [`WalOp`] log.
 //!
 //! Peer selection ([`sync_peers_of`]) lives here too, so FullMesh / Ring /
-//! Star / Gossip behave identically in every runtime.
+//! Star / Gossip / Hierarchical / HybridEpidemic behave identically in every
+//! runtime.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -52,4 +53,4 @@ pub use node::{
     delta_to_record, record_to_delta, DpNode, DpNodeStats, Effect, FloodPayload, Input,
     NodeConfig, NodeEvent, WalOp,
 };
-pub use topology::{sync_peers_of, Dissemination, Topology};
+pub use topology::{convergence_bound, sync_peers_of, Dissemination, Topology};

@@ -300,6 +300,9 @@ pub struct DpNode<V: ViewStore = GridView> {
     up: bool,
     stats: DpNodeStats,
     persist: bool,
+    /// Maintain [`DpNode::state_transfer`]'s live-record map even without
+    /// durability (elastic membership needs it to bootstrap joiners).
+    track_live: bool,
     /// The unexpired dispatch records currently backing the view —
     /// maintained only under [`NodeConfig::persist`] (always empty
     /// otherwise) so snapshots can rebuild the view without `GridView`
@@ -332,6 +335,7 @@ impl<V: ViewStore> DpNode<V> {
             up: true,
             stats: DpNodeStats::default(),
             persist: cfg.persist,
+            track_live: cfg.persist,
             live: BTreeMap::new(),
         }
     }
@@ -339,6 +343,13 @@ impl<V: ViewStore> DpNode<V> {
     /// The node's identity.
     pub fn id(&self) -> DpId {
         self.id
+    }
+
+    /// Maintains the live-record map behind [`DpNode::state_transfer`]
+    /// even without durability. Elastic runtimes switch this on so any
+    /// member can sponsor a joiner; it is implied by `persist`.
+    pub fn set_track_live(&mut self, on: bool) {
+        self.track_live = on || self.persist;
     }
 
     /// Whether the point is currently alive.
@@ -425,10 +436,10 @@ impl<V: ViewStore> DpNode<V> {
                 }
                 self.stats.informs += 1;
                 let accepted = self.engine.record_dispatch(record, now);
+                if accepted && self.track_live {
+                    self.live.insert(record.job, record);
+                }
                 if self.persist {
-                    if accepted {
-                        self.live.insert(record.job, record);
-                    }
                     out.push(Effect::Persist(WalOp::Own(record)));
                 }
             }
@@ -455,7 +466,7 @@ impl<V: ViewStore> DpNode<V> {
                 // this node re-enter its own outgoing log (de-duplication
                 // by job id terminates forwarding loops).
                 let forward = self.topology != Topology::FullMesh;
-                let fresh = if self.persist {
+                let fresh = if self.track_live {
                     let mut fresh_recs = Vec::new();
                     let n = self.engine.merge_peer_records_collect(
                         &records,
@@ -465,7 +476,9 @@ impl<V: ViewStore> DpNode<V> {
                     );
                     for rec in fresh_recs {
                         self.live.insert(rec.job, rec);
-                        out.push(Effect::Persist(WalOp::Peer(rec)));
+                        if self.persist {
+                            out.push(Effect::Persist(WalOp::Peer(rec)));
+                        }
                     }
                     n
                 } else if forward {
@@ -573,6 +586,24 @@ impl<V: ViewStore> DpNode<V> {
         buf.extend_from_slice(&(out_bytes.len() as u32).to_le_bytes());
         buf.extend_from_slice(out_bytes.as_ref());
         (buf, live.len() as u32)
+    }
+
+    /// Packages the node's live (unexpired) dispatch records as a
+    /// [`FloodPayload`] suitable for bootstrapping a newly joined peer
+    /// through the ordinary [`Input::PeerRecords`] path. Unlike
+    /// [`DpNode::snapshot_encode`]/[`DpNode::snapshot_decode`] — which
+    /// restore protocol counters and the merge gap and are only correct
+    /// when replayed into the *same* identity — this carries records
+    /// only, so the newcomer's own counters and staleness accounting
+    /// start from its join time. Expired records are pruned first.
+    pub fn state_transfer(&mut self, now: SimTime) -> FloodPayload {
+        self.live.retain(|_, rec| rec.est_finish > now);
+        let deltas: Vec<DispatchDelta> = self.live.values().map(record_to_delta).collect();
+        FloodPayload {
+            n_records: deltas.len() as u32,
+            records: encode_deltas(&deltas),
+            uslas: Vec::new(),
+        }
     }
 
     /// Restores state serialised by [`DpNode::snapshot_encode`] into this

@@ -29,11 +29,33 @@ pub enum Topology {
     FullMesh,
     /// Each point sends only to its successor; records travel the ring.
     Ring,
-    /// Decision point 0 acts as a hub: leaves exchange through it.
-    Star,
+    /// One decision point acts as a hub: leaves exchange through it.
+    ///
+    /// A crashed hub severs *all* exchange until it recovers — the
+    /// operator-facing discussion is in FAULTS.md. The hub index is
+    /// clamped to the live range (`hub.min(n - 1)`) so a config written
+    /// for a larger deployment still routes somewhere.
+    Star {
+        /// Index of the hub decision point.
+        hub: usize,
+    },
     /// Each point sends to `fanout` random peers per round.
     Gossip {
         /// Peers contacted per round.
+        fanout: usize,
+    },
+    /// A `branching`-ary tree rooted at point 0: each point exchanges
+    /// with its parent and children, so per-round peer count stays
+    /// O(branching) while records climb to the root and fan back down.
+    Hierarchical {
+        /// Children per interior node (clamped to at least 1).
+        branching: usize,
+    },
+    /// Ring successor as a deterministic backbone plus `fanout` random
+    /// gossip peers: bounded worst-case convergence (the ring) with
+    /// gossip's typical logarithmic spread.
+    HybridEpidemic {
+        /// Random peers contacted per round, on top of the successor.
         fanout: usize,
     },
 }
@@ -41,10 +63,12 @@ pub enum Topology {
 /// The peers decision point `i` contacts in one exchange round, out of
 /// `n` points total, under `topology`.
 ///
-/// `rng` is only consulted for `Gossip` — and only when `fanout < n - 1`;
-/// a fanout of `n - 1` or more degenerates to the full mesh and returns
-/// every other point in index order, with no duplicates and no RNG draw.
-/// A single-point deployment (`n <= 1`) has no peers under any topology.
+/// `rng` is only consulted for `Gossip` and `HybridEpidemic` — and only
+/// when the requested fanout is below the remaining peer count; a
+/// `Gossip` fanout of `n - 1` or more degenerates to the full mesh and
+/// returns every other point in index order, with no duplicates and no
+/// RNG draw. A single-point deployment (`n <= 1`) has no peers under any
+/// topology.
 pub fn sync_peers_of(topology: Topology, i: usize, n: usize, rng: &mut DetRng) -> Vec<usize> {
     if n <= 1 || i >= n {
         return Vec::new();
@@ -52,11 +76,12 @@ pub fn sync_peers_of(topology: Topology, i: usize, n: usize, rng: &mut DetRng) -
     match topology {
         Topology::FullMesh => (0..n).filter(|&j| j != i).collect(),
         Topology::Ring => vec![(i + 1) % n],
-        Topology::Star => {
-            if i == 0 {
-                (1..n).collect()
+        Topology::Star { hub } => {
+            let hub = hub.min(n - 1);
+            if i == hub {
+                (0..n).filter(|&j| j != hub).collect()
             } else {
-                vec![0]
+                vec![hub]
             }
         }
         Topology::Gossip { fanout } => {
@@ -67,6 +92,71 @@ pub fn sync_peers_of(topology: Topology, i: usize, n: usize, rng: &mut DetRng) -
             }
             others
         }
+        Topology::Hierarchical { branching } => {
+            let b = branching.max(1);
+            let mut peers = Vec::new();
+            if i > 0 {
+                peers.push((i - 1) / b);
+            }
+            let first_child = i * b + 1;
+            for c in first_child..first_child.saturating_add(b) {
+                if c >= n {
+                    break;
+                }
+                peers.push(c);
+            }
+            peers
+        }
+        Topology::HybridEpidemic { fanout } => {
+            let succ = (i + 1) % n;
+            let mut peers = vec![succ];
+            let mut others: Vec<usize> =
+                (0..n).filter(|&j| j != i && j != succ).collect();
+            if fanout < others.len() {
+                rng.shuffle(&mut others);
+                others.truncate(fanout);
+            }
+            peers.extend(others);
+            peers
+        }
+    }
+}
+
+/// Worst-case exchange rounds for a record observed at one point to
+/// reach every point, assuming each round every point forwards its fresh
+/// records to [`sync_peers_of`] (transitive forwarding, loops terminated
+/// by job-id dedup). `None` when no deterministic bound exists:
+/// sub-mesh `Gossip` is push-*once* — a node floods a record only in the
+/// round after learning it — so a spread whose every flood lands on
+/// already-informed peers dies out short of full coverage. Gossip's
+/// coverage is probabilistic per record and relies on ongoing dispatch
+/// traffic re-triggering floods, not on one-shot propagation.
+///
+/// The bounds: full mesh converges in one round; a ring needs `n - 1`
+/// hops; a star needs two (leaf → hub → leaves); a `b`-ary tree needs
+/// `2 · height` (climb to the root, fan back down); hybrid epidemic is
+/// bounded by its ring backbone at `n - 1` (gossip only accelerates).
+pub fn convergence_bound(topology: Topology, n: usize) -> Option<usize> {
+    if n <= 1 {
+        return Some(0);
+    }
+    match topology {
+        Topology::FullMesh => Some(1),
+        Topology::Ring => Some(n - 1),
+        Topology::Star { .. } => Some(2),
+        Topology::Gossip { fanout } => (fanout >= n - 1).then_some(1),
+        Topology::Hierarchical { branching } => {
+            let b = branching.max(1);
+            // Height of the tree: depth of the deepest node (node n - 1).
+            let mut height = 0;
+            let mut i = n - 1;
+            while i > 0 {
+                i = (i - 1) / b;
+                height += 1;
+            }
+            Some(2 * height)
+        }
+        Topology::HybridEpidemic { .. } => Some(n - 1),
     }
 }
 
@@ -92,8 +182,90 @@ mod tests {
 
     #[test]
     fn star_routes_through_the_hub() {
-        assert_eq!(sync_peers_of(Topology::Star, 0, 4, &mut rng()), vec![1, 2, 3]);
-        assert_eq!(sync_peers_of(Topology::Star, 2, 4, &mut rng()), vec![0]);
+        let star0 = Topology::Star { hub: 0 };
+        assert_eq!(sync_peers_of(star0, 0, 4, &mut rng()), vec![1, 2, 3]);
+        assert_eq!(sync_peers_of(star0, 2, 4, &mut rng()), vec![0]);
+    }
+
+    #[test]
+    fn star_hub_is_configurable_and_clamped() {
+        let star2 = Topology::Star { hub: 2 };
+        assert_eq!(sync_peers_of(star2, 2, 4, &mut rng()), vec![0, 1, 3]);
+        assert_eq!(sync_peers_of(star2, 0, 4, &mut rng()), vec![2]);
+        assert_eq!(sync_peers_of(star2, 3, 4, &mut rng()), vec![2]);
+        // An out-of-range hub clamps to the last live point.
+        let star9 = Topology::Star { hub: 9 };
+        assert_eq!(sync_peers_of(star9, 0, 3, &mut rng()), vec![2]);
+        assert_eq!(sync_peers_of(star9, 2, 3, &mut rng()), vec![0, 1]);
+    }
+
+    #[test]
+    fn hierarchical_links_parent_and_children() {
+        let tree = Topology::Hierarchical { branching: 2 };
+        // Binary tree over 7 points: 0 -> (1, 2), 1 -> (3, 4), 2 -> (5, 6).
+        assert_eq!(sync_peers_of(tree, 0, 7, &mut rng()), vec![1, 2]);
+        assert_eq!(sync_peers_of(tree, 1, 7, &mut rng()), vec![0, 3, 4]);
+        assert_eq!(sync_peers_of(tree, 5, 7, &mut rng()), vec![2]);
+        // Partial last level: node 2's second child does not exist at n=6.
+        assert_eq!(sync_peers_of(tree, 2, 6, &mut rng()), vec![0, 5]);
+        // Branching 0 clamps to 1 (a chain).
+        let chain = Topology::Hierarchical { branching: 0 };
+        assert_eq!(sync_peers_of(chain, 1, 4, &mut rng()), vec![0, 2]);
+    }
+
+    #[test]
+    fn hierarchical_edges_are_symmetric() {
+        let tree = Topology::Hierarchical { branching: 3 };
+        for n in 2..20 {
+            for i in 0..n {
+                for j in sync_peers_of(tree, i, n, &mut rng()) {
+                    assert!(
+                        sync_peers_of(tree, j, n, &mut rng()).contains(&i),
+                        "n={n}: {i} -> {j} but not back"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_epidemic_always_includes_the_successor() {
+        let hybrid = Topology::HybridEpidemic { fanout: 2 };
+        for i in 0..6 {
+            let peers = sync_peers_of(hybrid, i, 6, &mut rng());
+            assert_eq!(peers[0], (i + 1) % 6, "successor first: {peers:?}");
+            assert_eq!(peers.len(), 3);
+            let mut dedup = peers.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 3, "duplicate peers in {peers:?}");
+            assert!(!peers.contains(&i), "self-peer in {peers:?}");
+        }
+        // Fanout large enough for everyone degenerates to the full set.
+        let all = sync_peers_of(Topology::HybridEpidemic { fanout: 99 }, 1, 4, &mut rng());
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn convergence_bounds_match_the_topology() {
+        assert_eq!(convergence_bound(Topology::FullMesh, 8), Some(1));
+        assert_eq!(convergence_bound(Topology::Ring, 8), Some(7));
+        assert_eq!(convergence_bound(Topology::Star { hub: 3 }, 8), Some(2));
+        assert_eq!(convergence_bound(Topology::Gossip { fanout: 2 }, 8), None);
+        assert_eq!(convergence_bound(Topology::Gossip { fanout: 7 }, 8), Some(1));
+        // Binary tree of 7 has height 2 -> bound 4.
+        assert_eq!(
+            convergence_bound(Topology::Hierarchical { branching: 2 }, 7),
+            Some(4)
+        );
+        assert_eq!(
+            convergence_bound(Topology::HybridEpidemic { fanout: 2 }, 8),
+            Some(7)
+        );
+        // Single-point deployments are converged from the start.
+        for topo in [Topology::FullMesh, Topology::Gossip { fanout: 1 }] {
+            assert_eq!(convergence_bound(topo, 1), Some(0));
+        }
     }
 
     #[test]
@@ -129,9 +301,11 @@ mod tests {
         for topo in [
             Topology::FullMesh,
             Topology::Ring,
-            Topology::Star,
+            Topology::Star { hub: 0 },
             Topology::Gossip { fanout: 1 },
             Topology::Gossip { fanout: 0 },
+            Topology::Hierarchical { branching: 2 },
+            Topology::HybridEpidemic { fanout: 1 },
         ] {
             assert!(sync_peers_of(topo, 0, 1, &mut rng()).is_empty(), "{topo:?}");
             assert!(sync_peers_of(topo, 0, 0, &mut rng()).is_empty(), "{topo:?}");

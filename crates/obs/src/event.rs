@@ -335,6 +335,31 @@ pub enum TraceEvent {
         /// Modeled recovery latency charged before the rejoin, ms.
         dur_ms: u32,
     },
+    /// `membership`: a decision point joined the elastic pool (epoch
+    /// from the membership table after the join).
+    DpJoined {
+        /// The joining decision point.
+        dp: DpId,
+        /// Membership epoch after the join.
+        epoch: u32,
+    },
+    /// `membership`: a decision point drained and left the elastic pool.
+    DpLeft {
+        /// The leaving decision point.
+        dp: DpId,
+        /// Membership epoch after the leave.
+        epoch: u32,
+    },
+    /// `membership`: consistent-hash re-homing moved a client between
+    /// decision points after a pool change.
+    ClientRehomed {
+        /// The re-homed client.
+        client: ClientId,
+        /// Previous home.
+        from: DpId,
+        /// New home.
+        to: DpId,
+    },
     /// `obs::health`: the online scorer flipped a decision point's flag.
     ///
     /// A *derived* event: the [`crate::HealthScorer`] consumer emits it
@@ -393,6 +418,9 @@ impl TraceEvent {
             TraceEvent::WalAppended { .. } => "wal_appended",
             TraceEvent::SnapshotWritten { .. } => "snapshot_written",
             TraceEvent::RecoveryReplayed { .. } => "recovery_replayed",
+            TraceEvent::DpJoined { .. } => "dp_joined",
+            TraceEvent::DpLeft { .. } => "dp_left",
+            TraceEvent::ClientRehomed { .. } => "client_rehomed",
             TraceEvent::HealthFlag { .. } => "health_flag",
         }
     }

@@ -6,7 +6,7 @@
 //! byte-stable — the trace-determinism test compares the full JSONL output
 //! of `--jobs 1` and `--jobs 8` runs byte for byte.
 //!
-//! ## JSONL schema (`digruber-trace/4`)
+//! ## JSONL schema (`digruber-trace/5`)
 //!
 //! (v2 added the fault-injection counters: per-bin and per-DP `lost` /
 //! `retries`, per-DP `retries_exhausted` / `duplicated` /
@@ -16,7 +16,8 @@
 //! `wal_appends` / `snapshots` / `wal_replayed` / `max_recovery_ms`.
 //! v4 added online health scoring: the `health` and `health_flag` line
 //! types, plus `health_degrades` / `health_recovers` on `dp_total` and
-//! `run_total`.)
+//! `run_total`. v5 added elastic membership: `dp_joins` / `dp_leaves` /
+//! `clients_rehomed` on `run_total`.)
 //!
 //! One JSON object per line, discriminated by `"type"`:
 //!
@@ -160,14 +161,14 @@ fn dp_total_line(run: &str, t: &DpTotals, out: &mut String) {
 }
 
 impl RunTimeline {
-    /// Renders the timeline as JSONL (schema `digruber-trace/4`); `run`
+    /// Renders the timeline as JSONL (schema `digruber-trace/5`); `run`
     /// labels every line so multiple runs can append to one file.
     pub fn to_jsonl(&self, run: &str) -> String {
         let run = json_escape(run);
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/4\",\"run\":\"{run}\",\
+            "{{\"type\":\"meta\",\"schema\":\"digruber-trace/5\",\"run\":\"{run}\",\
              \"cadence_ms\":{},\"end_ms\":{},\"dps\":{},\"raw_ring\":{},\
              \"dropped_raw\":{}}}",
             self.cadence_ms,
@@ -238,7 +239,8 @@ impl RunTimeline {
              \"partitions_healed\":{},\"link_windows\":{},\"slowdowns\":{},\
              \"wal_appends\":{},\"snapshots\":{},\"wal_replayed\":{},\
              \"max_recovery_ms\":{},\"health_degrades\":{},\
-             \"health_recovers\":{}}}",
+             \"health_recovers\":{},\"dp_joins\":{},\"dp_leaves\":{},\
+             \"clients_rehomed\":{}}}",
             r.issued,
             r.answered,
             r.late,
@@ -269,6 +271,9 @@ impl RunTimeline {
             r.max_recovery_ms,
             r.health_degrades,
             r.health_recovers,
+            r.dp_joins,
+            r.dp_leaves,
+            r.clients_rehomed,
         );
         out
     }
@@ -321,6 +326,13 @@ impl RunTimeline {
                 "  durability: {} WAL appends, {} snapshots, {} records replayed \
                  (max recovery {} ms)",
                 r.wal_appends, r.snapshots, r.wal_replayed, r.max_recovery_ms
+            );
+        }
+        if r.dp_joins + r.dp_leaves + r.clients_rehomed > 0 {
+            let _ = writeln!(
+                out,
+                "  membership: {} joins, {} leaves, {} clients re-homed",
+                r.dp_joins, r.dp_leaves, r.clients_rehomed
             );
         }
         if r.replay_overloads + r.replay_dps_added > 0 {
@@ -466,7 +478,7 @@ mod tests {
         let jsonl = tl.to_jsonl("test-run");
         let lines: Vec<&str> = jsonl.lines().collect();
         assert!(lines[0].contains("\"type\":\"meta\""));
-        assert!(lines[0].contains("\"schema\":\"digruber-trace/4\""));
+        assert!(lines[0].contains("\"schema\":\"digruber-trace/5\""));
         assert!(lines.last().unwrap().contains("\"type\":\"run_total\""));
         // The default config runs the health consumer: one scored window
         // per 60 s per seen point (windows closing at 60 s and 120 s).

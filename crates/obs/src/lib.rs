@@ -43,7 +43,7 @@
 //! queries served, response-time log-histogram, queue depth, staleness of
 //! the last peer exchange), whole-run totals, and the [`HealthReport`]
 //! when the scorer ran. [`RunTimeline::to_jsonl`] renders the
-//! machine-readable JSONL (schema `digruber-trace/4`) consumed by
+//! machine-readable JSONL (schema `digruber-trace/5`) consumed by
 //! `--trace out.jsonl` on the `sweep`/`experiments` binaries;
 //! [`RunTimeline::render`] produces the human-readable timeline summary
 //! written under `results/`.

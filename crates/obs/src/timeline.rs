@@ -255,7 +255,7 @@ impl Default for DpTotals {
 }
 
 /// Whole-run totals across all decision points.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunTotals {
     /// Queries issued.
     pub issued: u64,
@@ -317,6 +317,59 @@ pub struct RunTotals {
     pub health_degrades: u64,
     /// `Recovered` flags raised by the online health scorer.
     pub health_recovers: u64,
+    /// Decision points that joined the elastic membership pool.
+    pub dp_joins: u64,
+    /// Decision points that drained and left the elastic pool.
+    pub dp_leaves: u64,
+    /// Clients moved by consistent-hash re-homing after pool changes.
+    pub clients_rehomed: u64,
+}
+
+// Manual `Debug` mirroring the old derive field-for-field, with the
+// elastic-membership counters appended only when one is nonzero. Traced
+// run fingerprints hash this rendering (via `RunTimeline`), so runs with
+// membership off — every pinned configuration — keep byte-identical
+// fingerprints.
+impl std::fmt::Debug for RunTotals {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut d = f.debug_struct("RunTotals");
+        d.field("issued", &self.issued)
+            .field("answered", &self.answered)
+            .field("late", &self.late)
+            .field("timed_out", &self.timed_out)
+            .field("denied", &self.denied)
+            .field("accepted", &self.accepted)
+            .field("duplicates", &self.duplicates)
+            .field("events_executed", &self.events_executed)
+            .field("cancellations", &self.cancellations)
+            .field("failures", &self.failures)
+            .field("recoveries", &self.recoveries)
+            .field("dropped_requests", &self.dropped_requests)
+            .field("rebinds", &self.rebinds)
+            .field("replay_overloads", &self.replay_overloads)
+            .field("replay_dps_added", &self.replay_dps_added)
+            .field("msgs_lost", &self.msgs_lost)
+            .field("retries", &self.retries)
+            .field("retries_exhausted", &self.retries_exhausted)
+            .field("msgs_duplicated", &self.msgs_duplicated)
+            .field("partition_drops", &self.partition_drops)
+            .field("partitions_started", &self.partitions_started)
+            .field("partitions_healed", &self.partitions_healed)
+            .field("link_windows", &self.link_windows)
+            .field("slowdowns", &self.slowdowns)
+            .field("wal_appends", &self.wal_appends)
+            .field("snapshots", &self.snapshots)
+            .field("wal_replayed", &self.wal_replayed)
+            .field("max_recovery_ms", &self.max_recovery_ms)
+            .field("health_degrades", &self.health_degrades)
+            .field("health_recovers", &self.health_recovers);
+        if self.dp_joins + self.dp_leaves + self.clients_rehomed > 0 {
+            d.field("dp_joins", &self.dp_joins)
+                .field("dp_leaves", &self.dp_leaves)
+                .field("clients_rehomed", &self.clients_rehomed);
+        }
+        d.finish()
+    }
 }
 
 /// Per-point rolling state inside the builder.
@@ -614,6 +667,18 @@ impl TimelineBuilder {
                 self.totals.wal_replayed += u64::from(records);
                 self.totals.max_recovery_ms =
                     self.totals.max_recovery_ms.max(u64::from(dur_ms));
+            }
+            TraceEvent::DpJoined { dp, .. } => {
+                // Materialize the point so it appears in samples from now on.
+                self.dp(dp).up = true;
+                self.totals.dp_joins += 1;
+            }
+            TraceEvent::DpLeft { dp, .. } => {
+                self.dp(dp).up = false;
+                self.totals.dp_leaves += 1;
+            }
+            TraceEvent::ClientRehomed { .. } => {
+                self.totals.clients_rehomed += 1;
             }
             TraceEvent::HealthFlag { dp, degrading, .. } => {
                 let st = self.dp(dp);

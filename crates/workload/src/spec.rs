@@ -37,6 +37,12 @@ pub struct WorkloadSpec {
     /// only the interleaving of same-millisecond events may differ, so
     /// the scale driver opts in and the calibrated sweeps do not.
     pub arrival_batch: Option<u32>,
+    /// Fraction of the run over which clients join. `None` (the default
+    /// everywhere) keeps DiPerF's paper shape — a ramp over the first
+    /// 60 % of the experiment — and with it every pre-existing run
+    /// fingerprint; the elastic-membership scenarios override it
+    /// ([`WorkloadSpec::diurnal`], [`WorkloadSpec::flash_crowd`]).
+    pub ramp_fraction: Option<f64>,
 }
 
 impl WorkloadSpec {
@@ -55,6 +61,7 @@ impl WorkloadSpec {
             duration: SimDuration::HOUR,
             departure_fraction: 0.0,
             arrival_batch: None,
+            ramp_fraction: None,
         }
     }
 
@@ -72,6 +79,7 @@ impl WorkloadSpec {
             duration: SimDuration::from_mins(10),
             departure_fraction: 0.0,
             arrival_batch: None,
+            ramp_fraction: None,
         }
     }
 
@@ -99,6 +107,31 @@ impl WorkloadSpec {
             duration: SimDuration::from_mins(2),
             departure_fraction: 0.0,
             arrival_batch: Some(256),
+            ramp_fraction: None,
+        }
+    }
+
+    /// A diurnal-ish load curve for the elastic-membership scenarios:
+    /// clients ramp up over the first ~45 % of the run, hold, then drain
+    /// over the last ~45 % — the shape an autoscaler should track with
+    /// one grow phase and one shrink phase.
+    pub fn diurnal(n_clients: u32) -> Self {
+        WorkloadSpec {
+            n_clients,
+            ramp_fraction: Some(0.45),
+            departure_fraction: 0.45,
+            ..WorkloadSpec::paper_default()
+        }
+    }
+
+    /// A flash crowd: the whole population arrives in the first ~5 % of
+    /// the run and stays — the worst case for an autoscaler's reaction
+    /// time and for re-homing churn right after growth.
+    pub fn flash_crowd(n_clients: u32) -> Self {
+        WorkloadSpec {
+            n_clients,
+            ramp_fraction: Some(0.05),
+            ..WorkloadSpec::paper_default()
         }
     }
 
@@ -115,6 +148,13 @@ impl WorkloadSpec {
             return Err(gruber_types::GridError::InvalidConfig(
                 "workload spec has a zero field".into(),
             ));
+        }
+        if let Some(f) = self.ramp_fraction {
+            if !(0.0..=1.0).contains(&f) {
+                return Err(gruber_types::GridError::InvalidConfig(
+                    "ramp fraction outside [0, 1]".into(),
+                ));
+            }
         }
         Ok(())
     }
@@ -156,6 +196,21 @@ mod tests {
         // Wide ramps must seed in batches, or event-queue insertion at 1M
         // clients dominates the run.
         assert!(w.arrival_batch.is_some());
+    }
+
+    #[test]
+    fn scenario_shapes() {
+        let d = WorkloadSpec::diurnal(100);
+        d.validate().unwrap();
+        assert_eq!(d.ramp_fraction, Some(0.45));
+        assert_eq!(d.departure_fraction, 0.45);
+        let f = WorkloadSpec::flash_crowd(100);
+        f.validate().unwrap();
+        assert_eq!(f.ramp_fraction, Some(0.05));
+        assert_eq!(f.departure_fraction, 0.0);
+        let mut bad = WorkloadSpec::small();
+        bad.ramp_fraction = Some(1.5);
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -29,6 +29,12 @@ cargo test -q --offline -p desim
 echo "==> gruber unit + differential proptests (SoA grid view vs reference view)"
 cargo test -q --offline -p gruber
 
+echo "==> membership unit tests (epoch table, hash ring, autoscaler hysteresis)"
+cargo test -q --offline -p membership
+
+echo "==> dpnode unit + convergence proptests (topologies vs convergence_bound)"
+cargo test -q --offline -p dpnode
+
 echo "==> cargo doc --no-deps (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q
 
@@ -46,6 +52,9 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p obs
 
 echo "==> cargo doc -p clusterd (socket-runtime docs stay warning-clean)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p clusterd
+
+echo "==> cargo doc -p membership (elastic-membership docs stay warning-clean)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline -q -p membership
 
 echo "==> experiments degradation --fast (fault-injection smoke)"
 ./target/release/experiments degradation --fast > /dev/null
@@ -77,6 +86,15 @@ test -s results/timeline_health.txt || { echo "ci.sh: health timelines missing";
 grep -q 'digruber-bench-health/1' BENCH_health.json \
   || { echo "ci.sh: BENCH_health.json has wrong schema"; exit 1; }
 
+echo "==> experiments topology --fast (elastic-membership + topology smoke)"
+./target/release/experiments topology --fast > /dev/null
+test -s BENCH_topology.json || { echo "ci.sh: BENCH_topology.json missing"; exit 1; }
+test -s results/timeline_topology.txt || { echo "ci.sh: topology timelines missing"; exit 1; }
+grep -q 'digruber-bench-topology/1' BENCH_topology.json \
+  || { echo "ci.sh: BENCH_topology.json has wrong schema"; exit 1; }
+grep -q '"scenario": "flash-crowd"' BENCH_topology.json \
+  || { echo "ci.sh: BENCH_topology.json is missing the flash-crowd scenario cell"; exit 1; }
+
 echo "==> clusterd 3-process loopback smoke (real TCP, clean shutdown, state exchanged)"
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
@@ -90,7 +108,7 @@ grep -q 'SPAWN_LOCAL_OK n=3' "$smoke_dir/run.log" \
 for i in 0 1 2; do
   test -s "$smoke_dir/dp$i.jsonl" \
     || { echo "ci.sh: dp$i wrote no trace (unclean shutdown?)"; exit 1; }
-  grep -q 'digruber-trace/4' "$smoke_dir/dp$i.jsonl" \
+  grep -q 'digruber-trace/5' "$smoke_dir/dp$i.jsonl" \
     || { echo "ci.sh: dp$i trace has wrong schema"; exit 1; }
 done
 # The traces must show actual peer exchanges — a run that never flooded

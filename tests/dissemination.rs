@@ -119,7 +119,9 @@ mod topology {
         let mesh = acc_with(SyncTopology::FullMesh);
         for (name, topo) in [
             ("ring", SyncTopology::Ring),
-            ("star", SyncTopology::Star),
+            ("star", SyncTopology::Star { hub: 0 }),
+            ("hierarchical", SyncTopology::Hierarchical { branching: 2 }),
+            ("hybrid", SyncTopology::HybridEpidemic { fanout: 1 }),
             ("gossip", SyncTopology::Gossip { fanout: 2 }),
         ] {
             let acc = acc_with(topo);
